@@ -1,0 +1,129 @@
+// Command datagen builds the synthetic evaluation datasets as uploadable
+// segment blobs plus the matching table-config JSON, for use with the pinot
+// process and pinot-cli.
+//
+//	datagen -dataset wvmp -out ./data -segments 4 -rows 100000
+//	pinot-cli add-table ./data/wvmp-table.json
+//	pinot-cli upload wvmp_OFFLINE ./data/wvmp_0.seg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+	"pinot/internal/table"
+	"pinot/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "anomaly", "anomaly|wvmp|impressions")
+		out      = flag.String("out", "./data", "output directory")
+		segments = flag.Int("segments", 4, "number of segments")
+		rows     = flag.Int("rows", 50000, "rows per segment")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		queries  = flag.Int("queries", 100, "sample queries to emit")
+		noIndex  = flag.Bool("no-index", false, "build without the dataset's natural indexes")
+	)
+	flag.Parse()
+
+	size := workload.SizeConfig{Segments: *segments, RowsPerSegment: *rows, Seed: *seed}
+	var d *workload.Dataset
+	switch *dataset {
+	case "anomaly":
+		d = workload.Anomaly(size)
+	case "wvmp":
+		d = workload.WVMP(size)
+	case "impressions":
+		d = workload.Impressions(size, 8)
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	idx := segment.IndexConfig{SortColumn: d.SortColumn, InvertedColumns: d.InvertedColumns}
+	var st *startree.Config
+	if !*noIndex {
+		st = d.StarTree
+	} else {
+		idx = segment.IndexConfig{}
+	}
+
+	cfg := &table.Config{
+		Name:            d.Name,
+		Type:            table.Offline,
+		Schema:          d.Schema,
+		Replicas:        1,
+		SortColumn:      idx.SortColumn,
+		InvertedColumns: idx.InvertedColumns,
+		StarTree:        st,
+		PartitionColumn: d.PartitionColumn,
+		NumPartitions:   d.NumPartitions,
+	}
+	cfgJSON, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgPath := filepath.Join(*out, d.Name+"-table.json")
+	if err := os.WriteFile(cfgPath, cfgJSON, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", cfgPath)
+
+	for si := 0; si < d.NumSegments; si++ {
+		b, err := segment.NewBuilder(d.Name, fmt.Sprintf("%s_%d", d.Name, si), d.Schema, idx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range d.Rows(si) {
+			if err := b.Add(row); err != nil {
+				log.Fatal(err)
+			}
+		}
+		seg, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st != nil {
+			tree, err := startree.Build(seg, *st)
+			if err != nil {
+				log.Fatal(err)
+			}
+			data, err := tree.Marshal()
+			if err != nil {
+				log.Fatal(err)
+			}
+			seg.SetStarTreeData(data)
+		}
+		blob, err := seg.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s_%d.seg", d.Name, si))
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d rows, %.1f MiB)", path, seg.NumDocs(), float64(len(blob))/(1<<20))
+	}
+
+	qPath := filepath.Join(*out, d.Name+"-queries.txt")
+	f, err := os.Create(qPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range d.Queries(*queries, *seed+1000) {
+		fmt.Fprintln(f, q)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d queries)", qPath, *queries)
+}

@@ -1,0 +1,164 @@
+// Command pinot-cli is a thin HTTP client for a running pinot process.
+//
+//	pinot-cli -broker http://localhost:8099 query "SELECT count(*) FROM events"
+//	pinot-cli -controller http://localhost:9000 tables
+//	pinot-cli -controller http://localhost:9000 add-table table.json
+//	pinot-cli -controller http://localhost:9000 upload events_OFFLINE events_0.seg
+//	pinot-cli -controller http://localhost:9000 segments events_OFFLINE
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+
+	"flag"
+)
+
+func main() {
+	var (
+		brokerURL = flag.String("broker", "http://localhost:8099", "broker base URL")
+		ctrlURL   = flag.String("controller", "http://localhost:9000", "controller base URL")
+		tenant    = flag.String("tenant", "", "tenant to charge for queries")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "query":
+		if len(args) != 2 {
+			usage()
+		}
+		err = runQuery(*brokerURL, args[1], *tenant)
+	case "tables":
+		err = getJSON(*ctrlURL + "/tables")
+	case "add-table":
+		if len(args) != 2 {
+			usage()
+		}
+		err = postFile(*ctrlURL+"/tables", args[1], "application/json")
+	case "upload":
+		if len(args) != 3 {
+			usage()
+		}
+		err = postFile(*ctrlURL+"/segments/"+args[1], args[2], "application/octet-stream")
+	case "segments":
+		if len(args) != 2 {
+			usage()
+		}
+		err = getJSON(*ctrlURL + "/tables/" + args[1] + "/segments")
+	case "tasks":
+		err = getJSON(*ctrlURL + "/tasks")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pinot-cli query "<pql>"
+  pinot-cli tables | segments <resource> | tasks
+  pinot-cli add-table <config.json>
+  pinot-cli upload <resource> <segment.seg>`)
+	os.Exit(2)
+}
+
+func runQuery(base, pql, tenant string) error {
+	body, _ := json.Marshal(map[string]string{"pql": pql, "tenant": tenant})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, data)
+	}
+	var out struct {
+		Columns    []string `json:"columns"`
+		Rows       [][]any  `json:"rows"`
+		TimeMillis int64    `json:"timeMillis"`
+		Partial    bool     `json:"partial"`
+		Exceptions []string `json:"exceptions"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for i, c := range out.Columns {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range out.Rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprintf(w, "%v", v)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Printf("(%d rows in %d ms", len(out.Rows), out.TimeMillis)
+	if out.Partial {
+		fmt.Printf(", PARTIAL: %v", out.Exceptions)
+	}
+	fmt.Println(")")
+	return nil
+}
+
+func getJSON(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return prettyPrint(resp)
+}
+
+func postFile(url, path, contentType string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, contentType, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return prettyPrint(resp)
+}
+
+func prettyPrint(resp *http.Response) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, data)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Println(buf.String())
+	return nil
+}

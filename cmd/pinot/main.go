@@ -1,0 +1,114 @@
+// Command pinot runs an all-in-one Pinot cluster in a single process —
+// controllers, servers, brokers and minions over the in-memory substrates —
+// and exposes the controller and broker HTTP APIs.
+//
+//	pinot -servers 3 -brokers 2 -controller-addr :9000 -broker-addr :8099
+//
+// Then:
+//
+//	curl -X POST localhost:9000/tables  -d @table-config.json
+//	curl -X POST localhost:9000/segments/events_OFFLINE --data-binary @events_0.seg
+//	curl -X POST localhost:8099/query   -d '{"pql": "SELECT count(*) FROM events"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pinot/internal/broker"
+	"pinot/internal/cluster"
+	"pinot/internal/httpapi"
+)
+
+func main() {
+	var (
+		name           = flag.String("cluster", "pinot", "cluster name")
+		controllers    = flag.Int("controllers", 1, "controller instances")
+		servers        = flag.Int("servers", 2, "server instances")
+		brokers        = flag.Int("brokers", 1, "broker instances")
+		minions        = flag.Int("minions", 1, "minion instances")
+		controllerAddr = flag.String("controller-addr", ":9000", "controller HTTP listen address")
+		brokerAddr     = flag.String("broker-addr", ":8099", "broker HTTP listen address")
+		strategy       = flag.String("routing", "balanced", "broker routing strategy: balanced|largeCluster")
+		partitionAware = flag.Bool("partition-aware", false, "enable partition-aware routing")
+		streamTopics   = flag.String("topics", "", "comma-separated topic:partitions to pre-create, e.g. events:4")
+	)
+	flag.Parse()
+
+	c, err := cluster.NewLocal(cluster.Options{
+		Name:        *name,
+		Controllers: *controllers,
+		Servers:     *servers,
+		Brokers:     *brokers,
+		Minions:     *minions,
+		BrokerTemplate: broker.Config{
+			Strategy:       broker.Strategy(*strategy),
+			PartitionAware: *partitionAware,
+		},
+	})
+	if err != nil {
+		log.Fatalf("cluster start: %v", err)
+	}
+	defer c.Shutdown()
+
+	if *streamTopics != "" {
+		if err := createTopics(c, *streamTopics); err != nil {
+			log.Fatalf("topics: %v", err)
+		}
+	}
+
+	leader, err := c.WaitForLeader(10 * time.Second)
+	if err != nil {
+		log.Fatalf("no leader: %v", err)
+	}
+	ctrlSrv := &http.Server{Addr: *controllerAddr, Handler: httpapi.NewControllerHandler(leader)}
+	brokerSrv := &http.Server{Addr: *brokerAddr, Handler: httpapi.NewBrokerHandler(c.Broker())}
+	go func() {
+		log.Printf("controller API on %s", *controllerAddr)
+		if err := ctrlSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("controller http: %v", err)
+		}
+	}()
+	go func() {
+		log.Printf("broker API on %s", *brokerAddr)
+		if err := brokerSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("broker http: %v", err)
+		}
+	}()
+	log.Printf("cluster %q up: %d controllers, %d servers, %d brokers, %d minions",
+		*name, *controllers, *servers, *brokers, *minions)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	_ = ctrlSrv.Close()
+	_ = brokerSrv.Close()
+}
+
+func createTopics(c *cluster.Cluster, spec string) error {
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, count, ok := strings.Cut(item, ":")
+		partitions, err := strconv.Atoi(count)
+		if !ok || err != nil || partitions <= 0 || name == "" {
+			return fmt.Errorf("bad topic spec %q (want name:partitions)", item)
+		}
+		if _, err := c.Streams.CreateTopic(name, partitions); err != nil {
+			return err
+		}
+		log.Printf("created topic %s with %d partitions", name, partitions)
+	}
+	return nil
+}

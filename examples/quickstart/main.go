@@ -1,0 +1,82 @@
+// Quickstart: start an embedded cluster, create an offline table, upload a
+// segment and run PQL queries.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pinot"
+)
+
+func main() {
+	// 1. Start an embedded cluster: 1 controller, 2 servers, 1 broker.
+	c, err := pinot.NewCluster(pinot.ClusterOptions{Servers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	// 2. Define a schema: dimensions, metrics and a time column.
+	schema, err := pinot.NewSchema("pageviews", []pinot.FieldSpec{
+		{Name: "page", Type: pinot.TypeString, Kind: pinot.Dimension, SingleValue: true},
+		{Name: "country", Type: pinot.TypeString, Kind: pinot.Dimension, SingleValue: true},
+		{Name: "views", Type: pinot.TypeLong, Kind: pinot.Metric, SingleValue: true},
+		{Name: "day", Type: pinot.TypeLong, Kind: pinot.Time, SingleValue: true, TimeUnit: "DAYS"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Create the table.
+	err = c.AddTable(&pinot.TableConfig{
+		Name: "pageviews", Type: pinot.Offline, Schema: schema, Replicas: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Build and upload a segment.
+	pages := []string{"/home", "/jobs", "/feed", "/profile"}
+	countries := []string{"us", "de", "in", "br"}
+	var rows []pinot.Row
+	for i := 0; i < 10000; i++ {
+		rows = append(rows, pinot.Row{
+			pages[i%len(pages)],
+			countries[(i/7)%len(countries)],
+			int64(1 + i%9),
+			int64(19000 + i%7),
+		})
+	}
+	blob, err := pinot.BuildSegmentBlob("pageviews", "pageviews_0", schema,
+		pinot.IndexConfig{InvertedColumns: []string{"page", "country"}}, rows, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.UploadSegment("pageviews_OFFLINE", blob); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.WaitForOnline("pageviews_OFFLINE", 1, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Query.
+	for _, q := range []string{
+		"SELECT count(*) FROM pageviews",
+		"SELECT sum(views) FROM pageviews WHERE country = 'us' GROUP BY page TOP 5",
+		"SELECT page, views FROM pageviews WHERE day = 19003 ORDER BY views DESC LIMIT 3",
+	} {
+		res, err := c.Query(context.Background(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n> %s\n  columns: %v\n", q, res.Columns)
+		for _, row := range res.Rows {
+			fmt.Printf("  %v\n", row)
+		}
+		fmt.Printf("  (%d docs scanned across %d segments in %d ms)\n",
+			res.Stats.NumDocsScanned, res.Stats.NumSegmentsQueried, res.TimeMillis)
+	}
+}

@@ -1,0 +1,84 @@
+// WVMP: the "Who Viewed My Profile" scenario from the paper (sections 4.2
+// and 6). Every query filters on the vieweeId column, so the table is
+// physically sorted on it: a member's profile views form a contiguous doc
+// range and queries touch only that range instead of scanning or running
+// bitmap operations. This example contrasts the sorted layout with an
+// inverted-index layout on the same data.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"pinot"
+	"pinot/internal/workload"
+)
+
+func main() {
+	c, err := pinot.NewCluster(pinot.ClusterOptions{Servers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	d := workload.WVMP(workload.SizeConfig{Segments: 2, RowsPerSegment: 50000, Seed: 42})
+
+	// Two tables over identical data: one physically sorted on vieweeId,
+	// one relying on an inverted index.
+	for _, layout := range []struct {
+		name string
+		idx  pinot.IndexConfig
+	}{
+		{"wvmpsorted", pinot.IndexConfig{SortColumn: "vieweeId"}},
+		{"wvmpinverted", pinot.IndexConfig{InvertedColumns: []string{"vieweeId"}}},
+	} {
+		schema, err := pinot.NewSchema(layout.name, d.Schema.Fields)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = c.AddTable(&pinot.TableConfig{
+			Name: layout.name, Type: pinot.Offline, Schema: schema, Replicas: 1,
+			SortColumn: layout.idx.SortColumn, InvertedColumns: layout.idx.InvertedColumns,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for si := 0; si < d.NumSegments; si++ {
+			blob, err := pinot.BuildSegmentBlob(layout.name, fmt.Sprintf("%s_%d", layout.name, si),
+				schema, layout.idx, d.Rows(si), nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := c.UploadSegment(layout.name+"_OFFLINE", blob); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := c.WaitForOnline(layout.name+"_OFFLINE", d.NumSegments, 10*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The WVMP page for member 17: who viewed me, from where, how senior?
+	queries := []string{
+		"SELECT count(*), distinctcount(viewerId) FROM %s WHERE vieweeId = 17",
+		"SELECT count(*) FROM %s WHERE vieweeId = 17 GROUP BY region TOP 5",
+		"SELECT count(*) FROM %s WHERE vieweeId = 17 GROUP BY seniority TOP 5",
+	}
+	for _, tmpl := range queries {
+		fmt.Printf("\n> %s\n", fmt.Sprintf(tmpl, "wvmp*"))
+		for _, tbl := range []string{"wvmpsorted", "wvmpinverted"} {
+			q := fmt.Sprintf(tmpl, tbl)
+			start := time.Now()
+			res, err := c.Query(context.Background(), q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-13s entriesScanned=%-8d latency=%-10s rows=%v\n",
+				tbl+":", res.Stats.NumEntriesScanned, time.Since(start).Round(time.Microsecond), res.Rows)
+		}
+	}
+	fmt.Println("\nThe sorted layout reads only the contiguous vieweeId range;")
+	fmt.Println("the inverted layout walks bitmap postings for the same answer.")
+}

@@ -1,0 +1,3 @@
+module pinot
+
+go 1.24

@@ -1,0 +1,464 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pinot/internal/controller"
+	"pinot/internal/helix"
+	"pinot/internal/pql"
+	"pinot/internal/query"
+	"pinot/internal/stream"
+	"pinot/internal/table"
+	"pinot/internal/transport"
+	"pinot/internal/zkmeta"
+)
+
+// Config tunes a broker instance.
+type Config struct {
+	Cluster  string
+	Instance string
+	Strategy Strategy
+	// TargetServers is T of Algorithm 1 (largeCluster strategy).
+	TargetServers int
+	// RoutingTables is C of Algorithm 2: how many tables to keep.
+	RoutingTables int
+	// RoutingCandidates is G of Algorithm 2: how many to generate.
+	RoutingCandidates int
+	// PartitionAware routes single-partition queries only to servers
+	// holding the relevant partition's segments (paper Figure 16).
+	PartitionAware bool
+	// QueryTimeout bounds end-to-end query execution.
+	QueryTimeout time.Duration
+	// Seed fixes the routing RNG for reproducible tests (0 = random).
+	Seed int64
+}
+
+func (c *Config) withDefaults() {
+	if c.Strategy == "" {
+		c.Strategy = StrategyBalanced
+	}
+	if c.TargetServers <= 0 {
+		c.TargetServers = 3
+	}
+	if c.RoutingTables <= 0 {
+		c.RoutingTables = 8
+	}
+	if c.RoutingCandidates <= 0 {
+		c.RoutingCandidates = 10 * c.RoutingTables
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+}
+
+// Broker routes queries to servers and merges their partial results.
+type Broker struct {
+	cfg      Config
+	store    *zkmeta.Store
+	sess     *zkmeta.Session
+	registry transport.Registry
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	mu          sync.Mutex
+	routing     map[string]*routingState // resource → routing
+	configs     map[string]*table.Config // resource → config cache
+	watching    map[string]func()        // resource → external-view watch cancel
+	cfgWatching map[string]func()        // resource → table-config watch cancel
+	evCancel    func()
+}
+
+// New creates a broker. The registry resolves server instances to query
+// clients.
+func New(cfg Config, store *zkmeta.Store, registry transport.Registry) *Broker {
+	cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Broker{
+		cfg:         cfg,
+		store:       store,
+		registry:    registry,
+		rnd:         rand.New(rand.NewSource(seed)),
+		routing:     map[string]*routingState{},
+		configs:     map[string]*table.Config{},
+		watching:    map[string]func(){},
+		cfgWatching: map[string]func(){},
+	}
+}
+
+// Instance returns the broker's instance name.
+func (b *Broker) Instance() string { return b.cfg.Instance }
+
+// Start joins the cluster as a spectator: it registers its config and
+// subscribes to external-view changes to keep routing tables fresh (paper
+// 3.3.2).
+func (b *Broker) Start() error {
+	b.sess = b.store.NewSession()
+	admin := helix.NewAdmin(b.sess, b.cfg.Cluster)
+	if err := admin.CreateCluster(); err != nil {
+		return err
+	}
+	if err := admin.RegisterInstance(helix.InstanceConfig{Instance: b.cfg.Instance, Tags: []string{"broker"}}); err != nil {
+		return err
+	}
+	events, cancel := b.sess.WatchChildren(helix.ExternalViewsPath(b.cfg.Cluster))
+	b.evCancel = cancel
+	go func() {
+		for range events {
+			b.invalidateAll()
+		}
+	}()
+	return nil
+}
+
+// Stop leaves the cluster.
+func (b *Broker) Stop() {
+	b.mu.Lock()
+	if b.evCancel != nil {
+		b.evCancel()
+		b.evCancel = nil
+	}
+	for _, cancel := range b.watching {
+		cancel()
+	}
+	b.watching = map[string]func(){}
+	for _, cancel := range b.cfgWatching {
+		cancel()
+	}
+	b.cfgWatching = map[string]func(){}
+	b.mu.Unlock()
+	if b.sess != nil {
+		b.sess.Close()
+	}
+}
+
+func (b *Broker) invalidateAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.routing = map[string]*routingState{}
+}
+
+func (b *Broker) invalidate(resource string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.routing, resource)
+}
+
+func (b *Broker) randIntn(n int) int {
+	b.rndMu.Lock()
+	defer b.rndMu.Unlock()
+	return b.rnd.Intn(n)
+}
+
+// tableConfig reads (and caches) a resource's config; a miss means the
+// resource does not exist.
+func (b *Broker) tableConfig(resource string) (*table.Config, bool) {
+	b.mu.Lock()
+	if cfg, ok := b.configs[resource]; ok {
+		b.mu.Unlock()
+		return cfg, true
+	}
+	b.mu.Unlock()
+	cfg, err := controller.ReadTableConfig(b.sess, b.cfg.Cluster, resource)
+	if err != nil {
+		return nil, false
+	}
+	b.mu.Lock()
+	b.configs[resource] = cfg
+	// Track config changes (schema evolution, paper 5.2) so the cache
+	// never serves a stale schema.
+	if _, ok := b.cfgWatching[resource]; !ok {
+		events, cancel := b.sess.Watch(helix.PropertyStorePath(b.cfg.Cluster, "CONFIGS", "TABLE", resource))
+		b.cfgWatching[resource] = cancel
+		go func() {
+			for range events {
+				b.mu.Lock()
+				delete(b.configs, resource)
+				b.mu.Unlock()
+			}
+		}()
+	}
+	b.mu.Unlock()
+	return cfg, true
+}
+
+// routingFor returns (building if needed) the routing state of a resource.
+func (b *Broker) routingFor(resource string) (*routingState, error) {
+	b.mu.Lock()
+	rs, ok := b.routing[resource]
+	b.mu.Unlock()
+	if ok {
+		return rs, nil
+	}
+	admin := helix.NewAdmin(b.sess, b.cfg.Cluster)
+	ev, err := admin.ExternalViewOf(resource)
+	if err != nil {
+		return nil, err
+	}
+	si := segmentInstances{}
+	for seg, replicas := range ev.Partitions {
+		for inst, state := range replicas {
+			// Both fully online replicas and consuming replicas
+			// participate in query processing.
+			if state == helix.StateOnline || state == helix.StateConsuming {
+				si[seg] = append(si[seg], inst)
+			}
+		}
+	}
+	rs = &routingState{segments: si, segPartition: map[string]int{}}
+	b.rndMu.Lock()
+	switch b.cfg.Strategy {
+	case StrategyLargeCluster:
+		tables, err := filterRoutingTables(si, b.cfg.TargetServers, b.cfg.RoutingTables, b.cfg.RoutingCandidates, b.rnd)
+		if err == nil {
+			rs.tables = tables
+		}
+	default:
+		rt, err := generateBalanced(si, b.rnd)
+		if err == nil {
+			rs.tables = []RoutingTable{rt}
+		}
+	}
+	b.rndMu.Unlock()
+	if len(rs.tables) == 0 && len(si) > 0 {
+		return nil, fmt.Errorf("broker: could not build routing table for %s", resource)
+	}
+	// Partition map for partition-aware routing.
+	if b.cfg.PartitionAware {
+		if metas, err := controller.ReadSegmentMetas(b.sess, b.cfg.Cluster, resource); err == nil {
+			for _, m := range metas {
+				rs.segPartition[m.Name] = m.Partition
+			}
+		}
+	}
+	b.mu.Lock()
+	b.routing[resource] = rs
+	// Register a data watch so external-view updates refresh routing
+	// (paper 3.3.2: "brokers listen to changes to the cluster state and
+	// update their routing tables").
+	if _, ok := b.watching[resource]; !ok {
+		events, cancel := b.sess.Watch(helix.ExternalViewPath(b.cfg.Cluster, resource))
+		b.watching[resource] = cancel
+		go func() {
+			for range events {
+				b.invalidate(resource)
+			}
+		}()
+	}
+	b.mu.Unlock()
+	return rs, nil
+}
+
+// timeBoundary computes the hybrid split point: the max time of the offline
+// table's completed segments. Offline serves time < boundary, realtime
+// serves time >= boundary (paper Figure 6).
+func (b *Broker) timeBoundary(offlineResource string) (int64, bool) {
+	metas, err := controller.ReadSegmentMetas(b.sess, b.cfg.Cluster, offlineResource)
+	if err != nil || len(metas) == 0 {
+		return 0, false
+	}
+	var max int64
+	found := false
+	for _, m := range metas {
+		if m.Status == table.StatusDone {
+			if !found || m.MaxTime > max {
+				max = m.MaxTime
+			}
+			found = true
+		}
+	}
+	return max, found
+}
+
+// Response is the broker's reply to a client.
+type Response struct {
+	*query.Result
+	// ServersQueried counts the server fan-out across subqueries.
+	ServersQueried int
+}
+
+// Execute parses PQL, performs hybrid rewriting, scatters the query and
+// gathers the merged result (paper 3.3.3).
+func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response, error) {
+	start := time.Now()
+	q, err := pql.Parse(pqlText)
+	if err != nil {
+		return nil, err
+	}
+	offline := table.ResourceName(q.Table, table.Offline)
+	realtime := table.ResourceName(q.Table, table.Realtime)
+	offCfg, hasOffline := b.tableConfig(offline)
+	rtCfg, hasRealtime := b.tableConfig(realtime)
+	if !hasOffline && !hasRealtime {
+		return nil, fmt.Errorf("broker: unknown table %q", q.Table)
+	}
+
+	type subquery struct {
+		resource string
+		cfg      *table.Config
+		q        *pql.Query
+	}
+	var subs []subquery
+	switch {
+	case hasOffline && hasRealtime:
+		// Hybrid rewrite around the time boundary (paper Figure 6).
+		timeCol := offCfg.Schema.TimeColumn()
+		boundary, ok := b.timeBoundary(offline)
+		if ok && timeCol != "" {
+			offQ := q.WithExtraFilter(pql.Comparison{Column: timeCol, Op: pql.OpLt, Value: boundary})
+			rtQ := q.WithExtraFilter(pql.Comparison{Column: timeCol, Op: pql.OpGte, Value: boundary})
+			subs = append(subs, subquery{offline, offCfg, offQ}, subquery{realtime, rtCfg, rtQ})
+		} else {
+			// No boundary to split on (no completed offline data, or
+			// no shared time column): query both sides unrewritten.
+			// The time column requirement of paper 3.3.3 is what
+			// prevents double counting; without it, deduplication is
+			// the operator's responsibility.
+			subs = append(subs, subquery{offline, offCfg, q}, subquery{realtime, rtCfg, q})
+		}
+	case hasOffline:
+		subs = append(subs, subquery{offline, offCfg, q})
+	default:
+		subs = append(subs, subquery{realtime, rtCfg, q})
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, b.cfg.QueryTimeout)
+	defer cancel()
+
+	var merged *query.Intermediate
+	var exceptions []string
+	servers := 0
+	for _, sub := range subs {
+		res, exc, n, err := b.scatterGather(ctx, sub.resource, sub.cfg, sub.q, tenant)
+		if err != nil {
+			return nil, err
+		}
+		servers += n
+		exceptions = append(exceptions, exc...)
+		if merged == nil {
+			merged = res
+			continue
+		}
+		if res != nil {
+			if err := merged.Merge(res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if merged == nil {
+		if len(exceptions) == 0 {
+			return nil, fmt.Errorf("broker: no servers produced results")
+		}
+		// Every server failed: degrade to an empty partial result
+		// (paper 3.3.3 step 7) rather than failing the query.
+		merged = query.EmptyIntermediate(q)
+	}
+	final := merged.Finalize(q)
+	final.Exceptions = exceptions
+	final.Partial = len(exceptions) > 0
+	final.TimeMillis = time.Since(start).Milliseconds()
+	return &Response{Result: final, ServersQueried: servers}, nil
+}
+
+// scatterGather sends one rewritten subquery to the servers of a resource
+// and merges their partial results.
+func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.Config, q *pql.Query, tenant string) (*query.Intermediate, []string, int, error) {
+	rs, err := b.routingFor(resource)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var rt RoutingTable
+	b.rndMu.Lock()
+	rt = rs.pick(b.rnd)
+	b.rndMu.Unlock()
+	if rt == nil {
+		// Resource exists but has no queryable segments yet.
+		return nil, nil, 0, nil
+	}
+	// Partition-aware pruning (paper 4.4): a single-partition query only
+	// contacts servers holding that partition's segments.
+	if b.cfg.PartitionAware && cfg.PartitionColumn != "" && cfg.NumPartitions > 0 {
+		if value, ok := partitionFilterValue(q.Filter, cfg.PartitionColumn); ok {
+			p := stream.PartitionFor([]byte(fmt.Sprint(value)), cfg.NumPartitions)
+			rt = restrict(rt, func(seg string) bool {
+				sp, known := rs.segPartition[seg]
+				return !known || sp == -1 || sp == p
+			})
+		}
+	}
+
+	pqlText := q.String()
+	type reply struct {
+		instance string
+		resp     *transport.QueryResponse
+		err      error
+	}
+	replies := make(chan reply, len(rt))
+	for instance, segs := range rt {
+		go func(instance string, segs []string) {
+			client, ok := b.registry.ServerClient(instance)
+			if !ok {
+				replies <- reply{instance: instance, err: fmt.Errorf("no client for %s", instance)}
+				return
+			}
+			resp, err := client.Execute(ctx, &transport.QueryRequest{
+				Resource: resource,
+				PQL:      pqlText,
+				Segments: segs,
+				Tenant:   tenant,
+			})
+			replies <- reply{instance: instance, resp: resp, err: err}
+		}(instance, segs)
+	}
+
+	var merged *query.Intermediate
+	var exceptions []string
+	for i := 0; i < len(rt); i++ {
+		r := <-replies
+		if r.err != nil {
+			// Per paper 3.3.3 step 7: errors mark the result partial
+			// rather than failing the query.
+			exceptions = append(exceptions, fmt.Sprintf("server %s: %v", r.instance, r.err))
+			continue
+		}
+		exceptions = append(exceptions, r.resp.Exceptions...)
+		if merged == nil {
+			merged = r.resp.Result
+			continue
+		}
+		if err := merged.Merge(r.resp.Result); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if merged == nil && len(exceptions) == len(rt) && len(rt) > 0 {
+		// All servers failed for this subquery; still degrade
+		// gracefully with an empty partial result.
+		return nil, exceptions, len(rt), nil
+	}
+	return merged, exceptions, len(rt), nil
+}
+
+// partitionFilterValue extracts the value of a top-level equality predicate
+// on the partition column (directly or inside an AND).
+func partitionFilterValue(p pql.Predicate, column string) (any, bool) {
+	switch n := p.(type) {
+	case pql.Comparison:
+		if n.Column == column && n.Op == pql.OpEq {
+			return n.Value, true
+		}
+	case pql.And:
+		for _, c := range n.Children {
+			if v, ok := partitionFilterValue(c, column); ok {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}

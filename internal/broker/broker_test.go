@@ -1,0 +1,344 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pinot/internal/helix"
+	"pinot/internal/pql"
+	"pinot/internal/query"
+	"pinot/internal/segment"
+	"pinot/internal/table"
+	"pinot/internal/transport"
+	"pinot/internal/zkmeta"
+)
+
+// fakeServer is a scriptable transport.ServerClient.
+type fakeServer struct {
+	mu       sync.Mutex
+	calls    []*transport.QueryRequest
+	fail     bool
+	respond  func(req *transport.QueryRequest) *query.Intermediate
+	latency  time.Duration
+	instance string
+}
+
+func (f *fakeServer) Execute(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, req)
+	f.mu.Unlock()
+	if f.latency > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(f.latency):
+		}
+	}
+	if f.fail {
+		return nil, errors.New("injected server failure")
+	}
+	return &transport.QueryResponse{Result: f.respond(req)}, nil
+}
+
+func (f *fakeServer) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// testEnv assembles a broker over a hand-built metadata store.
+type testEnv struct {
+	store   *zkmeta.Store
+	sess    *zkmeta.Session
+	admin   *helix.Admin
+	servers map[string]*fakeServer
+	broker  *Broker
+}
+
+func newTestEnv(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	env := &testEnv{
+		store:   zkmeta.NewStore(),
+		servers: map[string]*fakeServer{},
+	}
+	env.sess = env.store.NewSession()
+	env.admin = helix.NewAdmin(env.sess, "test")
+	if err := env.admin.CreateCluster(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		helix.PropertyStorePath("test", "CONFIGS"),
+		helix.PropertyStorePath("test", "CONFIGS", "TABLE"),
+		helix.PropertyStorePath("test", "SEGMENTS"),
+	} {
+		if err := env.sess.Create(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Cluster = "test"
+	cfg.Instance = "broker1"
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	registry := transport.RegistryFunc(func(instance string) (transport.ServerClient, bool) {
+		s, ok := env.servers[instance]
+		return s, ok
+	})
+	env.broker = New(cfg, env.store, registry)
+	if err := env.broker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.broker.Stop)
+	return env
+}
+
+func (env *testEnv) schema(t *testing.T) *segment.Schema {
+	t.Helper()
+	s, err := segment.NewSchema("ev", []segment.FieldSpec{
+		{Name: "d", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "m", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// addTable registers a table config, external view and fake servers. Each
+// server answers COUNT-style queries with `docsPerSegment` per routed
+// segment.
+func (env *testEnv) addTable(t *testing.T, resource string, segsPerServer map[string][]string, docsPerSegment int64) {
+	t.Helper()
+	name, typ, err := table.ParseResource(resource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &table.Config{Name: name, Type: typ, Schema: env.schema(t), Replicas: 1}
+	if typ == table.Realtime {
+		cfg.StreamTopic = "s"
+		cfg.FlushThresholdRows = 1
+	}
+	data, _ := json.Marshal(cfg)
+	p := helix.PropertyStorePath("test", "CONFIGS", "TABLE", resource)
+	if err := env.sess.Create(p, data); err != nil && err != zkmeta.ErrNodeExists {
+		t.Fatal(err)
+	}
+	ev := &helix.ExternalView{Resource: resource, Partitions: map[string]map[string]string{}}
+	for inst, segs := range segsPerServer {
+		if _, ok := env.servers[inst]; !ok {
+			env.servers[inst] = &fakeServer{
+				instance: inst,
+				respond: func(req *transport.QueryRequest) *query.Intermediate {
+					out := query.NewAggIntermediate([]pql.Expression{{IsAgg: true, Func: pql.Count, Column: "*"}})
+					out.Aggs[0].AddCount(docsPerSegment * int64(len(req.Segments)))
+					return out
+				},
+			}
+		}
+		for _, seg := range segs {
+			if ev.Partitions[seg] == nil {
+				ev.Partitions[seg] = map[string]string{}
+			}
+			ev.Partitions[seg][inst] = helix.StateOnline
+		}
+	}
+	evData, _ := json.Marshal(ev)
+	evPath := helix.ExternalViewPath("test", resource)
+	if err := env.sess.Create(evPath, evData); err == zkmeta.ErrNodeExists {
+		_, _ = env.sess.Set(evPath, evData, -1)
+	} else if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokerScatterGatherMergesCounts(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0", "seg1"},
+		"s2": {"seg2"},
+	}, 10)
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("partial: %v", res.Exceptions)
+	}
+	if got := res.Rows[0][0].(int64); got != 30 {
+		t.Fatalf("count = %d, want 30", got)
+	}
+	if res.ServersQueried != 2 {
+		t.Fatalf("servers = %d", res.ServersQueried)
+	}
+}
+
+func TestBrokerUnknownTable(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	if _, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM nosuch", ""); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := env.broker.Execute(context.Background(), "NOT PQL AT ALL", ""); err == nil {
+		t.Fatal("garbage PQL accepted")
+	}
+}
+
+func TestBrokerServerFailureYieldsPartial(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg1"},
+	}, 10)
+	env.servers["s2"].fail = true
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || len(res.Exceptions) == 0 {
+		t.Fatalf("expected partial result, got %+v", res)
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("partial count = %d, want 10", got)
+	}
+}
+
+func TestBrokerAllServersFailingStillPartial(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{"s1": {"seg0"}}, 10)
+	env.servers["s1"].fail = true
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expected partial result")
+	}
+	if got := res.Rows[0][0].(int64); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+func TestBrokerMissingClientIsException(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{"s1": {"seg0"}, "ghost": {"seg1"}}, 10)
+	delete(env.servers, "ghost") // registered in the view but unreachable
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expected partial result")
+	}
+}
+
+func TestBrokerTimeoutProducesPartial(t *testing.T) {
+	env := newTestEnv(t, Config{QueryTimeout: 50 * time.Millisecond})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{"s1": {"seg0"}, "s2": {"seg1"}}, 10)
+	env.servers["s2"].latency = time.Second
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expected partial result after timeout")
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("count = %d, want 10 (fast server only)", got)
+	}
+}
+
+func TestBrokerHybridDispatchesBothResources(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{"s1": {"off0"}}, 10)
+	env.addTable(t, "ev_REALTIME", map[string][]string{"s2": {"ev__0__0"}}, 7)
+	// Offline segment metadata provides the time boundary.
+	segBase := helix.PropertyStorePath("test", "SEGMENTS", "ev_OFFLINE")
+	if err := env.sess.Create(segBase, nil); err != nil && err != zkmeta.ErrNodeExists {
+		t.Fatal(err)
+	}
+	meta := &table.SegmentMeta{Name: "off0", Resource: "ev_OFFLINE", Status: table.StatusDone, MaxTime: 100, Partition: -1}
+	if err := env.sess.Create(segBase+"/off0", meta.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 17 {
+		t.Fatalf("hybrid count = %d, want 17", got)
+	}
+	// Each side saw the boundary-rewritten query (the schema has no time
+	// column in this fixture, so the broker skips the rewrite — verify
+	// both resources were still contacted).
+	if env.servers["s1"].callCount() != 1 || env.servers["s2"].callCount() != 1 {
+		t.Fatalf("calls = %d/%d", env.servers["s1"].callCount(), env.servers["s2"].callCount())
+	}
+}
+
+func TestBrokerRoutingRefreshOnViewChange(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{"s1": {"seg0"}}, 10)
+	if res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", ""); err != nil || res.Rows[0][0].(int64) != 10 {
+		t.Fatalf("first query: %v %v", res, err)
+	}
+	// The view changes: segment moves to s2.
+	env.addTable(t, "ev_OFFLINE", map[string][]string{"s2": {"seg0", "seg1"}}, 10)
+	ev := &helix.ExternalView{Resource: "ev_OFFLINE", Partitions: map[string]map[string]string{
+		"seg0": {"s2": helix.StateOnline},
+		"seg1": {"s2": helix.StateOnline},
+	}}
+	data, _ := json.Marshal(ev)
+	if _, err := env.sess.Set(helix.ExternalViewPath("test", "ev_OFFLINE"), data, -1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+		if err == nil && !res.Partial && res.Rows[0][0].(int64) == 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("routing never refreshed: %v %v", res, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPartitionFilterValue(t *testing.T) {
+	q, _ := pql.Parse("SELECT count(*) FROM t WHERE a = 1 AND memberId = 42 AND b = 2")
+	if v, ok := partitionFilterValue(q.Filter, "memberId"); !ok || v.(int64) != 42 {
+		t.Fatalf("value = %v ok=%v", v, ok)
+	}
+	q2, _ := pql.Parse("SELECT count(*) FROM t WHERE memberId > 42")
+	if _, ok := partitionFilterValue(q2.Filter, "memberId"); ok {
+		t.Fatal("range predicate treated as partition filter")
+	}
+	q3, _ := pql.Parse("SELECT count(*) FROM t WHERE memberId = 1 OR memberId = 2")
+	if _, ok := partitionFilterValue(q3.Filter, "memberId"); ok {
+		t.Fatal("OR predicate treated as partition filter")
+	}
+	if _, ok := partitionFilterValue(nil, "memberId"); ok {
+		t.Fatal("nil filter matched")
+	}
+}
+
+func TestBrokerEmptyResourceNoSegments(t *testing.T) {
+	env := newTestEnv(t, Config{})
+	// Table exists but has no queryable segments yet.
+	cfg := &table.Config{Name: "ev", Type: table.Offline, Schema: env.schema(t), Replicas: 1}
+	data, _ := json.Marshal(cfg)
+	if err := env.sess.Create(helix.PropertyStorePath("test", "CONFIGS", "TABLE", "ev_OFFLINE"), data); err != nil {
+		t.Fatal(err)
+	}
+	_, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err == nil {
+		t.Skip("empty table produced a zero result, also acceptable")
+	}
+	if !strings.Contains(err.Error(), "no servers") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package broker implements the Pinot broker (paper 3.2 and 4.4): it routes
+// queries to servers, merges partial responses, rewrites hybrid-table
+// queries around the offline/realtime time boundary, and maintains routing
+// tables under three strategies — balanced, large-cluster random-greedy
+// (paper Algorithms 1 and 2), and partition-aware.
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Strategy selects how routing tables are generated.
+type Strategy string
+
+// Routing strategies (paper section 4.4).
+const (
+	// StrategyBalanced spreads a table's segments evenly across all
+	// servers hosting them; every server is contacted per query.
+	StrategyBalanced Strategy = "balanced"
+	// StrategyLargeCluster generates many random-greedy routing tables
+	// touching at most TargetServers servers each and keeps the ones
+	// with the lowest per-server segment-count variance.
+	StrategyLargeCluster Strategy = "largeCluster"
+)
+
+// RoutingTable maps server instance → the segments it must process for one
+// query.
+type RoutingTable map[string][]string
+
+// ServerCount returns the number of servers the table touches.
+func (rt RoutingTable) ServerCount() int { return len(rt) }
+
+// SegmentCount returns the number of segments covered.
+func (rt RoutingTable) SegmentCount() int {
+	n := 0
+	for _, segs := range rt {
+		n += len(segs)
+	}
+	return n
+}
+
+// variance of per-server segment counts — the fitness metric of Algorithm 2
+// ("empirical testing has shown that the variance of the number of segments
+// assigned per server works well").
+func (rt RoutingTable) variance() float64 {
+	if len(rt) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, segs := range rt {
+		sum += float64(len(segs))
+	}
+	mean := sum / float64(len(rt))
+	var v float64
+	for _, segs := range rt {
+		d := float64(len(segs)) - mean
+		v += d * d
+	}
+	return v / float64(len(rt))
+}
+
+// segmentInstances is the SI map of Algorithm 1: segment → serving
+// instances.
+type segmentInstances map[string][]string
+
+// instanceSegments is the IS map: instance → hosted segments.
+func (si segmentInstances) invert() map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for seg, insts := range si {
+		for _, inst := range insts {
+			if out[inst] == nil {
+				out[inst] = map[string]bool{}
+			}
+			out[inst][seg] = true
+		}
+	}
+	return out
+}
+
+// generateBalanced builds the default routing table: every segment assigned
+// to its least-loaded replica, so all servers share the work evenly.
+func generateBalanced(si segmentInstances, rnd *rand.Rand) (RoutingTable, error) {
+	segs := make([]string, 0, len(si))
+	for s := range si {
+		segs = append(segs, s)
+	}
+	sort.Strings(segs)
+	load := map[string]int{}
+	rt := RoutingTable{}
+	for _, seg := range segs {
+		insts := si[seg]
+		if len(insts) == 0 {
+			return nil, fmt.Errorf("broker: segment %s has no available replica", seg)
+		}
+		best := insts[rnd.Intn(len(insts))]
+		for _, inst := range insts {
+			if load[inst] < load[best] {
+				best = inst
+			}
+		}
+		rt[best] = append(rt[best], seg)
+		load[best]++
+	}
+	return rt, nil
+}
+
+// generateRoutingTable is paper Algorithm 1: pick T random instances, add
+// instances until every segment is covered, then assign each segment to a
+// replica chosen with load-aware weighting, processing segments with the
+// fewest candidate instances first.
+func generateRoutingTable(si segmentInstances, target int, rnd *rand.Rand) (RoutingTable, error) {
+	is := si.invert()
+	instances := make([]string, 0, len(is))
+	for inst := range is {
+		instances = append(instances, inst)
+	}
+	sort.Strings(instances)
+
+	orphan := map[string]bool{}
+	for seg := range si {
+		orphan[seg] = true
+	}
+	used := map[string]bool{}
+	addInstance := func(inst string) {
+		if used[inst] {
+			return
+		}
+		used[inst] = true
+		for seg := range is[inst] {
+			delete(orphan, seg)
+		}
+	}
+	if len(instances) <= target {
+		for _, inst := range instances {
+			addInstance(inst)
+		}
+	} else {
+		for len(used) < target {
+			addInstance(instances[rnd.Intn(len(instances))])
+		}
+		// Cover orphan segments by adding one of their replicas.
+		for len(orphan) > 0 {
+			seg := anyKey(orphan)
+			replicas := si[seg]
+			if len(replicas) == 0 {
+				return nil, fmt.Errorf("broker: segment %s has no available replica", seg)
+			}
+			addInstance(replicas[rnd.Intn(len(replicas))])
+		}
+	}
+	if len(orphan) > 0 {
+		return nil, fmt.Errorf("broker: %d segments uncovered", len(orphan))
+	}
+
+	// Queue of segments in ascending order of usable-instance count.
+	type segChoice struct {
+		seg   string
+		insts []string
+	}
+	queue := make([]segChoice, 0, len(si))
+	for seg, insts := range si {
+		var usable []string
+		for _, inst := range insts {
+			if used[inst] {
+				usable = append(usable, inst)
+			}
+		}
+		if len(usable) == 0 {
+			return nil, fmt.Errorf("broker: segment %s lost all replicas", seg)
+		}
+		sort.Strings(usable)
+		queue = append(queue, segChoice{seg, usable})
+	}
+	sort.Slice(queue, func(i, j int) bool {
+		if len(queue[i].insts) != len(queue[j].insts) {
+			return len(queue[i].insts) < len(queue[j].insts)
+		}
+		return queue[i].seg < queue[j].seg
+	})
+
+	// PickWeightedRandomReplica: weight inversely to current load so the
+	// result stays balanced.
+	load := map[string]int{}
+	rt := RoutingTable{}
+	for _, sc := range queue {
+		maxLoad := 0
+		for _, inst := range sc.insts {
+			if load[inst] > maxLoad {
+				maxLoad = load[inst]
+			}
+		}
+		weights := make([]float64, len(sc.insts))
+		var total float64
+		for i, inst := range sc.insts {
+			weights[i] = float64(maxLoad-load[inst]) + 1
+			total += weights[i]
+		}
+		r := rnd.Float64() * total
+		pick := sc.insts[len(sc.insts)-1]
+		for i, w := range weights {
+			if r < w {
+				pick = sc.insts[i]
+				break
+			}
+			r -= w
+		}
+		rt[pick] = append(rt[pick], sc.seg)
+		load[pick]++
+	}
+	return rt, nil
+}
+
+func anyKey(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// filterRoutingTables is paper Algorithm 2: generate `candidates` routing
+// tables and keep the `keep` tables with the lowest fitness metric.
+func filterRoutingTables(si segmentInstances, target, keep, candidates int, rnd *rand.Rand) ([]RoutingTable, error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	if candidates < keep {
+		candidates = keep
+	}
+	type scored struct {
+		rt RoutingTable
+		m  float64
+	}
+	heap := make([]scored, 0, keep)
+	worst := func() int {
+		wi := 0
+		for i := 1; i < len(heap); i++ {
+			if heap[i].m > heap[wi].m {
+				wi = i
+			}
+		}
+		return wi
+	}
+	for i := 0; i < candidates; i++ {
+		rt, err := generateRoutingTable(si, target, rnd)
+		if err != nil {
+			return nil, err
+		}
+		s := scored{rt, rt.variance()}
+		if len(heap) < keep {
+			heap = append(heap, s)
+			continue
+		}
+		if wi := worst(); s.m <= heap[wi].m {
+			heap[wi] = s
+		}
+	}
+	out := make([]RoutingTable, len(heap))
+	for i, s := range heap {
+		out[i] = s.rt
+	}
+	return out, nil
+}
+
+// routingState is the cached routing machinery for one resource.
+type routingState struct {
+	mu       sync.Mutex
+	tables   []RoutingTable
+	segments segmentInstances
+	// partition routing support
+	segPartition map[string]int // segment → partition (-1 unknown)
+}
+
+// pick returns a random pre-generated routing table (paper 3.3.3 step 2: "a
+// routing table for that particular table is picked at random").
+func (rs *routingState) pick(rnd *rand.Rand) RoutingTable {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.tables) == 0 {
+		return nil
+	}
+	return rs.tables[rnd.Intn(len(rs.tables))]
+}
+
+// restrict narrows a routing table to segments accepted by keep.
+func restrict(rt RoutingTable, keep func(segment string) bool) RoutingTable {
+	out := RoutingTable{}
+	for inst, segs := range rt {
+		var kept []string
+		for _, s := range segs {
+			if keep(s) {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) > 0 {
+			out[inst] = kept
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pinot/internal/broker"
+	"pinot/internal/segment"
+	"pinot/internal/table"
+	"pinot/internal/workload"
+)
+
+// buildImpressionsCluster stands up a 4-server cluster hosting the
+// partitioned impression-discounting dataset.
+func buildImpressionsCluster(t *testing.T, partitionAware bool) (*Cluster, *workload.Dataset) {
+	t.Helper()
+	const partitions = 4
+	d := workload.Impressions(workload.SizeConfig{Segments: 8, RowsPerSegment: 1000, Seed: 2}, partitions)
+	c, err := NewLocal(Options{
+		Servers: 4,
+		BrokerTemplate: broker.Config{
+			Strategy:       broker.StrategyBalanced,
+			PartitionAware: partitionAware,
+			Seed:           3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	cfg := &table.Config{
+		Name:            d.Name,
+		Type:            table.Offline,
+		Schema:          d.Schema,
+		Replicas:        1,
+		SortColumn:      d.SortColumn,
+		PartitionColumn: d.PartitionColumn,
+		NumPartitions:   partitions,
+	}
+	if err := c.AddTable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for si := 0; si < d.NumSegments; si++ {
+		b, err := segment.NewBuilder(d.Name, fmt.Sprintf("%s_%d", d.Name, si), d.Schema,
+			segment.IndexConfig{SortColumn: d.SortColumn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range d.Rows(si) {
+			if err := b.Add(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seg, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := seg.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.UploadSegment(d.Name+"_OFFLINE", blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitForOnline(d.Name+"_OFFLINE", d.NumSegments, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+func TestPartitionAwareRoutingPrunesServers(t *testing.T) {
+	plain, d := buildImpressionsCluster(t, false)
+	aware, _ := buildImpressionsCluster(t, true)
+
+	queries := d.Queries(30, 77)
+	var plainSegs, awareSegs, plainServers, awareServers int
+	for _, q := range queries {
+		rp, err := plain.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := aware.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical answers.
+		if len(rp.Rows) != len(ra.Rows) {
+			t.Fatalf("%s: %d vs %d rows", q, len(rp.Rows), len(ra.Rows))
+		}
+		plainSegs += rp.Stats.NumSegmentsQueried
+		awareSegs += ra.Stats.NumSegmentsQueried
+		plainServers += rp.ServersQueried
+		awareServers += ra.ServersQueried
+	}
+	// Partition-aware routing touches only the matching partition's
+	// segments: 2 of 8 per query (8 segments over 4 partitions).
+	if awareSegs*3 >= plainSegs {
+		t.Fatalf("partition pruning ineffective: aware %d vs plain %d segments", awareSegs, plainSegs)
+	}
+	if awareServers >= plainServers {
+		t.Fatalf("server fan-out not reduced: aware %d vs plain %d", awareServers, plainServers)
+	}
+}
+
+func TestPartitionAwareCorrectAgainstFullScan(t *testing.T) {
+	aware, d := buildImpressionsCluster(t, true)
+	// Aggregate per member and cross-check against the generator.
+	want := map[int64]int64{}
+	for si := 0; si < d.NumSegments; si++ {
+		for _, row := range d.Rows(si) {
+			want[row[0].(int64)]++
+		}
+	}
+	checked := 0
+	for member, n := range want {
+		res, err := aware.Execute(context.Background(),
+			fmt.Sprintf("SELECT count(*) FROM impressions WHERE memberId = %d", member))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].(int64); got != n {
+			t.Fatalf("member %d: count %d, want %d", member, got, n)
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+}

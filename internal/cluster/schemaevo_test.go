@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pinot/internal/segment"
+)
+
+// TestSchemaEvolutionOnTheFly exercises the paper 5.2 flow: "Pinot allows
+// changing schemas on the fly to add new columns without downtime. When a
+// new column is added to an existing schema, it is automatically added with
+// a default value on all previously existing segments."
+func TestSchemaEvolutionOnTheFly(t *testing.T) {
+	c, err := NewLocal(Options{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	cfg := offlineConfig(t, 1)
+	if err := c.AddTable(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadSegment("events_OFFLINE", buildBlob(t, "events_0", 0, 30, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries against the yet-unknown column fail.
+	if res, err := c.Execute(context.Background(), "SELECT count(*) FROM events WHERE region = 'null'"); err == nil && !res.Partial {
+		t.Fatal("unknown column accepted before schema change")
+	}
+
+	// Add the column to the table schema without downtime.
+	leader, _ := c.Leader()
+	newSchema, err := cfg.Schema.WithColumn(segment.FieldSpec{
+		Name: "region", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := *cfg
+	updated.Schema = newSchema
+	if err := leader.UpdateTable(&updated); err != nil {
+		t.Fatal(err)
+	}
+	// Updating a non-existent table fails.
+	bogus := updated
+	bogus.Name = "nosuch"
+	if err := leader.UpdateTable(&bogus); err == nil {
+		t.Fatal("update of missing table accepted")
+	}
+
+	// Existing segments surface the column with its default value. The
+	// server caches the old config; a fresh upload (or reload) picks up
+	// the new schema — here the next segment upload triggers it and both
+	// old and new segments answer.
+	if err := c.UploadSegment("events_OFFLINE", buildBlob(t, "events_1", 100, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.Execute(context.Background(), "SELECT count(*) FROM events WHERE region = 'null'")
+		if err == nil && !res.Partial && len(res.Rows) == 1 && res.Rows[0][0].(int64) == 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schema evolution never took effect: res=%v err=%v", res, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,104 @@
+package controller
+
+import (
+	"pinot/internal/helix"
+	"pinot/internal/table"
+)
+
+// RunReplicaRepair restores replication after server loss (paper 3.2:
+// controllers "trigger changes ... in response to the changes in server
+// availability"; 3.4: "any node can be removed at any time and replaced by
+// a blank one without any issues"). For every segment whose live replica
+// count fell below the table's replication factor, assignments on dead
+// instances move to eligible live servers: offline segments re-download
+// from the object store, consuming segments restart from their start offset
+// and converge through the completion protocol.
+func (c *Controller) RunReplicaRepair() {
+	if !c.IsLeader() {
+		return
+	}
+	live, err := c.admin.LiveInstances()
+	if err != nil {
+		return
+	}
+	liveSet := make(map[string]bool, len(live))
+	for _, l := range live {
+		liveSet[l] = true
+	}
+	resources, err := c.Tables()
+	if err != nil {
+		return
+	}
+	for _, resource := range resources {
+		cfg, err := c.TableConfig(resource)
+		if err != nil {
+			continue
+		}
+		servers, err := c.eligibleServers(cfg)
+		if err != nil {
+			continue
+		}
+		var liveServers []string
+		for _, s := range servers {
+			if liveSet[s] {
+				liveServers = append(liveServers, s)
+			}
+		}
+		if len(liveServers) == 0 {
+			continue
+		}
+		changed := false
+		err = c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+			changed = repairIdealState(is, liveSet, liveServers, cfg)
+			return changed
+		})
+		if err == nil && changed {
+			c.helixCtl.Kick()
+		}
+	}
+}
+
+// repairIdealState moves dead-instance assignments to live servers,
+// returning whether anything changed.
+func repairIdealState(is *helix.IdealState, live map[string]bool, liveServers []string, cfg *table.Config) bool {
+	changed := false
+	for _, replicas := range is.Partitions {
+		var deadInstances []string
+		for inst := range replicas {
+			if !live[inst] {
+				deadInstances = append(deadInstances, inst)
+			}
+		}
+		if len(deadInstances) == 0 {
+			continue
+		}
+		for _, dead := range deadInstances {
+			state := replicas[dead]
+			if state == helix.StateDropped {
+				// A dying replica of a segment being deleted: just
+				// forget the assignment.
+				delete(replicas, dead)
+				changed = true
+				continue
+			}
+			// Pick a live replacement not already serving the segment.
+			candidates := make([]string, 0, len(liveServers))
+			for _, s := range liveServers {
+				if _, serving := replicas[s]; !serving {
+					candidates = append(candidates, s)
+				}
+			}
+			if len(candidates) == 0 {
+				continue // nowhere to move it; keep the assignment for a comeback
+			}
+			replacement := pickReplicas(candidates, is, 1, len(replicas))[0]
+			delete(replicas, dead)
+			// A replica that was mid-consumption restarts consuming;
+			// completed segments come back ONLINE from the object
+			// store.
+			replicas[replacement] = state
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,170 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pinot/internal/helix"
+	"pinot/internal/zkmeta"
+)
+
+// TaskType identifies a minion job kind. The scheduling framework is
+// extensible (paper 3.2: "task management and scheduling is extensible to
+// add new job and schedule types").
+type TaskType string
+
+// Built-in task types.
+const (
+	// TaskPurge rewrites a segment with records matching a predicate
+	// expunged — the GDPR-style purge job of paper 3.2.
+	TaskPurge TaskType = "purge"
+	// TaskReindex rewrites a segment applying the table's current index
+	// configuration (new inverted indexes, sort column, star-tree).
+	TaskReindex TaskType = "reindex"
+)
+
+// TaskStatus tracks a task through its lifecycle.
+type TaskStatus string
+
+// Task statuses.
+const (
+	TaskPending   TaskStatus = "PENDING"
+	TaskRunning   TaskStatus = "RUNNING"
+	TaskCompleted TaskStatus = "COMPLETED"
+	TaskFailed    TaskStatus = "FAILED"
+)
+
+// Task is one unit of minion work.
+type Task struct {
+	ID       string     `json:"id"`
+	Type     TaskType   `json:"type"`
+	Resource string     `json:"resource"`
+	Segment  string     `json:"segment"`
+	Status   TaskStatus `json:"status"`
+	Owner    string     `json:"owner,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// PurgeColumn/PurgeValues select the records to expunge (purge
+	// tasks): rows whose column equals any value are removed.
+	PurgeColumn string   `json:"purgeColumn,omitempty"`
+	PurgeValues []string `json:"purgeValues,omitempty"`
+}
+
+func (c *Controller) taskPath(id string) string {
+	return helix.PropertyStorePath(c.cfg.Cluster, "TASKS", id)
+}
+
+// ScheduleTask enqueues a minion task.
+func (c *Controller) ScheduleTask(t *Task) error {
+	if !c.IsLeader() {
+		return ErrNotLeader
+	}
+	if t.ID == "" || t.Resource == "" || t.Segment == "" {
+		return fmt.Errorf("controller: task needs id, resource and segment")
+	}
+	t.Status = TaskPending
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	if err := c.sess.Create(c.taskPath(t.ID), data); err != nil {
+		if err == zkmeta.ErrNodeExists {
+			return fmt.Errorf("controller: task %s already exists", t.ID)
+		}
+		return err
+	}
+	return nil
+}
+
+// Tasks lists all tasks.
+func (c *Controller) Tasks() ([]*Task, error) {
+	ids, err := c.sess.Children(helix.PropertyStorePath(c.cfg.Cluster, "TASKS"))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Task, 0, len(ids))
+	for _, id := range ids {
+		data, _, err := c.sess.Get(c.taskPath(id))
+		if err != nil {
+			continue
+		}
+		var t Task
+		if err := json.Unmarshal(data, &t); err != nil {
+			return nil, err
+		}
+		out = append(out, &t)
+	}
+	return out, nil
+}
+
+// ClaimTask atomically assigns a pending task to a minion. It returns nil
+// when no work is available.
+func (c *Controller) ClaimTask(minion string) (*Task, error) {
+	ids, err := c.sess.Children(helix.PropertyStorePath(c.cfg.Cluster, "TASKS"))
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		for {
+			data, version, err := c.sess.Get(c.taskPath(id))
+			if err != nil {
+				break
+			}
+			var t Task
+			if err := json.Unmarshal(data, &t); err != nil {
+				break
+			}
+			if t.Status != TaskPending {
+				break
+			}
+			t.Status = TaskRunning
+			t.Owner = minion
+			out, err := json.Marshal(&t)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.sess.Set(c.taskPath(id), out, version); err == nil {
+				return &t, nil
+			} else if err != zkmeta.ErrBadVersion {
+				return nil, err
+			}
+			// Lost the race: re-read and retry or move on.
+		}
+	}
+	return nil, nil
+}
+
+// CompleteTask records a task outcome.
+func (c *Controller) CompleteTask(id string, taskErr error) error {
+	data, version, err := c.sess.Get(c.taskPath(id))
+	if err != nil {
+		return err
+	}
+	var t Task
+	if err := json.Unmarshal(data, &t); err != nil {
+		return err
+	}
+	if taskErr != nil {
+		t.Status = TaskFailed
+		t.Error = taskErr.Error()
+	} else {
+		t.Status = TaskCompleted
+	}
+	out, err := json.Marshal(&t)
+	if err != nil {
+		return err
+	}
+	_, err = c.sess.Set(c.taskPath(id), out, version)
+	return err
+}
+
+// FetchSegmentBlob downloads a segment's current blob for rewriting.
+func (c *Controller) FetchSegmentBlob(resource, segName string) ([]byte, error) {
+	meta, err := ReadSegmentMeta(c.sess, c.cfg.Cluster, resource, segName)
+	if err != nil {
+		return nil, err
+	}
+	if meta.ObjectKey == "" {
+		return nil, fmt.Errorf("controller: segment %s/%s has no durable blob", resource, segName)
+	}
+	return c.objects.Get(meta.ObjectKey)
+}

@@ -1,0 +1,312 @@
+package helix
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinot/internal/zkmeta"
+)
+
+// Controller is the cluster manager: it watches ideal states, live instances
+// and current states, computes the state transitions needed to converge the
+// cluster, delivers them as messages, and maintains external views. Several
+// controllers may run; a leader election picks one active rebalancer (paper
+// 3.2: "we run three controller instances in each datacenter with a single
+// master; non-leader controllers are mostly idle").
+type Controller struct {
+	store    *zkmeta.Store
+	sess     *zkmeta.Session
+	cluster  string
+	instance string
+
+	leader   atomic.Bool
+	stop     chan struct{}
+	done     chan struct{}
+	kick     chan struct{}
+	msgSeq   atomic.Int64
+	onLeader func(bool) // optional leadership callback
+
+	mu           sync.Mutex
+	stateWatches map[string]func() // per-instance current-state watch cancels
+}
+
+// NewController creates a controller instance.
+func NewController(store *zkmeta.Store, cluster, instance string) *Controller {
+	return &Controller{store: store, cluster: cluster, instance: instance, stateWatches: map[string]func(){}}
+}
+
+// OnLeadershipChange registers a callback fired with true/false as this
+// controller gains/loses mastership. Must be called before Start.
+func (c *Controller) OnLeadershipChange(fn func(bool)) { c.onLeader = fn }
+
+// IsLeader reports whether this controller currently holds mastership.
+func (c *Controller) IsLeader() bool { return c.leader.Load() }
+
+// Start begins contending for leadership and, when leader, rebalancing.
+func (c *Controller) Start() error {
+	c.sess = c.store.NewSession()
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	c.kick = make(chan struct{}, 1)
+
+	leaderEvents, cancelLeader := c.sess.Watch(controllerPath(c.cluster))
+	idealEvents, cancelIdeal := c.sess.WatchChildren(idealStatesPath(c.cluster))
+	liveEvents, cancelLive := c.sess.WatchChildren(liveInstancesPath(c.cluster))
+	csEvents, cancelCS := c.sess.WatchChildren(currentStatesPath(c.cluster))
+
+	c.tryAcquireLeadership()
+
+	go func() {
+		defer close(c.done)
+		defer cancelLeader()
+		defer cancelIdeal()
+		defer cancelLive()
+		defer cancelCS()
+		defer c.cancelStateWatches()
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case e := <-leaderEvents:
+				if e.Type == zkmeta.EventDeleted {
+					c.tryAcquireLeadership()
+				}
+			case <-idealEvents:
+			case <-liveEvents:
+			case <-csEvents:
+			case <-c.kick:
+			case <-ticker.C:
+			}
+			if c.leader.Load() {
+				c.rebalance()
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop relinquishes leadership (if held) and halts the controller.
+func (c *Controller) Stop() {
+	if c.stop != nil {
+		close(c.stop)
+		<-c.done
+		c.stop = nil
+	}
+	if c.sess != nil {
+		c.sess.Close() // releases the leader ephemeral
+	}
+	c.setLeader(false)
+}
+
+// Kick requests an immediate rebalance pass.
+func (c *Controller) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Controller) setLeader(v bool) {
+	if c.leader.Swap(v) != v && c.onLeader != nil {
+		c.onLeader(v)
+	}
+}
+
+func (c *Controller) tryAcquireLeadership() {
+	err := c.sess.CreateEphemeral(controllerPath(c.cluster), []byte(c.instance))
+	switch {
+	case err == nil:
+		c.setLeader(true)
+	case err == zkmeta.ErrNodeExists:
+		c.setLeader(false)
+	}
+}
+
+// Leader returns the instance name of the current cluster leader, if any.
+func Leader(sess *zkmeta.Session, cluster string) (string, bool) {
+	data, _, err := sess.Get(controllerPath(cluster))
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
+}
+
+// rebalance runs one convergence pass.
+func (c *Controller) rebalance() {
+	resources, err := c.sess.Children(idealStatesPath(c.cluster))
+	if err != nil {
+		return
+	}
+	live, err := c.sess.Children(liveInstancesPath(c.cluster))
+	if err != nil {
+		return
+	}
+	liveSet := make(map[string]bool, len(live))
+	for _, l := range live {
+		liveSet[l] = true
+	}
+	current, err := readCurrentStates(c.sess, c.cluster)
+	if err != nil {
+		return
+	}
+	c.ensureStateWatches(current)
+	pending := c.pendingMessages()
+
+	admin := NewAdmin(c.sess, c.cluster)
+	for _, res := range resources {
+		is, err := admin.IdealStateOf(res)
+		if err != nil {
+			continue
+		}
+		for partition, replicas := range is.Partitions {
+			for instance, desired := range replicas {
+				if !liveSet[instance] {
+					continue
+				}
+				cur, ok := current[instance][res][partition]
+				if !ok {
+					cur = StateOffline
+				}
+				if desired == StateDropped && !ok {
+					continue // already gone
+				}
+				if cur == desired || cur == StateError {
+					continue
+				}
+				key := instance + "|" + res + "|" + partition
+				if pending[key] {
+					continue
+				}
+				next := NextHop(cur, desired)
+				if next == "" {
+					continue
+				}
+				c.sendMessage(instance, Message{
+					ID:        fmt.Sprintf("msg-%d", c.msgSeq.Add(1)),
+					Resource:  res,
+					Partition: partition,
+					From:      cur,
+					To:        next,
+				})
+			}
+		}
+		c.updateExternalView(res, is, current, liveSet)
+	}
+	c.dropOrphanViews(resources)
+}
+
+// pendingMessages returns instance|resource|partition keys with an
+// undelivered transition message.
+func (c *Controller) pendingMessages() map[string]bool {
+	out := map[string]bool{}
+	instances, err := c.sess.Children(messagesPath(c.cluster))
+	if err != nil {
+		return out
+	}
+	for _, inst := range instances {
+		msgs, err := c.sess.Children(instanceMessagesPath(c.cluster, inst))
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			data, _, err := c.sess.Get(instanceMessagesPath(c.cluster, inst) + "/" + m)
+			if err != nil {
+				continue
+			}
+			var msg Message
+			if json.Unmarshal(data, &msg) == nil {
+				out[inst+"|"+msg.Resource+"|"+msg.Partition] = true
+			}
+		}
+	}
+	return out
+}
+
+func (c *Controller) sendMessage(instance string, msg Message) {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	_ = c.sess.Create(instanceMessagesPath(c.cluster, instance)+"/"+msg.ID, data)
+}
+
+func (c *Controller) updateExternalView(res string, is *IdealState, current map[string]map[string]map[string]string, live map[string]bool) {
+	ev := &ExternalView{Resource: res, Partitions: map[string]map[string]string{}}
+	for instance, byResource := range current {
+		if !live[instance] {
+			continue
+		}
+		for partition, state := range byResource[res] {
+			if _, inIdeal := is.Partitions[partition]; !inIdeal {
+				continue
+			}
+			if ev.Partitions[partition] == nil {
+				ev.Partitions[partition] = map[string]string{}
+			}
+			ev.Partitions[partition][instance] = state
+		}
+	}
+	prev, err := NewAdmin(c.sess, c.cluster).ExternalViewOf(res)
+	if err == nil && reflect.DeepEqual(prev.Partitions, ev.Partitions) {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	p := externalViewPath(c.cluster, res)
+	if err := c.sess.Create(p, data); err == zkmeta.ErrNodeExists {
+		_, _ = c.sess.Set(p, data, -1)
+	}
+}
+
+// dropOrphanViews removes external views whose resource no longer exists.
+func (c *Controller) dropOrphanViews(resources []string) {
+	have := make(map[string]bool, len(resources))
+	for _, r := range resources {
+		have[r] = true
+	}
+	views, err := c.sess.Children(externalViewsPath(c.cluster))
+	if err != nil {
+		return
+	}
+	for _, v := range views {
+		if !have[v] {
+			_ = c.sess.Delete(externalViewPath(c.cluster, v), -1)
+		}
+	}
+}
+
+// ensureStateWatches registers data watches on each instance's current-state
+// node so participant progress triggers rebalances promptly.
+func (c *Controller) ensureStateWatches(current map[string]map[string]map[string]string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for inst := range current {
+		if _, ok := c.stateWatches[inst]; ok {
+			continue
+		}
+		events, cancel := c.sess.Watch(currentStatePath(c.cluster, inst))
+		c.stateWatches[inst] = cancel
+		go func() {
+			for range events {
+				c.Kick()
+			}
+		}()
+	}
+}
+
+func (c *Controller) cancelStateWatches() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cancel := range c.stateWatches {
+		cancel()
+	}
+	c.stateWatches = map[string]func(){}
+}

@@ -1,0 +1,405 @@
+package helix
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pinot/internal/zkmeta"
+)
+
+func newCluster(t *testing.T) (*zkmeta.Store, *Admin) {
+	t.Helper()
+	store := zkmeta.NewStore()
+	admin := NewAdmin(store.NewSession(), "test")
+	if err := admin.CreateCluster(); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateCluster(); err != nil {
+		t.Fatal("CreateCluster not idempotent:", err)
+	}
+	return store, admin
+}
+
+// recordingHandler tracks transitions applied to a participant.
+type recordingHandler struct {
+	mu          sync.Mutex
+	transitions []string
+	fail        map[string]bool // "partition from->to" to fail
+}
+
+func (h *recordingHandler) handle(resource, partition, from, to string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := fmt.Sprintf("%s %s->%s", partition, from, to)
+	h.transitions = append(h.transitions, key)
+	if h.fail[key] {
+		return fmt.Errorf("injected failure for %s", key)
+	}
+	return nil
+}
+
+func (h *recordingHandler) saw(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.transitions {
+		if t == key {
+			return true
+		}
+	}
+	return false
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestNextHop(t *testing.T) {
+	cases := []struct{ cur, desired, want string }{
+		{StateOffline, StateOnline, StateOnline},
+		{StateOffline, StateConsuming, StateConsuming},
+		{StateConsuming, StateOnline, StateOnline},
+		{StateOnline, StateOffline, StateOffline},
+		{StateOnline, StateDropped, StateOffline}, // multi-hop
+		{StateConsuming, StateDropped, StateOffline},
+		{StateOffline, StateDropped, StateDropped},
+		{StateOnline, StateOnline, ""},
+		{StateError, StateOnline, StateOffline},
+	}
+	for _, c := range cases {
+		if got := NextHop(c.cur, c.desired); got != c.want {
+			t.Errorf("NextHop(%s, %s) = %q, want %q", c.cur, c.desired, got, c.want)
+		}
+	}
+}
+
+func TestSegmentLoadFlow(t *testing.T) {
+	store, admin := newCluster(t)
+	h := &recordingHandler{}
+	p := NewParticipant(store, "test", "server1", h.handle)
+	if err := admin.RegisterInstance(InstanceConfig{Instance: "server1", Tags: []string{"server"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	ctrl := NewController(store, "test", "controller1")
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Stop()
+	waitFor(t, "leadership", ctrl.IsLeader)
+
+	// Paper Figure 4: set ideal state ONLINE, server processes
+	// OFFLINE->ONLINE, external view converges.
+	is := &IdealState{Resource: "events", NumReplicas: 1, Partitions: map[string]map[string]string{
+		"seg0": {"server1": StateOnline},
+	}}
+	if err := admin.SetIdealState(is); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "segment online", func() bool {
+		ev, err := admin.ExternalViewOf("events")
+		return err == nil && ev.Partitions["seg0"]["server1"] == StateOnline
+	})
+	if !h.saw("seg0 OFFLINE->ONLINE") {
+		t.Fatalf("transitions = %v", h.transitions)
+	}
+	if p.CurrentState("events", "seg0") != StateOnline {
+		t.Fatal("participant state wrong")
+	}
+}
+
+func TestConsumingFlow(t *testing.T) {
+	store, admin := newCluster(t)
+	h := &recordingHandler{}
+	p := NewParticipant(store, "test", "server1", h.handle)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server1"})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	ctrl := NewController(store, "test", "c1")
+	_ = ctrl.Start()
+	defer ctrl.Stop()
+
+	_ = admin.SetIdealState(&IdealState{Resource: "rt", NumReplicas: 1, Partitions: map[string]map[string]string{
+		"rt__0__0": {"server1": StateConsuming},
+	}})
+	waitFor(t, "consuming", func() bool {
+		ev, _ := admin.ExternalViewOf("rt")
+		return ev.Partitions["rt__0__0"]["server1"] == StateConsuming
+	})
+	// Completion: desired state moves to ONLINE.
+	_ = admin.UpdateIdealState("rt", func(is *IdealState) bool {
+		is.Partitions["rt__0__0"]["server1"] = StateOnline
+		return true
+	})
+	waitFor(t, "online after consuming", func() bool {
+		ev, _ := admin.ExternalViewOf("rt")
+		return ev.Partitions["rt__0__0"]["server1"] == StateOnline
+	})
+	if !h.saw("rt__0__0 CONSUMING->ONLINE") {
+		t.Fatalf("transitions = %v", h.transitions)
+	}
+}
+
+func TestMultiHopDrop(t *testing.T) {
+	store, admin := newCluster(t)
+	h := &recordingHandler{}
+	p := NewParticipant(store, "test", "server1", h.handle)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server1"})
+	_ = p.Start()
+	defer p.Stop()
+	ctrl := NewController(store, "test", "c1")
+	_ = ctrl.Start()
+	defer ctrl.Stop()
+
+	_ = admin.SetIdealState(&IdealState{Resource: "r", Partitions: map[string]map[string]string{
+		"s0": {"server1": StateOnline},
+	}})
+	waitFor(t, "online", func() bool {
+		ev, _ := admin.ExternalViewOf("r")
+		return ev.Partitions["s0"]["server1"] == StateOnline
+	})
+	// Retention GC: ONLINE -> DROPPED must route through OFFLINE.
+	_ = admin.UpdateIdealState("r", func(is *IdealState) bool {
+		is.Partitions["s0"]["server1"] = StateDropped
+		return true
+	})
+	waitFor(t, "dropped", func() bool {
+		return p.CurrentState("r", "s0") == ""
+	})
+	if !h.saw("s0 ONLINE->OFFLINE") || !h.saw("s0 OFFLINE->DROPPED") {
+		t.Fatalf("transitions = %v", h.transitions)
+	}
+	// Dropped partitions leave the external view.
+	waitFor(t, "view cleanup", func() bool {
+		ev, _ := admin.ExternalViewOf("r")
+		return len(ev.Partitions["s0"]) == 0
+	})
+}
+
+func TestReplicaDistribution(t *testing.T) {
+	store, admin := newCluster(t)
+	handlers := map[string]*recordingHandler{}
+	var parts []*Participant
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("server%d", i)
+		h := &recordingHandler{}
+		handlers[name] = h
+		p := NewParticipant(store, "test", name, h.handle)
+		_ = admin.RegisterInstance(InstanceConfig{Instance: name, Tags: []string{"server"}})
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer p.Stop()
+		parts = append(parts, p)
+	}
+	ctrl := NewController(store, "test", "c1")
+	_ = ctrl.Start()
+	defer ctrl.Stop()
+
+	_ = admin.SetIdealState(&IdealState{Resource: "r", NumReplicas: 2, Partitions: map[string]map[string]string{
+		"s0": {"server1": StateOnline, "server2": StateOnline},
+		"s1": {"server2": StateOnline, "server3": StateOnline},
+	}})
+	waitFor(t, "all replicas online", func() bool {
+		ev, _ := admin.ExternalViewOf("r")
+		return len(ev.InstancesFor("s0", StateOnline)) == 2 && len(ev.InstancesFor("s1", StateOnline)) == 2
+	})
+	live, err := admin.LiveInstances()
+	if err != nil || len(live) != 3 {
+		t.Fatalf("live = %v %v", live, err)
+	}
+}
+
+func TestParticipantCrashRemovesFromView(t *testing.T) {
+	store, admin := newCluster(t)
+	h1, h2 := &recordingHandler{}, &recordingHandler{}
+	p1 := NewParticipant(store, "test", "server1", h1.handle)
+	p2 := NewParticipant(store, "test", "server2", h2.handle)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server1"})
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server2"})
+	_ = p1.Start()
+	_ = p2.Start()
+	defer p2.Stop()
+	ctrl := NewController(store, "test", "c1")
+	_ = ctrl.Start()
+	defer ctrl.Stop()
+
+	_ = admin.SetIdealState(&IdealState{Resource: "r", Partitions: map[string]map[string]string{
+		"s0": {"server1": StateOnline, "server2": StateOnline},
+	}})
+	waitFor(t, "both online", func() bool {
+		ev, _ := admin.ExternalViewOf("r")
+		return len(ev.InstancesFor("s0", StateOnline)) == 2
+	})
+	p1.Kill() // crash: session expiry
+	waitFor(t, "crashed instance removed from view", func() bool {
+		ev, _ := admin.ExternalViewOf("r")
+		insts := ev.InstancesFor("s0", StateOnline)
+		return len(insts) == 1 && insts[0] == "server2"
+	})
+}
+
+func TestFailedTransitionBecomesError(t *testing.T) {
+	store, admin := newCluster(t)
+	h := &recordingHandler{fail: map[string]bool{"s0 OFFLINE->ONLINE": true}}
+	p := NewParticipant(store, "test", "server1", h.handle)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server1"})
+	_ = p.Start()
+	defer p.Stop()
+	ctrl := NewController(store, "test", "c1")
+	_ = ctrl.Start()
+	defer ctrl.Stop()
+
+	_ = admin.SetIdealState(&IdealState{Resource: "r", Partitions: map[string]map[string]string{
+		"s0": {"server1": StateOnline},
+	}})
+	waitFor(t, "error state", func() bool {
+		return p.CurrentState("r", "s0") == StateError
+	})
+	// The controller must not retry an ERROR replica in a tight loop;
+	// give it a few passes and check the handler was invoked once.
+	time.Sleep(100 * time.Millisecond)
+	h.mu.Lock()
+	n := len(h.transitions)
+	h.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("transition attempted %d times, want 1", n)
+	}
+}
+
+func TestControllerFailover(t *testing.T) {
+	store, admin := newCluster(t)
+	c1 := NewController(store, "test", "c1")
+	c2 := NewController(store, "test", "c2")
+	_ = c1.Start()
+	waitFor(t, "c1 leader", c1.IsLeader)
+	_ = c2.Start()
+	if c2.IsLeader() {
+		t.Fatal("two leaders")
+	}
+	sess := store.NewSession()
+	if leader, ok := Leader(sess, "test"); !ok || leader != "c1" {
+		t.Fatalf("leader = %q %v", leader, ok)
+	}
+	c1.Stop()
+	waitFor(t, "c2 takeover", c2.IsLeader)
+	defer c2.Stop()
+	if leader, ok := Leader(sess, "test"); !ok || leader != "c2" {
+		t.Fatalf("leader after failover = %q %v", leader, ok)
+	}
+	// The new leader picks up pending work: a participant joining late
+	// still converges.
+	h := &recordingHandler{}
+	p := NewParticipant(store, "test", "server1", h.handle)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server1"})
+	_ = p.Start()
+	defer p.Stop()
+	_ = admin.SetIdealState(&IdealState{Resource: "r", Partitions: map[string]map[string]string{
+		"s0": {"server1": StateOnline},
+	}})
+	waitFor(t, "converged under new leader", func() bool {
+		ev, _ := admin.ExternalViewOf("r")
+		return ev.Partitions["s0"]["server1"] == StateOnline
+	})
+}
+
+func TestDropResourceCleansView(t *testing.T) {
+	store, admin := newCluster(t)
+	h := &recordingHandler{}
+	p := NewParticipant(store, "test", "server1", h.handle)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "server1"})
+	_ = p.Start()
+	defer p.Stop()
+	ctrl := NewController(store, "test", "c1")
+	_ = ctrl.Start()
+	defer ctrl.Stop()
+	_ = admin.SetIdealState(&IdealState{Resource: "gone", Partitions: map[string]map[string]string{
+		"s0": {"server1": StateOnline},
+	}})
+	waitFor(t, "online", func() bool {
+		ev, _ := admin.ExternalViewOf("gone")
+		return ev.Partitions["s0"]["server1"] == StateOnline
+	})
+	if err := admin.DropResource("gone"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "view removed", func() bool {
+		views, _ := admin.sess.Children("/test/EXTERNALVIEW")
+		for _, v := range views {
+			if v == "gone" {
+				return false
+			}
+		}
+		return true
+	})
+	resources, _ := admin.Resources()
+	if len(resources) != 0 {
+		t.Fatalf("resources = %v", resources)
+	}
+}
+
+func TestUpdateIdealStateCAS(t *testing.T) {
+	_, admin := newCluster(t)
+	_ = admin.SetIdealState(&IdealState{Resource: "r", Partitions: map[string]map[string]string{}})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := admin.UpdateIdealState("r", func(is *IdealState) bool {
+				is.Partitions[fmt.Sprintf("s%d", i)] = map[string]string{"server1": StateOnline}
+				return true
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	is, err := admin.IdealStateOf("r")
+	if err != nil || len(is.Partitions) != 8 {
+		t.Fatalf("partitions = %d, %v", len(is.Partitions), err)
+	}
+	// Aborting update writes nothing.
+	_ = admin.UpdateIdealState("r", func(is *IdealState) bool {
+		is.Partitions["never"] = map[string]string{}
+		return false
+	})
+	is, _ = admin.IdealStateOf("r")
+	if _, ok := is.Partitions["never"]; ok {
+		t.Fatal("aborted update was written")
+	}
+}
+
+func TestInstanceConfigs(t *testing.T) {
+	_, admin := newCluster(t)
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "s1", Tags: []string{"serverTenant_OFFLINE"}})
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "b1", Tags: []string{"broker"}})
+	// Re-register updates tags.
+	_ = admin.RegisterInstance(InstanceConfig{Instance: "s1", Tags: []string{"serverTenant_OFFLINE", "serverTenant_REALTIME"}})
+	configs, err := admin.Instances()
+	if err != nil || len(configs) != 2 {
+		t.Fatalf("configs = %v %v", configs, err)
+	}
+	for _, c := range configs {
+		if c.Instance == "s1" {
+			if !c.HasTag("serverTenant_REALTIME") || c.HasTag("nope") {
+				t.Fatalf("tags = %v", c.Tags)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package httpapi exposes brokers and controllers over HTTP, the paper's
+// user-facing surface (3.4: "all user-accessible operations for Pinot are
+// done through HTTP, allowing users to leverage existing battle-tested load
+// balancers"). Clients POST PQL to brokers; administrators manage tables,
+// segments and tasks on the controller.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pinot/internal/broker"
+	"pinot/internal/controller"
+	"pinot/internal/query"
+	"pinot/internal/table"
+)
+
+// QueryRequest is the broker query payload.
+type QueryRequest struct {
+	PQL    string `json:"pql"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// QueryResponse is the broker's JSON reply.
+type QueryResponse struct {
+	Columns        []string    `json:"columns"`
+	Rows           [][]any     `json:"rows"`
+	Stats          query.Stats `json:"stats"`
+	Partial        bool        `json:"partial,omitempty"`
+	Exceptions     []string    `json:"exceptions,omitempty"`
+	TimeMillis     int64       `json:"timeMillis"`
+	ServersQueried int         `json:"serversQueried"`
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// NewBrokerHandler serves POST /query on a broker.
+func NewBrokerHandler(b *broker.Broker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+			return
+		}
+		if strings.TrimSpace(req.PQL) == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing pql"))
+			return
+		}
+		res, err := b.Execute(r.Context(), req.PQL, req.Tenant)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Columns:        res.Columns,
+			Rows:           res.Rows,
+			Stats:          res.Stats,
+			Partial:        res.Partial,
+			Exceptions:     res.Exceptions,
+			TimeMillis:     res.TimeMillis,
+			ServersQueried: res.ServersQueried,
+		})
+	})
+	mux.HandleFunc("GET /health", health)
+	return mux
+}
+
+// NewControllerHandler serves table/segment/task administration on a
+// controller.
+func NewControllerHandler(c *controller.Controller) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", health)
+
+	mux.HandleFunc("GET /tables", func(w http.ResponseWriter, r *http.Request) {
+		tables, err := c.Tables()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"tables": tables})
+	})
+
+	mux.HandleFunc("POST /tables", func(w http.ResponseWriter, r *http.Request) {
+		var cfg table.Config
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid table config: %w", err))
+			return
+		}
+		if err := c.AddTable(&cfg); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "created", "resource": cfg.Resource()})
+	})
+
+	mux.HandleFunc("DELETE /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		typ := table.Type(strings.ToUpper(r.URL.Query().Get("type")))
+		if typ != table.Offline && typ != table.Realtime {
+			writeError(w, http.StatusBadRequest, errors.New("type query parameter must be OFFLINE or REALTIME"))
+			return
+		}
+		if err := c.DeleteTable(r.PathValue("name"), typ); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	})
+
+	mux.HandleFunc("GET /tables/{resource}/segments", func(w http.ResponseWriter, r *http.Request) {
+		metas, err := c.SegmentMetas(r.PathValue("resource"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"segments": metas})
+	})
+
+	// Segment upload: the HTTP POST of paper 3.3.5. The body is the
+	// segment blob.
+	mux.HandleFunc("POST /segments/{resource}", func(w http.ResponseWriter, r *http.Request) {
+		blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := c.UploadSegment(r.PathValue("resource"), blob); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "uploaded"})
+	})
+
+	mux.HandleFunc("DELETE /segments/{resource}/{segment}", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.DeleteSegment(r.PathValue("resource"), r.PathValue("segment")); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	})
+
+	mux.HandleFunc("GET /tasks", func(w http.ResponseWriter, r *http.Request) {
+		tasks, err := c.Tasks()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"tasks": tasks})
+	})
+
+	mux.HandleFunc("POST /tasks", func(w http.ResponseWriter, r *http.Request) {
+		var t controller.Task
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid task: %w", err))
+			return
+		}
+		if err := c.ScheduleTask(&t); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "scheduled"})
+	})
+
+	return mux
+}
+
+func health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, controller.ErrNotLeader) {
+		// Clients should retry against the lead controller.
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

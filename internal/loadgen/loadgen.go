@@ -1,0 +1,241 @@
+// Package loadgen drives query load for the paper's latency-versus-QPS
+// figures: an open-loop generator issues queries at a fixed arrival rate
+// (latency includes queueing delay, so an overloaded system shows the
+// characteristic hockey stick), and a sequential runner produces the
+// latency-distribution data of Figure 12.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Target executes one query. Implementations pick the next query from the
+// workload's sampled query set.
+type Target func(ctx context.Context) error
+
+// Histogram records latencies in logarithmic buckets from 1µs to ~17.9
+// minutes, with ~4.6% relative bucket width.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [666]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const bucketGrowth = 1.045
+
+func bucketFor(d time.Duration) int {
+	us := float64(d) / float64(time.Microsecond)
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log(us) / math.Log(bucketGrowth))
+	if b >= 666 {
+		b = 665
+	}
+	return b
+}
+
+func bucketValue(b int) time.Duration {
+	return time.Duration(math.Pow(bucketGrowth, float64(b)+0.5) * float64(time.Microsecond))
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns the latency at quantile q in [0, 1].
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		return h.max
+	}
+	var cum int64
+	for b, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return bucketValue(b)
+		}
+	}
+	return h.max
+}
+
+// Buckets returns (midpoint, count) pairs of non-empty buckets — the raw
+// series for latency-distribution plots.
+func (h *Histogram) Buckets() []BucketCount {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []BucketCount
+	for b, n := range h.buckets {
+		if n > 0 {
+			out = append(out, BucketCount{Latency: bucketValue(b), Count: n})
+		}
+	}
+	return out
+}
+
+// BucketCount is one histogram bucket.
+type BucketCount struct {
+	Latency time.Duration
+	Count   int64
+}
+
+// Point is one measurement of a QPS sweep.
+type Point struct {
+	TargetQPS   float64
+	AchievedQPS float64
+	Mean        time.Duration
+	P50         time.Duration
+	P95         time.Duration
+	P99         time.Duration
+	Errors      int64
+	Queries     int64
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("qps=%.0f achieved=%.0f mean=%s p50=%s p95=%s p99=%s errors=%d",
+		p.TargetQPS, p.AchievedQPS, p.Mean.Round(time.Microsecond), p.P50.Round(time.Microsecond),
+		p.P95.Round(time.Microsecond), p.P99.Round(time.Microsecond), p.Errors)
+}
+
+// RunOpenLoop issues queries at the target arrival rate for the duration
+// using `workers` concurrent executors. Latency is measured from intended
+// arrival time to completion, so queue buildup under saturation is visible.
+func RunOpenLoop(ctx context.Context, target Target, qps float64, duration time.Duration, workers int) Point {
+	if workers <= 0 {
+		workers = 8
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	deadline := time.Now().Add(duration)
+	hist := &Histogram{}
+	var errors atomic.Int64
+
+	type job struct{ intended time.Time }
+	// The queue holds the backlog; sized for the whole run so arrivals
+	// are never dropped (true open loop).
+	queue := make(chan job, int(qps*duration.Seconds())+workers+1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				err := target(ctx)
+				hist.Record(time.Since(j.intended))
+				if err != nil {
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	next := start
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		now := time.Now()
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		queue <- job{intended: next}
+		next = next.Add(interval)
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	return Point{
+		TargetQPS:   qps,
+		AchievedQPS: float64(hist.Count()) / elapsed,
+		Mean:        hist.Mean(),
+		P50:         hist.Quantile(0.50),
+		P95:         hist.Quantile(0.95),
+		P99:         hist.Quantile(0.99),
+		Errors:      errors.Load(),
+		Queries:     hist.Count(),
+	}
+}
+
+// Sweep runs RunOpenLoop at each QPS target and returns the series — one
+// latency-vs-rate curve of Figures 11, 14, 15 and 16.
+func Sweep(ctx context.Context, target Target, qpsTargets []float64, duration time.Duration, workers int) []Point {
+	out := make([]Point, 0, len(qpsTargets))
+	for _, qps := range qpsTargets {
+		out = append(out, RunOpenLoop(ctx, target, qps, duration, workers))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out
+}
+
+// RunSequential executes n queries back to back (Figure 12's methodology:
+// "10000 queries are executed sequentially") and returns the latency
+// histogram.
+func RunSequential(ctx context.Context, target Target, n int) (*Histogram, int64) {
+	hist := &Histogram{}
+	var errors int64
+	for i := 0; i < n && ctx.Err() == nil; i++ {
+		start := time.Now()
+		if err := target(ctx); err != nil {
+			errors++
+		}
+		hist.Record(time.Since(start))
+	}
+	return hist, errors
+}
+
+// Quantiles summarizes a histogram at the standard report points.
+func Quantiles(h *Histogram) map[string]time.Duration {
+	return map[string]time.Duration{
+		"p50": h.Quantile(0.50),
+		"p90": h.Quantile(0.90),
+		"p95": h.Quantile(0.95),
+		"p99": h.Quantile(0.99),
+	}
+}
+
+// SortPoints orders a series by target QPS (in place) and returns it.
+func SortPoints(points []Point) []Point {
+	sort.Slice(points, func(i, j int) bool { return points[i].TargetQPS < points[j].TargetQPS })
+	return points
+}

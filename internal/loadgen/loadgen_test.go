@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if q1 := h.Quantile(1.0); q1 != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", q1)
+	}
+	if len(h.Buckets()) == 0 {
+		t.Fatal("no buckets")
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("bucket total = %d", total)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := &Histogram{}
+	h.Record(0)              // below resolution
+	h.Record(24 * time.Hour) // beyond top bucket
+	if h.Count() != 2 {
+		t.Fatal("count")
+	}
+	if h.Quantile(0.99) < time.Minute {
+		t.Fatalf("top bucket quantile = %v", h.Quantile(0.99))
+	}
+}
+
+func TestRunSequential(t *testing.T) {
+	calls := 0
+	h, errs := RunSequential(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls%5 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	}, 50)
+	if calls != 50 || h.Count() != 50 || errs != 10 {
+		t.Fatalf("calls=%d count=%d errs=%d", calls, h.Count(), errs)
+	}
+	q := Quantiles(h)
+	if len(q) != 4 {
+		t.Fatalf("quantiles = %v", q)
+	}
+}
+
+func TestRunSequentialHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h, _ := RunSequential(ctx, func(ctx context.Context) error { return nil }, 1000)
+	if h.Count() != 0 {
+		t.Fatalf("ran %d queries after cancel", h.Count())
+	}
+}
+
+func TestRunOpenLoopRate(t *testing.T) {
+	p := RunOpenLoop(context.Background(), func(ctx context.Context) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}, 200, 300*time.Millisecond, 4)
+	if p.Queries < 30 || p.Queries > 100 {
+		t.Fatalf("queries = %d at 200 qps for 300ms", p.Queries)
+	}
+	if p.AchievedQPS < 100 || p.AchievedQPS > 400 {
+		t.Fatalf("achieved = %v", p.AchievedQPS)
+	}
+	if p.Errors != 0 {
+		t.Fatalf("errors = %d", p.Errors)
+	}
+}
+
+func TestOpenLoopSaturationShowsQueueing(t *testing.T) {
+	// A target that takes 5ms with 1 worker saturates at 200 qps; at
+	// 1000 qps the measured (arrival-to-completion) latency must blow
+	// past the 5ms service time.
+	slow := func(ctx context.Context) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	}
+	under := RunOpenLoop(context.Background(), slow, 50, 400*time.Millisecond, 1)
+	over := RunOpenLoop(context.Background(), slow, 1000, 400*time.Millisecond, 1)
+	if under.Mean > 4*over.Mean && over.Mean > 0 {
+		t.Fatalf("no queueing visible: under=%v over=%v", under.Mean, over.Mean)
+	}
+	if over.Mean < 3*under.Mean {
+		t.Fatalf("saturation not visible: under=%v over=%v", under.Mean, over.Mean)
+	}
+}
+
+func TestSweepAndSort(t *testing.T) {
+	pts := Sweep(context.Background(), func(ctx context.Context) error { return nil },
+		[]float64{100, 50}, 50*time.Millisecond, 2)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	sorted := SortPoints(pts)
+	if sorted[0].TargetQPS != 50 {
+		t.Fatalf("not sorted: %v", sorted)
+	}
+	if sorted[0].String() == "" {
+		t.Fatal("empty point string")
+	}
+}

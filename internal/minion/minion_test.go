@@ -1,0 +1,121 @@
+package minion
+
+import (
+	"strings"
+	"testing"
+
+	"pinot/internal/controller"
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+	"pinot/internal/table"
+)
+
+func testSegment(t *testing.T) (*segment.Segment, *table.Config) {
+	t.Helper()
+	sch, err := segment.NewSchema("ev", []segment.FieldSpec{
+		{Name: "memberId", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+		{Name: "country", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "clicks", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := segment.NewBuilder("ev", "ev_0", sch, segment.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := b.Add(segment.Row{int64(i % 10), []string{"us", "de"}[i%2], int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &table.Config{Name: "ev", Type: table.Offline, Schema: sch, Replicas: 1}
+	return seg, cfg
+}
+
+func TestRewritePurge(t *testing.T) {
+	seg, cfg := testSegment(t)
+	task := &controller.Task{
+		ID: "t1", Type: controller.TaskPurge,
+		Resource: "ev_OFFLINE", Segment: "ev_0",
+		PurgeColumn: "memberId", PurgeValues: []string{"3", "7"},
+	}
+	blob, err := RewriteSegment(seg, cfg, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := segment.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDocs() != 80 {
+		t.Fatalf("docs after purge = %d, want 80", out.NumDocs())
+	}
+	col := out.Column("memberId")
+	for doc := 0; doc < out.NumDocs(); doc++ {
+		v := col.Value(col.DictID(doc)).(int64)
+		if v == 3 || v == 7 {
+			t.Fatalf("purged member %d survived", v)
+		}
+	}
+}
+
+func TestRewritePurgeValidation(t *testing.T) {
+	seg, cfg := testSegment(t)
+	if _, err := RewriteSegment(seg, cfg, &controller.Task{ID: "t", Type: controller.TaskPurge, Resource: "r", Segment: "s"}); err == nil {
+		t.Fatal("missing purge column accepted")
+	}
+	if _, err := RewriteSegment(seg, cfg, &controller.Task{ID: "t", Type: controller.TaskPurge, Resource: "r", Segment: "s", PurgeColumn: "nope"}); err == nil {
+		t.Fatal("unknown purge column accepted")
+	}
+	// Purging everything must refuse (delete the segment instead).
+	all := &controller.Task{ID: "t", Type: controller.TaskPurge, Resource: "r", Segment: "s",
+		PurgeColumn: "country", PurgeValues: []string{"us", "de"}}
+	if _, err := RewriteSegment(seg, cfg, all); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("emptying purge: %v", err)
+	}
+	if _, err := RewriteSegment(seg, cfg, &controller.Task{ID: "t", Type: "bogus"}); err == nil {
+		t.Skip("unknown types are checked in execute, not RewriteSegment")
+	}
+}
+
+func TestRewriteReindexAppliesTableIndexes(t *testing.T) {
+	seg, cfg := testSegment(t)
+	cfg.SortColumn = "memberId"
+	cfg.InvertedColumns = []string{"country"}
+	cfg.StarTree = &startree.Config{
+		DimensionSplitOrder: []string{"country", "memberId"},
+		Metrics:             []string{"clicks"},
+		MaxLeafRecords:      4,
+	}
+	blob, err := RewriteSegment(seg, cfg, &controller.Task{
+		ID: "t2", Type: controller.TaskReindex, Resource: "ev_OFFLINE", Segment: "ev_0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := segment.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDocs() != 100 {
+		t.Fatalf("reindex changed doc count: %d", out.NumDocs())
+	}
+	if !out.SortedOn("memberId") {
+		t.Fatal("sort column not applied")
+	}
+	if !out.Column("country").HasInverted() {
+		t.Fatal("inverted index not applied")
+	}
+	tree, err := startree.Unmarshal(out.StarTreeData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumRawDocs() != 100 {
+		t.Fatalf("star tree raw docs = %d", tree.NumRawDocs())
+	}
+}

@@ -1,0 +1,86 @@
+package objstore
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func stores(t *testing.T) map[string]Store {
+	fsStore, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "fs": fsStore}
+}
+
+func TestPutGetDeleteList(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("tables/events/seg0", []byte("blob0")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("tables/events/seg1", []byte("blob1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("tables/other/seg0", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			data, err := s.Get("tables/events/seg0")
+			if err != nil || string(data) != "blob0" {
+				t.Fatalf("get: %q %v", data, err)
+			}
+			if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing get: %v", err)
+			}
+			ok, err := s.Exists("tables/events/seg1")
+			if err != nil || !ok {
+				t.Fatalf("exists: %v %v", ok, err)
+			}
+			keys, err := s.List("tables/events/")
+			if err != nil || !reflect.DeepEqual(keys, []string{"tables/events/seg0", "tables/events/seg1"}) {
+				t.Fatalf("list: %v %v", keys, err)
+			}
+			if err := s.Delete("tables/events/seg0"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("tables/events/seg0"); err != nil {
+				t.Fatalf("double delete: %v", err)
+			}
+			if ok, _ := s.Exists("tables/events/seg0"); ok {
+				t.Fatal("exists after delete")
+			}
+			// Overwrite.
+			if err := s.Put("tables/events/seg1", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			data, _ = s.Get("tables/events/seg1")
+			if string(data) != "v2" {
+				t.Fatalf("overwrite lost: %q", data)
+			}
+		})
+	}
+}
+
+func TestGetIsACopy(t *testing.T) {
+	m := NewMem()
+	_ = m.Put("k", []byte("abc"))
+	d1, _ := m.Get("k")
+	d1[0] = 'z'
+	d2, _ := m.Get("k")
+	if string(d2) != "abc" {
+		t.Fatal("Get aliases internal storage")
+	}
+}
+
+func TestFSRejectsEscapingKeys(t *testing.T) {
+	s, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"../evil", "/abs", "a/../../b"} {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", k)
+		}
+	}
+}

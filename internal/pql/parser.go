@@ -1,0 +1,426 @@
+package pql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a PQL statement.
+//
+//	SELECT <expr list | *> FROM <table>
+//	  [WHERE <predicate>]
+//	  [GROUP BY <col list>]
+//	  [ORDER BY <col [ASC|DESC] list>]
+//	  [TOP <n>]
+//	  [LIMIT [<offset>,] <n>]
+func Parse(input string) (*Query, error) {
+	tokens, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) cur() token  { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+
+func (p *parser) matchKeyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.matchKeyword(kw) {
+		return fmt.Errorf("pql: expected %s, got %s at position %d", kw, p.cur(), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, fmt.Errorf("pql: expected %s, got %s at position %d", what, t, t.pos)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Top: DefaultTop, Limit: DefaultLimit}
+	sel, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	q.Select = sel
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	q.Table = tbl.text
+
+	if p.matchKeyword("WHERE") {
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Filter = pred
+	}
+	if p.matchKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "group-by column")
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.matchKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "order-by column")
+			if err != nil {
+				return nil, err
+			}
+			spec := OrderSpec{Column: col.text}
+			if p.matchKeyword("DESC") {
+				spec.Descending = true
+			} else {
+				p.matchKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, spec)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.pos++
+		}
+	}
+	if p.matchKeyword("TOP") {
+		n, err := p.parseInt("TOP count")
+		if err != nil {
+			return nil, err
+		}
+		q.Top = n
+	}
+	if p.matchKeyword("LIMIT") {
+		n, err := p.parseInt("LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokComma {
+			p.pos++
+			m, err := p.parseInt("LIMIT count")
+			if err != nil {
+				return nil, err
+			}
+			q.Offset, q.Limit = n, m
+		} else {
+			q.Limit = n
+		}
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("pql: unexpected trailing input %s at position %d", p.cur(), p.cur().pos)
+	}
+	return q, nil
+}
+
+func (p *parser) parseInt(what string) (int, error) {
+	t, err := p.expect(tokNumber, what)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("pql: invalid %s %q", what, t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectList() ([]Expression, error) {
+	var out []Expression
+	for {
+		expr, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, expr)
+		if p.cur().kind != tokComma {
+			return out, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseExpression() (Expression, error) {
+	t := p.cur()
+	if t.kind == tokStar {
+		p.pos++
+		return Expression{Column: "*"}, nil
+	}
+	if t.kind != tokIdent {
+		return Expression{}, fmt.Errorf("pql: expected column or aggregation, got %s at position %d", t, t.pos)
+	}
+	p.pos++
+	// Aggregation function call?
+	if fn, ok := ParseAggFunc(t.text); ok && p.cur().kind == tokLParen {
+		p.pos++
+		var col string
+		switch p.cur().kind {
+		case tokStar:
+			col = "*"
+			p.pos++
+		case tokIdent:
+			col = p.next().text
+		default:
+			return Expression{}, fmt.Errorf("pql: expected column in %s(), got %s", fn, p.cur())
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return Expression{}, err
+		}
+		return Expression{IsAgg: true, Func: fn, Column: col}, nil
+	}
+	return Expression{Column: t.text}, nil
+}
+
+func (p *parser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Predicate{left}
+	for p.matchKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return Or{Children: children}, nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Predicate{left}
+	for {
+		// Don't consume AND that belongs to a BETWEEN (handled there).
+		if !p.matchKeyword("AND") {
+			break
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return And{Children: children}, nil
+}
+
+func (p *parser) parseUnary() (Predicate, error) {
+	if p.matchKeyword("NOT") {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Child: child}, nil
+	}
+	if p.cur().kind == tokLParen {
+		p.pos++
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return pred, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Predicate, error) {
+	colTok := p.cur()
+	col := ""
+	switch colTok.kind {
+	case tokIdent:
+		col = colTok.text
+		p.pos++
+	case tokString:
+		// PQL allows quoted column names, e.g. 'day' >= 15949
+		// (paper Figure 7).
+		col = colTok.text
+		p.pos++
+	default:
+		return nil, fmt.Errorf("pql: expected column name, got %s at position %d", colTok, colTok.pos)
+	}
+	t := p.cur()
+	switch {
+	case t.kind == tokOp:
+		p.pos++
+		val, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return Comparison{Column: col, Op: CompareOp(t.text), Value: val}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "IN"):
+		p.pos++
+		vals, err := p.parseLiteralList()
+		if err != nil {
+			return nil, err
+		}
+		return In{Column: col, Values: vals}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "NOT"):
+		p.pos++
+		if err := p.expectKeyword("IN"); err != nil {
+			return nil, err
+		}
+		vals, err := p.parseLiteralList()
+		if err != nil {
+			return nil, err
+		}
+		return In{Column: col, Values: vals, Negated: true}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "BETWEEN"):
+		p.pos++
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return Between{Column: col, Lo: lo, Hi: hi}, nil
+	}
+	return nil, fmt.Errorf("pql: expected comparison operator after %q, got %s at position %d", col, t, t.pos)
+}
+
+func (p *parser) parseLiteralList() ([]any, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var out []any
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if p.cur().kind == tokComma {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseLiteral() (any, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return t.text, nil
+	case tokNumber:
+		if !strings.ContainsAny(t.text, ".eE") {
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return n, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pql: invalid number %q at position %d", t.text, t.pos)
+		}
+		return f, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+	}
+	return nil, fmt.Errorf("pql: expected literal, got %s at position %d", t, t.pos)
+}
+
+func validate(q *Query) error {
+	hasAgg, hasPlain := false, false
+	for _, e := range q.Select {
+		if e.IsAgg {
+			hasAgg = true
+			if e.Column == "*" && e.Func != Count {
+				return fmt.Errorf("pql: %s(*) is not supported, only COUNT(*)", e.Func)
+			}
+		} else {
+			hasPlain = true
+			if e.Column == "*" && len(q.Select) > 1 {
+				return fmt.Errorf("pql: '*' cannot be combined with other select items")
+			}
+		}
+	}
+	if hasAgg && hasPlain {
+		// Plain columns may accompany aggregations only as redundant
+		// projections of GROUP BY columns (paper Figure 7 style).
+		grouped := make(map[string]bool, len(q.GroupBy))
+		for _, g := range q.GroupBy {
+			grouped[g] = true
+		}
+		for _, e := range q.Select {
+			if !e.IsAgg && !grouped[e.Column] {
+				return fmt.Errorf("pql: column %q in select list must appear in GROUP BY", e.Column)
+			}
+		}
+	}
+	if q.HasGroupBy() && !hasAgg {
+		return fmt.Errorf("pql: GROUP BY requires aggregations in the select list")
+	}
+	if len(q.OrderBy) > 0 && hasAgg {
+		return fmt.Errorf("pql: ORDER BY applies to selection queries only")
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// AggState is the mergeable intermediate state of one aggregation function.
+// States accumulate per segment, merge at the server across its segments,
+// and merge again at the broker across servers (paper 3.3.3 step 7). All
+// fields are exported so states travel over the wire between servers and
+// brokers.
+type AggState struct {
+	Func  pql.AggFunc
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Seen  bool // whether Min/Max hold a value
+	// Distinct holds the distinct value keys for DISTINCTCOUNT. Values
+	// are rendered to strings so states of any column type merge.
+	Distinct map[string]struct{}
+	// Values holds raw observations for PERCENTILE<q> functions, which
+	// cannot be answered from pre-aggregated or summary data.
+	Values []float64
+}
+
+// NewAggState returns an empty state for a function.
+func NewAggState(fn pql.AggFunc) *AggState {
+	s := &AggState{Func: fn, Min: math.Inf(1), Max: math.Inf(-1)}
+	if fn == pql.DistinctCount {
+		s.Distinct = make(map[string]struct{})
+	}
+	return s
+}
+
+// isPercentile reports whether the state collects raw values.
+func (s *AggState) isPercentile() bool {
+	_, ok := pql.PercentileQuantile(s.Func)
+	return ok
+}
+
+// AddNumeric accumulates one numeric observation.
+func (s *AggState) AddNumeric(v float64) {
+	s.Count++
+	s.Sum += v
+	if s.isPercentile() {
+		s.Values = append(s.Values, v)
+	}
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+	s.Seen = true
+}
+
+// AddCount accumulates n rows for COUNT-style states.
+func (s *AggState) AddCount(n int64) { s.Count += n }
+
+// AddSum accumulates a pre-aggregated sum of n rows (star-tree path).
+func (s *AggState) AddSum(sum float64, n int64) {
+	s.Count += n
+	s.Sum += sum
+	s.Seen = true
+}
+
+// AddDistinct accumulates one distinct-count observation.
+func (s *AggState) AddDistinct(key string) {
+	s.Distinct[key] = struct{}{}
+	s.Count++
+}
+
+// Merge folds another state of the same function into s.
+func (s *AggState) Merge(o *AggState) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Seen {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+		s.Seen = true
+	}
+	for k := range o.Distinct {
+		if s.Distinct == nil {
+			s.Distinct = make(map[string]struct{}, len(o.Distinct))
+		}
+		s.Distinct[k] = struct{}{}
+	}
+	s.Values = append(s.Values, o.Values...)
+}
+
+// Result finalizes the state: COUNT and DISTINCTCOUNT yield int64, the rest
+// float64. AVG of zero rows yields 0.
+func (s *AggState) Result() any {
+	switch s.Func {
+	case pql.Count:
+		return s.Count
+	case pql.DistinctCount:
+		return int64(len(s.Distinct))
+	case pql.Sum:
+		return s.Sum
+	case pql.Avg:
+		if s.Count == 0 {
+			return float64(0)
+		}
+		return s.Sum / float64(s.Count)
+	case pql.Min:
+		if !s.Seen {
+			return float64(0)
+		}
+		return s.Min
+	case pql.Max:
+		if !s.Seen {
+			return float64(0)
+		}
+		return s.Max
+	}
+	if q, ok := pql.PercentileQuantile(s.Func); ok {
+		return percentileOf(s.Values, q)
+	}
+	return nil
+}
+
+// percentileOf computes the exact q-th percentile (nearest-rank) of the
+// observations.
+func percentileOf(values []float64, q int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(float64(q)/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// aggInput reads the per-document input of an aggregation from a column:
+// numeric value for SUM/MIN/MAX/AVG, distinct key for DISTINCTCOUNT.
+type aggInput struct {
+	expr pql.Expression
+	col  segment.ColumnReader // nil for COUNT(*)
+}
+
+// newAggInputs resolves the aggregation expressions of a query against a
+// segment.
+func newAggInputs(cs columnSource, exprs []pql.Expression) ([]aggInput, error) {
+	var out []aggInput
+	for _, e := range exprs {
+		if !e.IsAgg {
+			continue
+		}
+		in := aggInput{expr: e}
+		if e.Column != "*" {
+			col, err := cs.column(e.Column)
+			if err != nil {
+				return nil, err
+			}
+			if e.Func != pql.Count && e.Func != pql.DistinctCount {
+				if !col.Spec().Type.Numeric() {
+					return nil, fmt.Errorf("query: %s(%s): column is not numeric", e.Func, e.Column)
+				}
+			}
+			if !col.Spec().SingleValue {
+				return nil, fmt.Errorf("query: %s(%s): multi-value columns are not aggregable", e.Func, e.Column)
+			}
+			in.col = col
+		} else if e.Func != pql.Count {
+			return nil, fmt.Errorf("query: %s(*) is not supported", e.Func)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// accumulate adds one document to a state.
+func (in aggInput) accumulate(s *AggState, doc int) {
+	switch in.expr.Func {
+	case pql.Count:
+		s.AddCount(1)
+	case pql.DistinctCount:
+		s.AddDistinct(in.distinctKey(doc))
+	default:
+		s.AddNumeric(in.numeric(doc))
+	}
+}
+
+func (in aggInput) numeric(doc int) float64 {
+	c := in.col
+	if c.HasDictionary() {
+		v := c.Value(c.DictID(doc))
+		switch x := v.(type) {
+		case int64:
+			return float64(x)
+		case float64:
+			return x
+		}
+		return 0
+	}
+	return c.Double(doc)
+}
+
+func (in aggInput) distinctKey(doc int) string {
+	c := in.col
+	if c.HasDictionary() {
+		return fmt.Sprint(c.Value(c.DictID(doc)))
+	}
+	if c.Spec().Type.Integral() {
+		return fmt.Sprint(c.Long(doc))
+	}
+	return fmt.Sprint(c.Double(doc))
+}
+
+// metadataAnswerable reports whether every aggregation can be answered from
+// segment metadata alone (paper 3.3.4: "special query plans are also
+// generated for queries that can be answered using segment metadata").
+func metadataAnswerable(inputs []aggInput) bool {
+	for _, in := range inputs {
+		switch in.expr.Func {
+		case pql.Count:
+			if in.expr.Column != "*" {
+				return false
+			}
+		case pql.Min, pql.Max:
+			if in.col == nil || !in.col.Spec().Type.Numeric() {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// answerFromMetadata fills states from segment metadata.
+func answerFromMetadata(inputs []aggInput, numDocs int) []*AggState {
+	out := make([]*AggState, len(inputs))
+	for i, in := range inputs {
+		s := NewAggState(in.expr.Func)
+		switch in.expr.Func {
+		case pql.Count:
+			s.AddCount(int64(numDocs))
+		case pql.Min:
+			s.AddNumeric(toFloat(in.col.MinValue()))
+			s.Count = int64(numDocs)
+		case pql.Max:
+			s.AddNumeric(toFloat(in.col.MaxValue()))
+			s.Count = int64(numDocs)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func toFloat(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
+}

@@ -1,0 +1,339 @@
+// Package query implements Pinot's per-segment query planning and execution
+// (paper sections 3.3.4 and 4.1–4.3): physical filter operators specialized
+// per data representation (sorted-column ranges, inverted-index bitmaps,
+// forward-index scans), aggregation and group-by execution, star-tree plans,
+// metadata-only plans, and the merge of partial results performed at server
+// and broker level.
+package query
+
+import (
+	"sort"
+
+	"pinot/internal/bitmap"
+	"pinot/internal/segment"
+)
+
+// DocIterator walks matching document ids in ascending order.
+type DocIterator interface {
+	// Next returns the next matching doc id, or -1 when exhausted.
+	Next() int
+	// Advance returns the first matching doc id >= target, or -1.
+	Advance(target int) int
+}
+
+// docIDSet is a physical filter operator: it produces a DocIterator and an
+// estimated cardinality used for operator ordering (paper 3.3.4: "physical
+// operator selection is done based on an estimated execution cost").
+type docIDSet interface {
+	iterator() DocIterator
+	// estimate returns an upper bound on matching docs; scans that cannot
+	// estimate return the segment size.
+	estimate() int
+}
+
+// ---- range (sorted column) ----
+
+type rangeDocIDSet struct {
+	ranges []segment.DocRange // sorted, non-overlapping
+}
+
+func (s *rangeDocIDSet) estimate() int {
+	n := 0
+	for _, r := range s.ranges {
+		n += r.End - r.Start
+	}
+	return n
+}
+
+func (s *rangeDocIDSet) iterator() DocIterator {
+	return &rangeIterator{ranges: s.ranges, cur: -1}
+}
+
+type rangeIterator struct {
+	ranges []segment.DocRange
+	ri     int
+	cur    int // last returned doc
+}
+
+func (it *rangeIterator) Next() int {
+	doc := it.cur + 1
+	for it.ri < len(it.ranges) {
+		r := it.ranges[it.ri]
+		if doc < r.Start {
+			doc = r.Start
+		}
+		if doc < r.End {
+			it.cur = doc
+			return doc
+		}
+		it.ri++
+	}
+	return -1
+}
+
+func (it *rangeIterator) Advance(target int) int {
+	if target <= it.cur {
+		return it.Next()
+	}
+	it.cur = target - 1
+	for it.ri < len(it.ranges) && it.ranges[it.ri].End <= target {
+		it.ri++
+	}
+	return it.Next()
+}
+
+// ---- bitmap (inverted index) ----
+
+type bitmapDocIDSet struct {
+	bm *bitmap.Bitmap
+}
+
+func (s *bitmapDocIDSet) estimate() int { return s.bm.Cardinality() }
+
+func (s *bitmapDocIDSet) iterator() DocIterator {
+	return &bitmapIterator{it: s.bm.Iterator()}
+}
+
+type bitmapIterator struct {
+	it *bitmap.Iterator
+}
+
+func (b *bitmapIterator) Next() int {
+	if !b.it.HasNext() {
+		return -1
+	}
+	return int(b.it.Next())
+}
+
+func (b *bitmapIterator) Advance(target int) int {
+	if target < 0 {
+		target = 0
+	}
+	b.it.AdvanceIfNeeded(uint32(target))
+	return b.Next()
+}
+
+// ---- scan (forward index) ----
+
+// scanDocIDSet evaluates a per-document membership function over a doc
+// range. It is the iterator-style fallback of paper section 4.2; And
+// intersections drive it from narrower operators so it only evaluates part
+// of the column.
+type scanDocIDSet struct {
+	numDocs int
+	match   func(doc int) bool
+}
+
+func (s *scanDocIDSet) estimate() int { return s.numDocs }
+
+func (s *scanDocIDSet) iterator() DocIterator {
+	return &scanIterator{n: s.numDocs, match: s.match, cur: -1}
+}
+
+type scanIterator struct {
+	n     int
+	match func(doc int) bool
+	cur   int
+}
+
+func (it *scanIterator) Next() int {
+	for doc := it.cur + 1; doc < it.n; doc++ {
+		if it.match(doc) {
+			it.cur = doc
+			return doc
+		}
+	}
+	it.cur = it.n
+	return -1
+}
+
+func (it *scanIterator) Advance(target int) int {
+	if target > it.cur+1 {
+		it.cur = target - 1
+	}
+	return it.Next()
+}
+
+// ---- full range ----
+
+type allDocIDSet struct{ numDocs int }
+
+func (s *allDocIDSet) estimate() int { return s.numDocs }
+func (s *allDocIDSet) iterator() DocIterator {
+	return &rangeIterator{ranges: []segment.DocRange{{Start: 0, End: s.numDocs}}, cur: -1}
+}
+
+// ---- empty ----
+
+type emptyDocIDSet struct{}
+
+func (emptyDocIDSet) estimate() int         { return 0 }
+func (emptyDocIDSet) iterator() DocIterator { return emptyIterator{} }
+
+type emptyIterator struct{}
+
+func (emptyIterator) Next() int              { return -1 }
+func (emptyIterator) Advance(target int) int { return -1 }
+
+// ---- AND ----
+
+// andDocIDSet intersects children. Iteration is driven by the child with the
+// smallest estimate (sorted ranges from the physically sorted column first),
+// so scan children only evaluate documents within the candidate set — the
+// range-passing optimization of paper section 4.2.
+type andDocIDSet struct {
+	children []docIDSet
+}
+
+func (s *andDocIDSet) estimate() int {
+	min := int(^uint(0) >> 1)
+	for _, c := range s.children {
+		if e := c.estimate(); e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+func (s *andDocIDSet) iterator() DocIterator {
+	children := append([]docIDSet(nil), s.children...)
+	sort.SliceStable(children, func(i, j int) bool { return children[i].estimate() < children[j].estimate() })
+	its := make([]DocIterator, len(children))
+	heads := make([]int, len(children))
+	for i, c := range children {
+		its[i] = c.iterator()
+		heads[i] = -1
+	}
+	return &andIterator{children: its, heads: heads, cur: -1}
+}
+
+// andIterator leapfrogs its children. heads caches each child's last
+// returned doc so a child is only advanced with targets strictly beyond it —
+// the underlying iterators are forward-only.
+type andIterator struct {
+	children  []DocIterator
+	heads     []int
+	cur       int
+	exhausted bool
+}
+
+func (it *andIterator) Next() int { return it.Advance(it.cur + 1) }
+
+func (it *andIterator) Advance(target int) int {
+	if it.exhausted {
+		return -1
+	}
+	if target <= it.cur {
+		target = it.cur + 1
+	}
+	for {
+		if it.heads[0] < target {
+			it.heads[0] = it.children[0].Advance(target)
+		}
+		candidate := it.heads[0]
+		if candidate < 0 {
+			it.exhausted = true
+			return -1
+		}
+		agreed := true
+		for i := 1; i < len(it.children); i++ {
+			if it.heads[i] < candidate {
+				it.heads[i] = it.children[i].Advance(candidate)
+			}
+			if it.heads[i] < 0 {
+				it.exhausted = true
+				return -1
+			}
+			if it.heads[i] > candidate {
+				target = it.heads[i]
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			it.cur = candidate
+			return candidate
+		}
+	}
+}
+
+// ---- OR ----
+
+type orDocIDSet struct {
+	children []docIDSet
+}
+
+func (s *orDocIDSet) estimate() int {
+	n := 0
+	for _, c := range s.children {
+		n += c.estimate()
+	}
+	return n
+}
+
+func (s *orDocIDSet) iterator() DocIterator {
+	its := make([]DocIterator, len(s.children))
+	heads := make([]int, len(s.children))
+	for i, c := range s.children {
+		its[i] = c.iterator()
+		heads[i] = its[i].Next()
+	}
+	return &orIterator{children: its, heads: heads, cur: -1}
+}
+
+type orIterator struct {
+	children []DocIterator
+	heads    []int // current head per child, -1 when exhausted
+	cur      int
+}
+
+func (it *orIterator) Next() int { return it.Advance(it.cur + 1) }
+
+func (it *orIterator) Advance(target int) int {
+	if target <= it.cur {
+		target = it.cur + 1
+	}
+	min := -1
+	for i, h := range it.heads {
+		if h >= 0 && h < target {
+			h = it.children[i].Advance(target)
+			it.heads[i] = h
+		}
+		if h >= 0 && (min < 0 || h < min) {
+			min = h
+		}
+	}
+	if min < 0 {
+		return -1
+	}
+	it.cur = min
+	return min
+}
+
+// ---- NOT ----
+
+// notDocIDSet complements a child within [0, numDocs) by materializing it.
+type notDocIDSet struct {
+	child   docIDSet
+	numDocs int
+}
+
+func (s *notDocIDSet) estimate() int { return s.numDocs - min(s.child.estimate(), s.numDocs) }
+
+func (s *notDocIDSet) iterator() DocIterator {
+	bm := materialize(s.child, s.numDocs)
+	return (&bitmapDocIDSet{bm: bitmap.FlipRange(bm, 0, uint32(s.numDocs))}).iterator()
+}
+
+// materialize converts any doc-id set into a bitmap.
+func materialize(s docIDSet, numDocs int) *bitmap.Bitmap {
+	if b, ok := s.(*bitmapDocIDSet); ok {
+		return b.bm
+	}
+	bm := bitmap.New()
+	it := s.iterator()
+	for doc := it.Next(); doc >= 0; doc = it.Next() {
+		bm.Add(uint32(doc))
+	}
+	return bm
+}

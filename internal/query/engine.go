@@ -1,0 +1,155 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// Engine executes queries across the segments of one node, scheduling
+// per-segment plans on a bounded worker pool (paper 3.3.4: "query plans are
+// then submitted for execution to the query execution scheduler. Query plans
+// are processed in parallel").
+type Engine struct {
+	// Parallelism bounds concurrently executing segment plans; zero
+	// means GOMAXPROCS.
+	Parallelism int
+	// Options tune physical planning for every query this engine runs.
+	Options Options
+}
+
+// Execute runs a parsed query over the given segments and returns the merged
+// (but not finalized) partial result. A context cancellation or deadline
+// produces a best-effort partial result with an exception note, matching the
+// paper's partial-result semantics (3.3.3 step 7).
+func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schema) (*Intermediate, []string, error) {
+	if len(segs) == 0 {
+		return emptyResult(q), nil, nil
+	}
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(segs) {
+		par = len(segs)
+	}
+
+	type outcome struct {
+		res *Intermediate
+		err error
+	}
+	results := make([]outcome, len(segs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := ExecuteSegment(segs[i], q, tableSchema, e.Options)
+				results[i] = outcome{res, err}
+			}
+		}()
+	}
+	var skipped int
+dispatch:
+	for i := range segs {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			skipped = len(segs) - i
+			break dispatch
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	var exceptions []string
+	if skipped > 0 {
+		exceptions = append(exceptions, fmt.Sprintf("timeout: %d of %d segments not processed", skipped, len(segs)))
+	}
+	var merged *Intermediate
+	var firstErr error
+	succeeded := 0
+	for _, o := range results {
+		if o.res == nil && o.err == nil {
+			continue // skipped by timeout
+		}
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			exceptions = append(exceptions, o.err.Error())
+			continue
+		}
+		succeeded++
+		if merged == nil {
+			merged = o.res
+			continue
+		}
+		if err := merged.Merge(o.res); err != nil {
+			return nil, exceptions, err
+		}
+	}
+	if succeeded == 0 && firstErr != nil {
+		// Every attempted segment failed outright (bad column, bad
+		// aggregation, ...): that is a query error, not degradation.
+		return nil, exceptions, firstErr
+	}
+	if merged == nil {
+		// Everything was skipped by the deadline: an empty result
+		// marked partial, per the paper's graceful-degradation
+		// semantics.
+		merged = emptyResult(q)
+	}
+	return merged, exceptions, nil
+}
+
+// EmptyIntermediate produces a zero-row intermediate of the right shape for
+// a query; brokers use it when every server failed, so clients still get a
+// well-formed (partial) response.
+func EmptyIntermediate(q *pql.Query) *Intermediate { return emptyResult(q) }
+
+// emptyResult produces a zero-row intermediate of the right shape.
+func emptyResult(q *pql.Query) *Intermediate {
+	if q.IsAggregation() {
+		var exprs []pql.Expression
+		for _, e := range q.Select {
+			if e.IsAgg {
+				exprs = append(exprs, e)
+			}
+		}
+		if q.HasGroupBy() {
+			return &Intermediate{Kind: KindGroupBy, AggExprs: exprs, GroupCols: q.GroupBy, Groups: map[string]*GroupEntry{}}
+		}
+		return NewAggIntermediate(exprs)
+	}
+	var cols []string
+	for _, e := range q.Select {
+		cols = append(cols, e.Column)
+	}
+	return &Intermediate{Kind: KindSelection, SelectCols: cols}
+}
+
+// Run parses and executes PQL text against segments, finalizing the result.
+// It is the single-node convenience entry point used by the examples and
+// tests; the distributed path goes through broker and server packages.
+func Run(ctx context.Context, pqlText string, segs []IndexedSegment, tableSchema *segment.Schema, opt Options) (*Result, error) {
+	q, err := pql.Parse(pqlText)
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{Options: opt}
+	merged, exceptions, err := eng.Execute(ctx, q, segs, tableSchema)
+	if err != nil {
+		return nil, err
+	}
+	res := merged.Finalize(q)
+	res.Exceptions = exceptions
+	res.Partial = len(exceptions) > 0
+	return res, nil
+}

@@ -1,0 +1,450 @@
+package query
+
+import (
+	"fmt"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+)
+
+// IndexedSegment pairs a segment with its optional star-tree index, the unit
+// of per-segment planning.
+type IndexedSegment struct {
+	Seg  segment.Reader
+	Tree *startree.Tree
+}
+
+// ExecuteSegment runs a query against one segment, generating the logical
+// and physical plan for this segment's specific indexes (paper 3.3.4: "query
+// plans are generated on a per-segment basis").
+func ExecuteSegment(is IndexedSegment, q *pql.Query, tableSchema *segment.Schema, opt Options) (*Intermediate, error) {
+	cs := columnSource{seg: is.Seg, schema: tableSchema}
+	if q.IsAggregation() {
+		inputs, err := newAggInputs(cs, q.Select)
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]pql.Expression, len(inputs))
+		for i, in := range inputs {
+			exprs[i] = in.expr
+		}
+		if q.HasGroupBy() {
+			return executeGroupBy(cs, is, q, inputs, exprs, opt)
+		}
+		return executeAggregation(cs, is, q, inputs, exprs, opt)
+	}
+	return executeSelection(cs, is, q, opt)
+}
+
+func baseStats(seg segment.Reader) Stats {
+	return Stats{NumSegmentsQueried: 1, TotalDocs: int64(seg.NumDocs())}
+}
+
+func executeAggregation(cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, exprs []pql.Expression, opt Options) (*Intermediate, error) {
+	out := NewAggIntermediate(exprs)
+	out.Stats = baseStats(is.Seg)
+
+	// Metadata-only plan: no filter and all aggregations answerable from
+	// column statistics.
+	if q.Filter == nil && !opt.DisableMetadataPlans && metadataAnswerable(inputs) {
+		out.Aggs = answerFromMetadata(inputs, is.Seg.NumDocs())
+		out.Stats.NumSegmentsMatched = 1
+		out.Stats.MetadataOnlySegments = 1
+		return out, nil
+	}
+
+	// Star-tree plan.
+	if plan, ok := planStarTree(cs, is, q, inputs, opt); ok {
+		matched := false
+		scanned := plan.run(func(rec int) {
+			matched = true
+			for i, in := range inputs {
+				switch in.expr.Func {
+				case pql.Count:
+					out.Aggs[i].AddCount(plan.tree.Count(rec))
+				default: // SUM or AVG on a tree metric
+					mi := plan.metricIdx[i]
+					out.Aggs[i].AddSum(plan.tree.Sum(rec, mi), plan.tree.Count(rec))
+				}
+			}
+		})
+		if matched {
+			out.Stats.NumSegmentsMatched = 1
+		}
+		out.Stats.StarTreeSegments = 1
+		out.Stats.StarTreeRecordsScanned = int64(scanned)
+		out.Stats.StarTreeRawDocs = int64(plan.tree.NumRawDocs())
+		return out, nil
+	}
+
+	set, err := buildFilter(cs, q.Filter, opt, &out.Stats)
+	if err != nil {
+		return nil, err
+	}
+	it := set.iterator()
+	var docs int64
+	for doc := it.Next(); doc >= 0; doc = it.Next() {
+		docs++
+		for i, in := range inputs {
+			in.accumulate(out.Aggs[i], doc)
+		}
+	}
+	out.Stats.NumDocsScanned = docs
+	out.Stats.NumEntriesScanned += docs * int64(len(inputs))
+	if docs > 0 {
+		out.Stats.NumSegmentsMatched = 1
+	}
+	return out, nil
+}
+
+func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, exprs []pql.Expression, opt Options) (*Intermediate, error) {
+	out := &Intermediate{Kind: KindGroupBy, AggExprs: exprs, GroupCols: q.GroupBy, Groups: map[string]*GroupEntry{}}
+	out.Stats = baseStats(is.Seg)
+
+	groupCols := make([]segment.ColumnReader, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		col, err := cs.column(name)
+		if err != nil {
+			return nil, err
+		}
+		if !col.Spec().SingleValue {
+			return nil, fmt.Errorf("query: GROUP BY on multi-value column %q is not supported", name)
+		}
+		if !col.HasDictionary() {
+			return nil, fmt.Errorf("query: GROUP BY on raw column %q is not supported", name)
+		}
+		groupCols[i] = col
+	}
+
+	entryFor := func(values []any) *GroupEntry {
+		key := GroupKey(values)
+		g, ok := out.Groups[key]
+		if !ok {
+			aggs := make([]*AggState, len(exprs))
+			for i, e := range exprs {
+				aggs[i] = NewAggState(e.Func)
+			}
+			g = &GroupEntry{Values: append([]any(nil), values...), Aggs: aggs}
+			out.Groups[key] = g
+		}
+		return g
+	}
+
+	// Star-tree plan.
+	if plan, ok := planStarTree(cs, is, q, inputs, opt); ok {
+		values := make([]any, len(q.GroupBy))
+		scanned := plan.run(func(rec int) {
+			for i, d := range plan.groupDims {
+				values[i] = groupCols[i].Value(int(plan.tree.DimValue(rec, d)))
+			}
+			g := entryFor(values)
+			for i, in := range inputs {
+				switch in.expr.Func {
+				case pql.Count:
+					g.Aggs[i].AddCount(plan.tree.Count(rec))
+				default:
+					g.Aggs[i].AddSum(plan.tree.Sum(rec, plan.metricIdx[i]), plan.tree.Count(rec))
+				}
+			}
+		})
+		if len(out.Groups) > 0 {
+			out.Stats.NumSegmentsMatched = 1
+		}
+		out.Stats.StarTreeSegments = 1
+		out.Stats.StarTreeRecordsScanned = int64(scanned)
+		out.Stats.StarTreeRawDocs = int64(plan.tree.NumRawDocs())
+		return out, nil
+	}
+
+	set, err := buildFilter(cs, q.Filter, opt, &out.Stats)
+	if err != nil {
+		return nil, err
+	}
+	it := set.iterator()
+	values := make([]any, len(groupCols))
+	var docs int64
+	for doc := it.Next(); doc >= 0; doc = it.Next() {
+		docs++
+		for i, col := range groupCols {
+			values[i] = col.Value(col.DictID(doc))
+		}
+		g := entryFor(values)
+		for i, in := range inputs {
+			in.accumulate(g.Aggs[i], doc)
+		}
+	}
+	out.Stats.NumDocsScanned = docs
+	out.Stats.NumEntriesScanned += docs * int64(len(inputs)+len(groupCols))
+	if docs > 0 {
+		out.Stats.NumSegmentsMatched = 1
+	}
+	return out, nil
+}
+
+func executeSelection(cs columnSource, is IndexedSegment, q *pql.Query, opt Options) (*Intermediate, error) {
+	// Expand '*' to the schema's column order.
+	var cols []string
+	if len(q.Select) == 1 && q.Select[0].Column == "*" {
+		schema := is.Seg.Schema()
+		if cs.schema != nil {
+			schema = cs.schema
+		}
+		for _, f := range schema.Fields {
+			cols = append(cols, f.Name)
+		}
+	} else {
+		for _, e := range q.Select {
+			cols = append(cols, e.Column)
+		}
+	}
+	// ORDER BY columns outside the select list are fetched as hidden
+	// trailing columns and dropped after the final sort.
+	hidden := 0
+	for _, o := range q.OrderBy {
+		found := false
+		for _, c := range cols {
+			if c == o.Column {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cols = append(cols, o.Column)
+			hidden++
+		}
+	}
+	out := &Intermediate{Kind: KindSelection, SelectCols: cols, HiddenCols: hidden}
+	out.Stats = baseStats(is.Seg)
+
+	readers := make([]segment.ColumnReader, len(cols))
+	for i, name := range cols {
+		col, err := cs.column(name)
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = col
+	}
+	set, err := buildFilter(cs, q.Filter, opt, &out.Stats)
+	if err != nil {
+		return nil, err
+	}
+	// Keep enough rows for the broker to apply offset+limit after the
+	// merge. Without ORDER BY the first rows win; with ORDER BY rows are
+	// re-sorted at finalize, so each segment contributes its best
+	// offset+limit rows (a superset of what could be needed).
+	keep := q.Offset + q.Limit
+	it := set.iterator()
+	var docs int64
+	var buf []int
+	readValue := func(col segment.ColumnReader, doc int) any {
+		f := col.Spec()
+		switch {
+		case f.Kind == segment.Metric && f.Type.Integral():
+			return col.Long(doc)
+		case f.Kind == segment.Metric:
+			return col.Double(doc)
+		case f.SingleValue:
+			return col.Value(col.DictID(doc))
+		default:
+			buf = col.DictIDsMV(doc, buf[:0])
+			vals := make([]any, len(buf))
+			for j, id := range buf {
+				vals[j] = col.Value(id)
+			}
+			return vals
+		}
+	}
+	needAll := len(q.OrderBy) > 0
+	for doc := it.Next(); doc >= 0; doc = it.Next() {
+		docs++
+		row := make([]any, len(readers))
+		for i, col := range readers {
+			row[i] = readValue(col, doc)
+		}
+		out.Rows = append(out.Rows, row)
+		if !needAll && len(out.Rows) >= keep {
+			break
+		}
+		if needAll && len(out.Rows) > 4*keep {
+			// Prune: sort and keep the best rows so memory stays
+			// bounded on large matches.
+			tmp := &Intermediate{Kind: KindSelection, SelectCols: cols, Rows: out.Rows}
+			pruneQ := *q
+			pruneQ.Offset, pruneQ.Limit = 0, keep
+			out.Rows = tmp.Finalize(&pruneQ).Rows
+		}
+	}
+	out.Stats.NumDocsScanned = docs
+	out.Stats.NumEntriesScanned = docs * int64(len(readers))
+	if docs > 0 {
+		out.Stats.NumSegmentsMatched = 1
+	}
+	return out, nil
+}
+
+// starTreePlan is a resolved star-tree execution: per-dimension matchers and
+// the metric index for each aggregation.
+type starTreePlan struct {
+	tree      *startree.Tree
+	matchers  map[int]startree.IDMatcher
+	groupDims []int
+	metricIdx []int // per aggregation input; -1 for COUNT
+}
+
+func (p *starTreePlan) run(visit func(rec int)) int {
+	return p.tree.Scan(p.matchers, p.groupDims, visit)
+}
+
+// planStarTree decides whether the segment's star-tree can answer the query
+// (paper 4.3: "if a user specifies a query that can be optimized by using
+// the star-tree structure, we transparently use it") and builds the plan.
+func planStarTree(cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, opt Options) (*starTreePlan, bool) {
+	tree := is.Tree
+	if tree == nil || opt.DisableStarTree {
+		return nil, false
+	}
+	// Every aggregation must be COUNT, or SUM/AVG over a tree metric.
+	metricIdx := make([]int, len(inputs))
+	for i, in := range inputs {
+		switch in.expr.Func {
+		case pql.Count:
+			metricIdx[i] = -1
+		case pql.Sum, pql.Avg:
+			mi := tree.MetricIndex(in.expr.Column)
+			if mi < 0 {
+				return nil, false
+			}
+			metricIdx[i] = mi
+		default:
+			return nil, false
+		}
+	}
+	// Every group-by column must be a split dimension.
+	groupDims := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		d := tree.DimIndex(g)
+		if d < 0 {
+			return nil, false
+		}
+		groupDims[i] = d
+	}
+	// The filter must decompose into per-split-dimension predicates.
+	matchers := map[int]startree.IDMatcher{}
+	if q.Filter != nil {
+		perCol, ok := decomposeFilter(q.Filter)
+		if !ok {
+			return nil, false
+		}
+		for col, preds := range perCol {
+			d := tree.DimIndex(col)
+			if d < 0 {
+				return nil, false
+			}
+			reader, err := cs.column(col)
+			if err != nil || !reader.HasDictionary() {
+				return nil, false
+			}
+			// AND together this column's predicates.
+			var sets []*idSet
+			for _, pred := range preds {
+				set, err := compileLeaf(reader, pred)
+				if err != nil {
+					return nil, false
+				}
+				sets = append(sets, set)
+			}
+			matchers[d] = func(id int32) bool {
+				for _, s := range sets {
+					if !s.contains(int(id)) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+	}
+	return &starTreePlan{tree: tree, matchers: matchers, groupDims: groupDims, metricIdx: metricIdx}, true
+}
+
+// decomposeFilter flattens a filter into per-column predicate conjunctions.
+// It succeeds for trees of ANDs whose OR subtrees reference a single column
+// (e.g. the Figure 10 query) and contain no NOT.
+func decomposeFilter(p pql.Predicate) (map[string][]pql.Predicate, bool) {
+	out := map[string][]pql.Predicate{}
+	var walk func(p pql.Predicate) bool
+	walk = func(p pql.Predicate) bool {
+		switch n := p.(type) {
+		case pql.And:
+			for _, c := range n.Children {
+				if !walk(c) {
+					return false
+				}
+			}
+			return true
+		case pql.Or:
+			cols := pql.PredicateColumns(n)
+			if len(cols) != 1 {
+				return false
+			}
+			// A single-column OR becomes an IN-like predicate: the
+			// union of child matches. Rewrite as one pseudo-leaf.
+			if !orIsLeafOnly(n) {
+				return false
+			}
+			out[cols[0]] = append(out[cols[0]], orAsIn(n, cols[0]))
+			return true
+		case pql.Not:
+			return false
+		case pql.Comparison:
+			if n.Op != pql.OpEq && n.Op != pql.OpNeq {
+				out[n.Column] = append(out[n.Column], n)
+				return true
+			}
+			out[n.Column] = append(out[n.Column], n)
+			return true
+		case pql.In:
+			out[n.Column] = append(out[n.Column], n)
+			return true
+		case pql.Between:
+			out[n.Column] = append(out[n.Column], n)
+			return true
+		}
+		return false
+	}
+	if !walk(p) {
+		return nil, false
+	}
+	return out, true
+}
+
+func orIsLeafOnly(o pql.Or) bool {
+	for _, c := range o.Children {
+		switch n := c.(type) {
+		case pql.Comparison:
+			if n.Op != pql.OpEq {
+				return false
+			}
+		case pql.In:
+			if n.Negated {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func orAsIn(o pql.Or, col string) pql.Predicate {
+	var values []any
+	for _, c := range o.Children {
+		switch n := c.(type) {
+		case pql.Comparison:
+			values = append(values, n.Value)
+		case pql.In:
+			values = append(values, n.Values...)
+		}
+	}
+	return pql.In{Column: col, Values: values}
+}

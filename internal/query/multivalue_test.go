@@ -1,0 +1,242 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+type mvRow struct {
+	user  int64
+	tags  []string
+	score int64
+}
+
+func mvSchema(t testing.TB) *segment.Schema {
+	t.Helper()
+	s, err := segment.NewSchema("posts", []segment.FieldSpec{
+		{Name: "user", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+		{Name: "tags", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: false},
+		{Name: "score", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mvRows(n int, seed int64) []mvRow {
+	r := rand.New(rand.NewSource(seed))
+	all := []string{"go", "db", "olap", "web", "ml", "infra"}
+	rows := make([]mvRow, n)
+	for i := range rows {
+		k := 1 + r.Intn(3)
+		perm := r.Perm(len(all))[:k]
+		tags := make([]string, k)
+		for j, p := range perm {
+			tags[j] = all[p]
+		}
+		rows[i] = mvRow{user: int64(r.Intn(20)), tags: tags, score: int64(r.Intn(100))}
+	}
+	return rows
+}
+
+func buildMV(t testing.TB, rows []mvRow, cfg segment.IndexConfig) []IndexedSegment {
+	t.Helper()
+	b, err := segment.NewBuilder("posts", "posts_0", mvSchema(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := b.Add(segment.Row{r.user, r.tags, r.score}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []IndexedSegment{{Seg: seg}}
+}
+
+func hasTag(r mvRow, tag string) bool {
+	for _, t := range r.tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMultiValuePredicates(t *testing.T) {
+	rows := mvRows(1500, 4)
+	configs := map[string]segment.IndexConfig{
+		"scan":     {},
+		"inverted": {InvertedColumns: []string{"tags"}},
+	}
+	for name, cfg := range configs {
+		segs := buildMV(t, rows, cfg)
+		// Contains-any equality.
+		res := runPQL(t, segs, "SELECT count(*) FROM posts WHERE tags = 'go'", Options{})
+		var want int64
+		for _, r := range rows {
+			if hasTag(r, "go") {
+				want++
+			}
+		}
+		if got := res.Rows[0][0].(int64); got != want {
+			t.Errorf("[%s] tags='go' count = %d, want %d", name, got, want)
+		}
+		// IN over multi-value.
+		res = runPQL(t, segs, "SELECT count(*) FROM posts WHERE tags IN ('go', 'ml')", Options{})
+		want = 0
+		for _, r := range rows {
+			if hasTag(r, "go") || hasTag(r, "ml") {
+				want++
+			}
+		}
+		if got := res.Rows[0][0].(int64); got != want {
+			t.Errorf("[%s] tags IN count = %d, want %d", name, got, want)
+		}
+		// Negation over multi-value is contains-none.
+		res = runPQL(t, segs, "SELECT count(*) FROM posts WHERE tags NOT IN ('go', 'ml')", Options{})
+		want = 0
+		for _, r := range rows {
+			if !hasTag(r, "go") && !hasTag(r, "ml") {
+				want++
+			}
+		}
+		if got := res.Rows[0][0].(int64); got != want {
+			t.Errorf("[%s] tags NOT IN count = %d, want %d", name, got, want)
+		}
+		res = runPQL(t, segs, "SELECT count(*) FROM posts WHERE tags <> 'go'", Options{})
+		want = 0
+		for _, r := range rows {
+			if !hasTag(r, "go") {
+				want++
+			}
+		}
+		if got := res.Rows[0][0].(int64); got != want {
+			t.Errorf("[%s] tags<>'go' count = %d, want %d", name, got, want)
+		}
+		// Combined with a single-value predicate.
+		res = runPQL(t, segs, "SELECT sum(score) FROM posts WHERE tags = 'db' AND user < 10", Options{})
+		var wantSum float64
+		for _, r := range rows {
+			if hasTag(r, "db") && r.user < 10 {
+				wantSum += float64(r.score)
+			}
+		}
+		if got := res.Rows[0][0].(float64); got != wantSum {
+			t.Errorf("[%s] combined sum = %v, want %v", name, got, wantSum)
+		}
+	}
+}
+
+func TestMultiValueSelection(t *testing.T) {
+	rows := mvRows(50, 5)
+	segs := buildMV(t, rows, segment.IndexConfig{})
+	res := runPQL(t, segs, "SELECT user, tags FROM posts WHERE tags = 'olap' LIMIT 1000", Options{})
+	want := 0
+	for _, r := range rows {
+		if hasTag(r, "olap") {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		tags, ok := row[1].([]any)
+		if !ok || len(tags) == 0 {
+			t.Fatalf("tags cell = %#v", row[1])
+		}
+	}
+}
+
+func TestMultiValueRestrictions(t *testing.T) {
+	rows := mvRows(20, 6)
+	segs := buildMV(t, rows, segment.IndexConfig{})
+	if _, err := Run(t.Context(), "SELECT sum(score) FROM posts GROUP BY tags", segs, nil, Options{}); err == nil {
+		t.Fatal("GROUP BY on multi-value column accepted")
+	}
+	if _, err := Run(t.Context(), "SELECT distinctcount(tags) FROM posts", segs, nil, Options{}); err == nil {
+		t.Fatal("DISTINCTCOUNT on multi-value column accepted")
+	}
+}
+
+func TestDistinctCountOnRawMetric(t *testing.T) {
+	rows := mvRows(300, 7)
+	segs := buildMV(t, rows, segment.IndexConfig{})
+	res := runPQL(t, segs, "SELECT distinctcount(score) FROM posts", Options{})
+	distinct := map[int64]bool{}
+	for _, r := range rows {
+		distinct[r.score] = true
+	}
+	if got := res.Rows[0][0].(int64); got != int64(len(distinct)) {
+		t.Fatalf("distinctcount(score) = %d, want %d", got, len(distinct))
+	}
+}
+
+func TestNotOnMultiValueViaPQLNot(t *testing.T) {
+	rows := mvRows(400, 8)
+	segs := buildMV(t, rows, segment.IndexConfig{InvertedColumns: []string{"tags"}})
+	q, err := pql.Parse("SELECT count(*) FROM posts WHERE NOT tags = 'go'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{}
+	merged, _, err := eng.Execute(t.Context(), q, segs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, r := range rows {
+		if !hasTag(r, "go") {
+			want++
+		}
+	}
+	if got := merged.Finalize(q).Rows[0][0].(int64); got != want {
+		t.Fatalf("NOT tags='go' = %d, want %d", got, want)
+	}
+}
+
+func TestOrderByColumnOutsideSelectList(t *testing.T) {
+	rows := mvRows(100, 9)
+	segs := buildMV(t, rows, segment.IndexConfig{})
+	res := runPQL(t, segs, "SELECT user FROM posts ORDER BY score DESC LIMIT 5", Options{})
+	if len(res.Columns) != 1 || res.Columns[0] != "user" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 5 || len(res.Rows[0]) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// The returned users must correspond to the 5 highest scores.
+	scores := make([]int64, len(rows))
+	for i, r := range rows {
+		scores[i] = r.score
+	}
+	// Count how many rows have score >= the 5th-highest.
+	sorted := append([]int64(nil), scores...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	cutoff := sorted[4]
+	want := map[int64]int{}
+	for _, r := range rows {
+		if r.score >= cutoff {
+			want[r.user]++
+		}
+	}
+	for _, row := range res.Rows {
+		u := row[0].(int64)
+		if want[u] == 0 {
+			t.Fatalf("user %d not among top scorers", u)
+		}
+		want[u]--
+	}
+}

@@ -1,0 +1,244 @@
+package query
+
+import (
+	"fmt"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// Options tune physical planning. The zero value is standard Pinot
+// behaviour; the Druid baseline flips ForceBitmap/DisableSorted/
+// DisableStarTree to model Druid's execution (paper section 6).
+type Options struct {
+	// ForceBitmap always evaluates dictionary predicates through the
+	// inverted index when one exists, even when a sorted-range or scan
+	// plan would be cheaper.
+	ForceBitmap bool
+	// DisableSorted ignores physical sort order during planning.
+	DisableSorted bool
+	// DisableStarTree ignores star-tree indexes during planning.
+	DisableStarTree bool
+	// DisableMetadataPlans disables metadata-only answers (COUNT(*) etc).
+	DisableMetadataPlans bool
+	// ScanSelectivityCutoff is the fraction of segment documents above
+	// which an inverted-index plan falls back to an iterator scan (paper
+	// 4.2: scanning beats bitmap operations on large bitmaps). Zero
+	// means the default of 0.4.
+	ScanSelectivityCutoff float64
+}
+
+func (o Options) scanCutoff() float64 {
+	if o.ScanSelectivityCutoff > 0 {
+		return o.ScanSelectivityCutoff
+	}
+	return 0.4
+}
+
+// columnsOf resolves a column, surfacing schema-evolution default columns
+// for fields the segment predates.
+type columnSource struct {
+	seg    segment.Reader
+	schema *segment.Schema // table-level schema, may be newer than segment's
+}
+
+func (cs columnSource) column(name string) (segment.ColumnReader, error) {
+	if c := cs.seg.Column(name); c != nil {
+		return c, nil
+	}
+	if cs.schema != nil {
+		if f, ok := cs.schema.Field(name); ok {
+			return segment.NewDefaultColumn(f, cs.seg.NumDocs()), nil
+		}
+	}
+	return nil, fmt.Errorf("query: unknown column %q", name)
+}
+
+// buildFilter compiles a predicate tree into a physical doc-id set for one
+// segment, choosing operators per paper section 4.2: sorted-column ranges
+// first, inverted-index bitmaps next, iterator scans as fallback.
+func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats) (docIDSet, error) {
+	n := cs.seg.NumDocs()
+	if pred == nil {
+		return &allDocIDSet{numDocs: n}, nil
+	}
+	switch p := pred.(type) {
+	case pql.And:
+		children := make([]docIDSet, 0, len(p.Children))
+		for _, c := range p.Children {
+			child, err := buildFilter(cs, c, opt, stats)
+			if err != nil {
+				return nil, err
+			}
+			if _, empty := child.(emptyDocIDSet); empty {
+				return emptyDocIDSet{}, nil
+			}
+			if _, all := child.(*allDocIDSet); all {
+				continue
+			}
+			children = append(children, child)
+		}
+		switch len(children) {
+		case 0:
+			return &allDocIDSet{numDocs: n}, nil
+		case 1:
+			return children[0], nil
+		}
+		return &andDocIDSet{children: children}, nil
+	case pql.Or:
+		children := make([]docIDSet, 0, len(p.Children))
+		for _, c := range p.Children {
+			child, err := buildFilter(cs, c, opt, stats)
+			if err != nil {
+				return nil, err
+			}
+			if _, all := child.(*allDocIDSet); all {
+				return child, nil
+			}
+			if _, empty := child.(emptyDocIDSet); empty {
+				continue
+			}
+			children = append(children, child)
+		}
+		switch len(children) {
+		case 0:
+			return emptyDocIDSet{}, nil
+		case 1:
+			return children[0], nil
+		}
+		return &orDocIDSet{children: children}, nil
+	case pql.Not:
+		child, err := buildFilter(cs, p.Child, opt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &notDocIDSet{child: child, numDocs: n}, nil
+	default:
+		return buildLeafFilter(cs, pred, opt, stats)
+	}
+}
+
+func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats) (docIDSet, error) {
+	name := pql.PredicateColumns(pred)
+	if len(name) != 1 {
+		return nil, fmt.Errorf("query: leaf predicate must reference one column, got %v", name)
+	}
+	col, err := cs.column(name[0])
+	if err != nil {
+		return nil, err
+	}
+	n := cs.seg.NumDocs()
+
+	// Raw (no-dictionary) columns can only be scanned.
+	if !col.HasDictionary() {
+		match, err := valueMatcher(col.Spec().Type, pred)
+		if err != nil {
+			return nil, err
+		}
+		integral := col.Spec().Type.Integral()
+		return &scanDocIDSet{numDocs: n, match: func(doc int) bool {
+			if stats != nil {
+				stats.NumEntriesScanned++
+			}
+			if integral {
+				return match(col.Long(doc))
+			}
+			return match(col.Double(doc))
+		}}, nil
+	}
+
+	// Multi-value columns have contains-any semantics: negated predicates
+	// must complement at the document level, not the dictionary level.
+	if !col.Spec().SingleValue {
+		if pos, negated := positiveForm(pred); negated {
+			child, err := buildLeafFilter(cs, pos, opt, stats)
+			if err != nil {
+				return nil, err
+			}
+			return &notDocIDSet{child: child, numDocs: n}, nil
+		}
+	}
+
+	set, err := compileLeaf(col, pred)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case set.isEmpty():
+		return emptyDocIDSet{}, nil
+	case set.isAll():
+		// Predicate matches every value of the segment — the special
+		// case called out in paper 3.3.4.
+		return &allDocIDSet{numDocs: n}, nil
+	}
+
+	// Sorted physical order: contiguous doc ranges, cheapest operator.
+	if !opt.DisableSorted && !opt.ForceBitmap && col.IsSorted() {
+		var ranges []segment.DocRange
+		set.each(func(id int) {
+			s, e := col.DocIDRange(id)
+			if s < 0 {
+				return
+			}
+			if len(ranges) > 0 && ranges[len(ranges)-1].End == s {
+				ranges[len(ranges)-1].End = e
+			} else {
+				ranges = append(ranges, segment.DocRange{Start: s, End: e})
+			}
+		})
+		return &rangeDocIDSet{ranges: ranges}, nil
+	}
+
+	// Inverted index, unless the expected posting mass is so large that
+	// an iterator scan is cheaper (paper 4.2).
+	if col.HasInverted() {
+		expected := float64(set.size()) / float64(max(col.Cardinality(), 1))
+		if opt.ForceBitmap || expected <= opt.scanCutoff() {
+			bm := unionBitmaps(col, set)
+			if stats != nil {
+				stats.NumEntriesScanned += int64(bm.Cardinality())
+			}
+			return &bitmapDocIDSet{bm: bm}, nil
+		}
+	}
+
+	// Iterator scan over the forward index. Every evaluated document
+	// counts as a scanned entry.
+	if col.Spec().SingleValue {
+		return &scanDocIDSet{numDocs: n, match: func(doc int) bool {
+			if stats != nil {
+				stats.NumEntriesScanned++
+			}
+			return set.contains(col.DictID(doc))
+		}}, nil
+	}
+	var buf []int
+	return &scanDocIDSet{numDocs: n, match: func(doc int) bool {
+		buf = col.DictIDsMV(doc, buf[:0])
+		if stats != nil {
+			stats.NumEntriesScanned += int64(len(buf))
+		}
+		for _, id := range buf {
+			if set.contains(id) {
+				return true
+			}
+		}
+		return false
+	}}, nil
+}
+
+// positiveForm rewrites a negated leaf predicate into its positive
+// counterpart, reporting whether a rewrite happened.
+func positiveForm(pred pql.Predicate) (pql.Predicate, bool) {
+	switch p := pred.(type) {
+	case pql.Comparison:
+		if p.Op == pql.OpNeq {
+			return pql.Comparison{Column: p.Column, Op: pql.OpEq, Value: p.Value}, true
+		}
+	case pql.In:
+		if p.Negated {
+			return pql.In{Column: p.Column, Values: p.Values}, true
+		}
+	}
+	return pred, false
+}

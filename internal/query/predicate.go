@@ -1,0 +1,286 @@
+package query
+
+import (
+	"fmt"
+
+	"pinot/internal/bitmap"
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// idRange is a half-open range [Lo, Hi) of dictionary ids.
+type idRange struct {
+	Lo, Hi int
+}
+
+// idSet is the compiled form of a single-column predicate against a
+// segment's dictionary: the set of matching dict ids, as ranges when the
+// dictionary is sorted or as an explicit list otherwise.
+type idSet struct {
+	card   int
+	ranges []idRange // nil when list form is used
+	list   []int     // sorted ascending
+	lookup []bool    // membership table for list form, len card
+}
+
+func idSetFromRanges(card int, ranges ...idRange) *idSet {
+	var keep []idRange
+	for _, r := range ranges {
+		if r.Hi > r.Lo {
+			keep = append(keep, r)
+		}
+	}
+	return &idSet{card: card, ranges: keep}
+}
+
+func idSetFromList(card int, ids []int) *idSet {
+	lookup := make([]bool, card)
+	var list []int
+	for _, id := range ids {
+		if id >= 0 && id < card && !lookup[id] {
+			lookup[id] = true
+			list = append(list, id)
+		}
+	}
+	// Keep list sorted.
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j] < list[j-1]; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+	return &idSet{card: card, list: list, lookup: lookup}
+}
+
+// complement returns the ids not in s.
+func (s *idSet) complement() *idSet {
+	if s.ranges != nil {
+		var out []idRange
+		prev := 0
+		for _, r := range s.ranges {
+			if r.Lo > prev {
+				out = append(out, idRange{prev, r.Lo})
+			}
+			prev = r.Hi
+		}
+		if prev < s.card {
+			out = append(out, idRange{prev, s.card})
+		}
+		return &idSet{card: s.card, ranges: out}
+	}
+	var ids []int
+	for id := 0; id < s.card; id++ {
+		if !s.lookup[id] {
+			ids = append(ids, id)
+		}
+	}
+	return idSetFromList(s.card, ids)
+}
+
+// contains reports membership of a dict id.
+func (s *idSet) contains(id int) bool {
+	if s.ranges != nil {
+		for _, r := range s.ranges {
+			if id < r.Lo {
+				return false
+			}
+			if id < r.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	return id >= 0 && id < len(s.lookup) && s.lookup[id]
+}
+
+// isEmpty reports whether no ids match.
+func (s *idSet) isEmpty() bool { return len(s.ranges) == 0 && len(s.list) == 0 }
+
+// isAll reports whether every id matches.
+func (s *idSet) isAll() bool {
+	if s.ranges != nil {
+		return len(s.ranges) == 1 && s.ranges[0].Lo == 0 && s.ranges[0].Hi == s.card
+	}
+	return len(s.list) == s.card
+}
+
+// size returns the number of matching ids.
+func (s *idSet) size() int {
+	if s.ranges != nil {
+		n := 0
+		for _, r := range s.ranges {
+			n += r.Hi - r.Lo
+		}
+		return n
+	}
+	return len(s.list)
+}
+
+// each calls fn for every matching id in ascending order.
+func (s *idSet) each(fn func(id int)) {
+	if s.ranges != nil {
+		for _, r := range s.ranges {
+			for id := r.Lo; id < r.Hi; id++ {
+				fn(id)
+			}
+		}
+		return
+	}
+	for _, id := range s.list {
+		fn(id)
+	}
+}
+
+// compileLeaf compiles a leaf predicate against a dictionary column into the
+// matching dict-id set. The column's dictionary may be unsorted (realtime
+// segments), in which case the dictionary is scanned.
+func compileLeaf(col segment.ColumnReader, pred pql.Predicate) (*idSet, error) {
+	card := col.Cardinality()
+	typ := col.Spec().Type
+	coerce := func(v any) (any, error) {
+		cv, err := segment.Canonicalize(typ, v)
+		if err != nil {
+			return nil, fmt.Errorf("query: predicate on %q: %w", col.Spec().Name, err)
+		}
+		return cv, nil
+	}
+	// Unsorted dictionaries can only be scanned; build a value-level
+	// matcher and test every dictionary entry.
+	if !col.DictSorted() {
+		match, err := valueMatcher(typ, pred)
+		if err != nil {
+			return nil, err
+		}
+		var ids []int
+		for id := 0; id < card; id++ {
+			if match(col.Value(id)) {
+				ids = append(ids, id)
+			}
+		}
+		return idSetFromList(card, ids), nil
+	}
+	switch p := pred.(type) {
+	case pql.Comparison:
+		v, err := coerce(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Op {
+		case pql.OpEq:
+			if id, ok := col.IndexOf(v); ok {
+				return idSetFromRanges(card, idRange{id, id + 1}), nil
+			}
+			return idSetFromRanges(card), nil
+		case pql.OpNeq:
+			if id, ok := col.IndexOf(v); ok {
+				return idSetFromRanges(card, idRange{0, id}, idRange{id + 1, card}), nil
+			}
+			return idSetFromRanges(card, idRange{0, card}), nil
+		case pql.OpLt:
+			lo, hi := col.Range(nil, v, true, false)
+			return idSetFromRanges(card, idRange{lo, hi}), nil
+		case pql.OpLte:
+			lo, hi := col.Range(nil, v, true, true)
+			return idSetFromRanges(card, idRange{lo, hi}), nil
+		case pql.OpGt:
+			lo, hi := col.Range(v, nil, false, true)
+			return idSetFromRanges(card, idRange{lo, hi}), nil
+		case pql.OpGte:
+			lo, hi := col.Range(v, nil, true, true)
+			return idSetFromRanges(card, idRange{lo, hi}), nil
+		}
+		return nil, fmt.Errorf("query: unsupported operator %q", p.Op)
+	case pql.Between:
+		lo, err := coerce(p.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce(p.Hi)
+		if err != nil {
+			return nil, err
+		}
+		l, h := col.Range(lo, hi, true, true)
+		return idSetFromRanges(card, idRange{l, h}), nil
+	case pql.In:
+		var ids []int
+		for _, raw := range p.Values {
+			v, err := coerce(raw)
+			if err != nil {
+				return nil, err
+			}
+			if id, ok := col.IndexOf(v); ok {
+				ids = append(ids, id)
+			}
+		}
+		set := idSetFromList(card, ids)
+		if p.Negated {
+			return set.complement(), nil
+		}
+		return set, nil
+	}
+	return nil, fmt.Errorf("query: unsupported predicate %T", pred)
+}
+
+// valueMatcher builds a canonical-value-level predicate function, used for
+// unsorted dictionaries and raw (no-dictionary) columns.
+func valueMatcher(typ segment.DataType, pred pql.Predicate) (func(any) bool, error) {
+	coerce := func(v any) (any, error) { return segment.Canonicalize(typ, v) }
+	switch p := pred.(type) {
+	case pql.Comparison:
+		v, err := coerce(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		op := p.Op
+		return func(x any) bool {
+			c := segment.CompareValues(x, v)
+			switch op {
+			case pql.OpEq:
+				return c == 0
+			case pql.OpNeq:
+				return c != 0
+			case pql.OpLt:
+				return c < 0
+			case pql.OpLte:
+				return c <= 0
+			case pql.OpGt:
+				return c > 0
+			case pql.OpGte:
+				return c >= 0
+			}
+			return false
+		}, nil
+	case pql.Between:
+		lo, err := coerce(p.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce(p.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return func(x any) bool {
+			return segment.CompareValues(x, lo) >= 0 && segment.CompareValues(x, hi) <= 0
+		}, nil
+	case pql.In:
+		set := make(map[any]bool, len(p.Values))
+		for _, raw := range p.Values {
+			v, err := coerce(raw)
+			if err != nil {
+				return nil, err
+			}
+			set[v] = true
+		}
+		neg := p.Negated
+		return func(x any) bool { return set[x] != neg }, nil
+	}
+	return nil, fmt.Errorf("query: unsupported predicate %T", pred)
+}
+
+// unionBitmaps ORs the posting lists of every matching dict id.
+func unionBitmaps(col segment.ColumnReader, set *idSet) *bitmap.Bitmap {
+	out := bitmap.New()
+	set.each(func(id int) {
+		out = bitmap.Or(out, col.Inverted(id))
+	})
+	return out
+}

@@ -1,0 +1,259 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// Stats are the execution statistics attached to query responses, mirroring
+// the counters Pinot reports per query.
+type Stats struct {
+	NumDocsScanned         int64
+	NumEntriesScanned      int64
+	NumSegmentsQueried     int
+	NumSegmentsMatched     int
+	TotalDocs              int64
+	StarTreeSegments       int
+	StarTreeRecordsScanned int64
+	StarTreeRawDocs        int64
+	MetadataOnlySegments   int
+}
+
+// Merge folds another stats block into s.
+func (s *Stats) Merge(o Stats) {
+	s.NumDocsScanned += o.NumDocsScanned
+	s.NumEntriesScanned += o.NumEntriesScanned
+	s.NumSegmentsQueried += o.NumSegmentsQueried
+	s.NumSegmentsMatched += o.NumSegmentsMatched
+	s.TotalDocs += o.TotalDocs
+	s.StarTreeSegments += o.StarTreeSegments
+	s.StarTreeRecordsScanned += o.StarTreeRecordsScanned
+	s.StarTreeRawDocs += o.StarTreeRawDocs
+	s.MetadataOnlySegments += o.MetadataOnlySegments
+}
+
+// ResultKind distinguishes the three response shapes.
+type ResultKind uint8
+
+// Response shapes.
+const (
+	KindAggregation ResultKind = iota
+	KindGroupBy
+	KindSelection
+)
+
+// GroupEntry is one group of a group-by result: the group's column values
+// and one aggregation state per select expression.
+type GroupEntry struct {
+	Values []any
+	Aggs   []*AggState
+}
+
+// Intermediate is the mergeable partial result exchanged between segment
+// executors, servers, and brokers.
+type Intermediate struct {
+	Kind       ResultKind
+	AggExprs   []pql.Expression
+	Aggs       []*AggState
+	GroupCols  []string
+	Groups     map[string]*GroupEntry
+	SelectCols []string
+	// HiddenCols counts trailing SelectCols fetched only for ORDER BY;
+	// they are dropped from the final result after sorting.
+	HiddenCols int
+	Rows       [][]any
+	Stats      Stats
+}
+
+// NewAggIntermediate returns an empty aggregation result for the given
+// expressions.
+func NewAggIntermediate(exprs []pql.Expression) *Intermediate {
+	aggs := make([]*AggState, len(exprs))
+	for i, e := range exprs {
+		aggs[i] = NewAggState(e.Func)
+	}
+	return &Intermediate{Kind: KindAggregation, AggExprs: exprs, Aggs: aggs}
+}
+
+// Merge folds another partial result of the same shape into r.
+func (r *Intermediate) Merge(o *Intermediate) error {
+	if o == nil {
+		return nil
+	}
+	if r.Kind != o.Kind {
+		return fmt.Errorf("query: cannot merge %v result into %v result", o.Kind, r.Kind)
+	}
+	r.Stats.Merge(o.Stats)
+	switch r.Kind {
+	case KindAggregation:
+		if len(r.Aggs) != len(o.Aggs) {
+			return fmt.Errorf("query: aggregation arity mismatch: %d vs %d", len(r.Aggs), len(o.Aggs))
+		}
+		for i := range r.Aggs {
+			r.Aggs[i].Merge(o.Aggs[i])
+		}
+	case KindGroupBy:
+		if r.Groups == nil {
+			r.Groups = make(map[string]*GroupEntry, len(o.Groups))
+		}
+		for k, g := range o.Groups {
+			if mine, ok := r.Groups[k]; ok {
+				for i := range mine.Aggs {
+					mine.Aggs[i].Merge(g.Aggs[i])
+				}
+			} else {
+				r.Groups[k] = g
+			}
+		}
+	case KindSelection:
+		r.Rows = append(r.Rows, o.Rows...)
+	}
+	return nil
+}
+
+// Result is a finalized query response.
+type Result struct {
+	Columns    []string
+	Rows       [][]any
+	Stats      Stats
+	Partial    bool
+	Exceptions []string
+	// TimeMillis is filled by brokers with end-to-end latency.
+	TimeMillis int64
+}
+
+// Finalize converts a merged intermediate into the client-visible result.
+func (r *Intermediate) Finalize(q *pql.Query) *Result {
+	out := &Result{Stats: r.Stats}
+	switch r.Kind {
+	case KindAggregation:
+		for _, e := range r.AggExprs {
+			out.Columns = append(out.Columns, e.String())
+		}
+		row := make([]any, len(r.Aggs))
+		for i, s := range r.Aggs {
+			row[i] = s.Result()
+		}
+		out.Rows = [][]any{row}
+	case KindGroupBy:
+		out.Columns = append(out.Columns, r.GroupCols...)
+		for _, e := range r.AggExprs {
+			out.Columns = append(out.Columns, e.String())
+		}
+		type scored struct {
+			entry *GroupEntry
+			score float64
+		}
+		groups := make([]scored, 0, len(r.Groups))
+		for _, g := range r.Groups {
+			groups = append(groups, scored{g, orderScore(g.Aggs[0])})
+		}
+		// Pinot's group-by returns the TOP n groups ordered by the
+		// first aggregation, descending.
+		sort.Slice(groups, func(i, j int) bool {
+			if groups[i].score != groups[j].score {
+				return groups[i].score > groups[j].score
+			}
+			return groupKeyLess(groups[i].entry.Values, groups[j].entry.Values)
+		})
+		top := q.Top
+		if top <= 0 {
+			top = pql.DefaultTop
+		}
+		if len(groups) > top {
+			groups = groups[:top]
+		}
+		for _, g := range groups {
+			row := append([]any(nil), g.entry.Values...)
+			for _, s := range g.entry.Aggs {
+				row = append(row, s.Result())
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	case KindSelection:
+		out.Columns = r.SelectCols
+		rows := r.Rows
+		visible := len(r.SelectCols) - r.HiddenCols
+		if len(q.OrderBy) > 0 {
+			idx := make([]int, 0, len(q.OrderBy))
+			desc := make([]bool, 0, len(q.OrderBy))
+			for _, o := range q.OrderBy {
+				for i, c := range r.SelectCols {
+					if c == o.Column {
+						idx = append(idx, i)
+						desc = append(desc, o.Descending)
+						break
+					}
+				}
+			}
+			sort.SliceStable(rows, func(a, b int) bool {
+				for k, i := range idx {
+					c := segment.CompareValues(rows[a][i], rows[b][i])
+					if c == 0 {
+						continue
+					}
+					if desc[k] {
+						return c > 0
+					}
+					return c < 0
+				}
+				return false
+			})
+		}
+		if q.Offset < len(rows) {
+			rows = rows[q.Offset:]
+		} else {
+			rows = nil
+		}
+		if q.Limit >= 0 && len(rows) > q.Limit {
+			rows = rows[:q.Limit]
+		}
+		if r.HiddenCols > 0 {
+			out.Columns = r.SelectCols[:visible]
+			trimmed := make([][]any, len(rows))
+			for i, row := range rows {
+				trimmed[i] = row[:visible]
+			}
+			rows = trimmed
+		}
+		out.Rows = rows
+	}
+	return out
+}
+
+func orderScore(s *AggState) float64 {
+	switch v := s.Result().(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	}
+	return 0
+}
+
+func groupKeyLess(a, b []any) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		c := segment.CompareValues(a[i], b[i])
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// GroupKey builds the value-based group key shared across segments and
+// servers.
+func GroupKey(values []any) string {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, "\x00")
+}

@@ -1,0 +1,122 @@
+package query
+
+import (
+	"testing"
+
+	"pinot/internal/segment"
+)
+
+// TestFloatAndBoolDimensions exercises float64 and boolean dictionary
+// columns end to end: equality, ranges and group-bys over the two remaining
+// dictionary types.
+func TestFloatAndBoolDimensions(t *testing.T) {
+	sch, err := segment.NewSchema("sensors", []segment.FieldSpec{
+		{Name: "threshold", Type: segment.TypeDouble, Kind: segment.Dimension, SingleValue: true},
+		{Name: "active", Type: segment.TypeBoolean, Kind: segment.Dimension, SingleValue: true},
+		{Name: "reading", Type: segment.TypeDouble, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		th     float64
+		active bool
+		val    float64
+	}
+	var rows []row
+	for i := 0; i < 400; i++ {
+		rows = append(rows, row{
+			th:     float64(i%8) / 2,
+			active: i%3 == 0,
+			val:    float64(i),
+		})
+	}
+	for cfgName, cfg := range map[string]segment.IndexConfig{
+		"scan":     {},
+		"inverted": {InvertedColumns: []string{"threshold", "active"}},
+		"sorted":   {SortColumn: "threshold"},
+	} {
+		b, err := segment.NewBuilder("sensors", "s0", sch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if err := b.Add(segment.Row{r.th, r.active, r.val}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seg, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := []IndexedSegment{{Seg: seg}}
+
+		// Float equality and range.
+		res := runPQL(t, segs, "SELECT count(*) FROM sensors WHERE threshold = 1.5", Options{})
+		var want int64
+		for _, r := range rows {
+			if r.th == 1.5 {
+				want++
+			}
+		}
+		if got := res.Rows[0][0].(int64); got != want {
+			t.Errorf("[%s] threshold=1.5 count %d, want %d", cfgName, got, want)
+		}
+		res = runPQL(t, segs, "SELECT sum(reading) FROM sensors WHERE threshold >= 2.5", Options{})
+		var wantSum float64
+		for _, r := range rows {
+			if r.th >= 2.5 {
+				wantSum += r.val
+			}
+		}
+		if got := res.Rows[0][0].(float64); got != wantSum {
+			t.Errorf("[%s] range sum %v, want %v", cfgName, got, wantSum)
+		}
+		// Boolean predicates and group-by.
+		res = runPQL(t, segs, "SELECT count(*) FROM sensors WHERE active = true", Options{})
+		want = 0
+		for _, r := range rows {
+			if r.active {
+				want++
+			}
+		}
+		if got := res.Rows[0][0].(int64); got != want {
+			t.Errorf("[%s] active=true count %d, want %d", cfgName, got, want)
+		}
+		res = runPQL(t, segs, "SELECT count(*) FROM sensors WHERE active <> false GROUP BY active TOP 5", Options{})
+		if len(res.Rows) != 1 || res.Rows[0][0] != true || res.Rows[0][1].(int64) != want {
+			t.Errorf("[%s] bool group rows = %v", cfgName, res.Rows)
+		}
+		// Group by a float dimension.
+		gres := runPQL(t, segs, "SELECT count(*) FROM sensors GROUP BY threshold TOP 100", Options{})
+		if len(gres.Rows) != 8 {
+			t.Errorf("[%s] float groups = %d", cfgName, len(gres.Rows))
+		}
+		var total int64
+		for _, r := range gres.Rows {
+			total += r[1].(int64)
+		}
+		if total != 400 {
+			t.Errorf("[%s] float group total = %d", cfgName, total)
+		}
+		// Round trip through serialization preserves typed dictionaries.
+		blob, err := seg.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := segment.Unmarshal(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2 := runPQL(t, []IndexedSegment{{Seg: loaded}}, "SELECT count(*) FROM sensors WHERE threshold = 1.5", Options{})
+		var want15 int64
+		for _, r := range rows {
+			if r.th == 1.5 {
+				want15++
+			}
+		}
+		if got := res2.Rows[0][0].(int64); got != want15 {
+			t.Errorf("[%s] round-trip count = %d, want %d", cfgName, got, want15)
+		}
+	}
+}

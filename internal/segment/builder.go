@@ -1,0 +1,347 @@
+package segment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IndexConfig selects the physical layout of a built segment.
+type IndexConfig struct {
+	// SortColumn physically reorders records by this single-value
+	// dimension, enabling the contiguous-range execution path of paper
+	// section 4.2. Empty means input order is preserved.
+	SortColumn string
+	// InvertedColumns get bitmap inverted indexes at build time. Indexes
+	// can also be added later with Segment.AddInvertedIndex.
+	InvertedColumns []string
+}
+
+// columnBuffer accumulates the values of one column during a build.
+type columnBuffer struct {
+	spec    FieldSpec
+	longs   []int64
+	doubles []float64
+	strings []string
+	bools   []bool
+	mvLongs [][]int64
+	mvDbls  [][]float64
+	mvStrs  [][]string
+	mvBools [][]bool
+}
+
+func (b *columnBuffer) add(v any) error {
+	f := b.spec
+	if f.SingleValue {
+		switch {
+		case f.Type.Integral():
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("segment: column %q: want int64, got %T", f.Name, v)
+			}
+			b.longs = append(b.longs, x)
+		case f.Type.Numeric():
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("segment: column %q: want float64, got %T", f.Name, v)
+			}
+			b.doubles = append(b.doubles, x)
+		case f.Type == TypeBoolean:
+			x, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("segment: column %q: want bool, got %T", f.Name, v)
+			}
+			b.bools = append(b.bools, x)
+		default:
+			x, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("segment: column %q: want string, got %T", f.Name, v)
+			}
+			b.strings = append(b.strings, x)
+		}
+		return nil
+	}
+	switch {
+	case f.Type.Integral():
+		x, ok := v.([]int64)
+		if !ok {
+			return fmt.Errorf("segment: column %q: want []int64, got %T", f.Name, v)
+		}
+		b.mvLongs = append(b.mvLongs, x)
+	case f.Type.Numeric():
+		x, ok := v.([]float64)
+		if !ok {
+			return fmt.Errorf("segment: column %q: want []float64, got %T", f.Name, v)
+		}
+		b.mvDbls = append(b.mvDbls, x)
+	case f.Type == TypeBoolean:
+		x, ok := v.([]bool)
+		if !ok {
+			return fmt.Errorf("segment: column %q: want []bool, got %T", f.Name, v)
+		}
+		b.mvBools = append(b.mvBools, x)
+	default:
+		x, ok := v.([]string)
+		if !ok {
+			return fmt.Errorf("segment: column %q: want []string, got %T", f.Name, v)
+		}
+		b.mvStrs = append(b.mvStrs, x)
+	}
+	return nil
+}
+
+// scalar returns the single value at row i as a canonical any.
+func (b *columnBuffer) scalar(i int) any {
+	f := b.spec
+	switch {
+	case f.Type.Integral():
+		return b.longs[i]
+	case f.Type.Numeric():
+		return b.doubles[i]
+	case f.Type == TypeBoolean:
+		return b.bools[i]
+	default:
+		return b.strings[i]
+	}
+}
+
+// multi returns the values at row i of a multi-value column as canonical
+// anys.
+func (b *columnBuffer) multi(i int) []any {
+	f := b.spec
+	switch {
+	case f.Type.Integral():
+		out := make([]any, len(b.mvLongs[i]))
+		for j, v := range b.mvLongs[i] {
+			out[j] = v
+		}
+		return out
+	case f.Type.Numeric():
+		out := make([]any, len(b.mvDbls[i]))
+		for j, v := range b.mvDbls[i] {
+			out[j] = v
+		}
+		return out
+	case f.Type == TypeBoolean:
+		out := make([]any, len(b.mvBools[i]))
+		for j, v := range b.mvBools[i] {
+			out[j] = v
+		}
+		return out
+	default:
+		out := make([]any, len(b.mvStrs[i]))
+		for j, v := range b.mvStrs[i] {
+			out[j] = v
+		}
+		return out
+	}
+}
+
+// Builder accumulates rows and produces an immutable Segment. It is not safe
+// for concurrent use.
+type Builder struct {
+	name    string
+	table   string
+	schema  *Schema
+	cfg     IndexConfig
+	buffers []*columnBuffer
+	numRows int
+}
+
+// NewBuilder returns a Builder for a named segment. The sort column, if set,
+// must be a single-value dictionary column of the schema.
+func NewBuilder(table, name string, schema *Schema, cfg IndexConfig) (*Builder, error) {
+	if cfg.SortColumn != "" {
+		f, ok := schema.Field(cfg.SortColumn)
+		if !ok {
+			return nil, fmt.Errorf("segment: sort column %q not in schema", cfg.SortColumn)
+		}
+		if !f.SingleValue {
+			return nil, fmt.Errorf("segment: sort column %q must be single-value", cfg.SortColumn)
+		}
+		if f.Kind == Metric {
+			return nil, fmt.Errorf("segment: sort column %q must be a dimension", cfg.SortColumn)
+		}
+	}
+	for _, ic := range cfg.InvertedColumns {
+		f, ok := schema.Field(ic)
+		if !ok {
+			return nil, fmt.Errorf("segment: inverted column %q not in schema", ic)
+		}
+		if f.Kind == Metric {
+			return nil, fmt.Errorf("segment: inverted column %q must be a dimension", ic)
+		}
+	}
+	b := &Builder{name: name, table: table, schema: schema, cfg: cfg}
+	b.buffers = make([]*columnBuffer, len(schema.Fields))
+	for i, f := range schema.Fields {
+		b.buffers[i] = &columnBuffer{spec: f}
+	}
+	return b, nil
+}
+
+// Add appends a row. Values must align positionally with the schema fields
+// and be canonical (int64/float64/string/bool, or slices for multi-value).
+func (b *Builder) Add(row Row) error {
+	if len(row) != len(b.schema.Fields) {
+		return fmt.Errorf("segment: row has %d values, schema has %d fields", len(row), len(b.schema.Fields))
+	}
+	for i, v := range row {
+		if err := b.buffers[i].add(v); err != nil {
+			return err
+		}
+	}
+	b.numRows++
+	return nil
+}
+
+// AddMap appends a row given as a column-name→value map, canonicalizing
+// loosely typed values.
+func (b *Builder) AddMap(m map[string]any) error {
+	row, err := b.schema.RowFromMap(m)
+	if err != nil {
+		return err
+	}
+	return b.Add(row)
+}
+
+// NumRows returns the number of rows added so far.
+func (b *Builder) NumRows() int { return b.numRows }
+
+// Build produces the immutable segment. The builder must not be reused
+// afterwards.
+func (b *Builder) Build() (*Segment, error) {
+	if b.numRows == 0 {
+		return nil, fmt.Errorf("segment: cannot build empty segment %q", b.name)
+	}
+	n := b.numRows
+
+	// Compute the document permutation for the sort column.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if b.cfg.SortColumn != "" {
+		buf := b.buffers[b.schema.FieldIndex(b.cfg.SortColumn)]
+		sort.SliceStable(perm, func(i, j int) bool {
+			return CompareValues(buf.scalar(perm[i]), buf.scalar(perm[j])) < 0
+		})
+	}
+
+	inverted := make(map[string]bool, len(b.cfg.InvertedColumns))
+	for _, ic := range b.cfg.InvertedColumns {
+		inverted[ic] = true
+	}
+
+	columns := make(map[string]*Column, len(b.schema.Fields))
+	var minTime, maxTime int64
+	timeCol := b.schema.TimeColumn()
+	for fi, f := range b.schema.Fields {
+		buf := b.buffers[fi]
+		col := &Column{spec: f, numDocs: n}
+		if f.Kind == Metric {
+			// Raw metric storage in permuted document order.
+			if f.Type.Integral() {
+				values := make([]int64, n)
+				for doc, src := range perm {
+					values[doc] = buf.longs[src]
+				}
+				col.metric = newLongMetricColumn(values)
+			} else {
+				values := make([]float64, n)
+				for doc, src := range perm {
+					values[doc] = buf.doubles[src]
+				}
+				col.metric = newDoubleMetricColumn(values)
+			}
+			columns[f.Name] = col
+			continue
+		}
+		// Dictionary-encoded dimension / time column.
+		var dict Dictionary
+		var err error
+		if f.SingleValue {
+			values := make([]any, n)
+			for i := 0; i < n; i++ {
+				values[i] = buf.scalar(i)
+			}
+			dict, err = newDictionary(f.Type, values)
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]int, n)
+			for doc, src := range perm {
+				id, ok := dict.IndexOf(values[src])
+				if !ok {
+					return nil, fmt.Errorf("segment: internal: value missing from dictionary for %q", f.Name)
+				}
+				ids[doc] = id
+			}
+			col.dict = dict
+			col.fwd = newSVForwardIndex(ids, dict.Len())
+			col.sortedRanges = col.detectSortedRanges()
+		} else {
+			var flat []any
+			for i := 0; i < n; i++ {
+				flat = append(flat, buf.multi(i)...)
+			}
+			if len(flat) == 0 {
+				return nil, fmt.Errorf("segment: multi-value column %q has no values", f.Name)
+			}
+			dict, err = newDictionary(f.Type, flat)
+			if err != nil {
+				return nil, err
+			}
+			idLists := make([][]int, n)
+			for doc, src := range perm {
+				vals := buf.multi(src)
+				ids := make([]int, len(vals))
+				for j, v := range vals {
+					id, ok := dict.IndexOf(v)
+					if !ok {
+						return nil, fmt.Errorf("segment: internal: value missing from dictionary for %q", f.Name)
+					}
+					ids[j] = id
+				}
+				idLists[doc] = ids
+			}
+			col.dict = dict
+			col.mv = newMVForwardIndex(idLists, dict.Len())
+		}
+		if inverted[f.Name] {
+			col.buildInverted()
+		}
+		if f.Name == timeCol {
+			minTime = dict.Min().(int64)
+			maxTime = dict.Max().(int64)
+		}
+		columns[f.Name] = col
+	}
+
+	meta := Metadata{
+		Name:       b.name,
+		Table:      b.table,
+		Schema:     b.schema,
+		NumDocs:    n,
+		SortColumn: b.cfg.SortColumn,
+		TimeColumn: timeCol,
+		MinTime:    minTime,
+		MaxTime:    maxTime,
+	}
+	for _, f := range b.schema.Fields {
+		c := columns[f.Name]
+		meta.Columns = append(meta.Columns, ColumnMetadata{
+			Name:          f.Name,
+			Type:          f.Type,
+			Kind:          f.Kind,
+			SingleValue:   f.SingleValue,
+			Cardinality:   c.Cardinality(),
+			Sorted:        c.IsSorted(),
+			HasDictionary: c.HasDictionary(),
+			HasInverted:   c.HasInverted(),
+			BitsPerValue:  c.BitsPerValue(),
+			MinValue:      fmt.Sprint(c.MinValue()),
+			MaxValue:      fmt.Sprint(c.MaxValue()),
+		})
+	}
+	return &Segment{meta: meta, columns: columns}, nil
+}

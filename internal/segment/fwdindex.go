@@ -1,0 +1,339 @@
+package segment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// packedInts is a fixed-bit-width packed integer array, the storage layout
+// for dictionary-id forward indexes. Width is chosen from the column
+// cardinality so a column with 1000 distinct values costs 10 bits per row.
+type packedInts struct {
+	width uint8 // bits per value, 1..32
+	n     int
+	words []uint64
+}
+
+// bitsNeeded returns the number of bits required to represent values in
+// [0, maxValue].
+func bitsNeeded(maxValue int) uint8 {
+	if maxValue <= 0 {
+		return 1
+	}
+	return uint8(bits.Len64(uint64(maxValue)))
+}
+
+func newPackedInts(n int, width uint8) *packedInts {
+	if width == 0 || width > 32 {
+		panic(fmt.Sprintf("segment: invalid packed width %d", width))
+	}
+	words := make([]uint64, (n*int(width)+63)/64)
+	return &packedInts{width: width, n: n, words: words}
+}
+
+func (p *packedInts) set(i int, v uint32) {
+	bitPos := i * int(p.width)
+	w, off := bitPos>>6, uint(bitPos&63)
+	p.words[w] |= uint64(v) << off
+	if spill := off + uint(p.width); spill > 64 {
+		p.words[w+1] |= uint64(v) >> (64 - off)
+	}
+}
+
+func (p *packedInts) get(i int) uint32 {
+	bitPos := i * int(p.width)
+	w, off := bitPos>>6, uint(bitPos&63)
+	v := p.words[w] >> off
+	if spill := off + uint(p.width); spill > 64 {
+		v |= p.words[w+1] << (64 - off)
+	}
+	return uint32(v & (1<<p.width - 1))
+}
+
+func (p *packedInts) writeTo(w io.Writer) error {
+	hdr := []any{uint8(p.width), uint64(p.n)}
+	for _, h := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, p.words)
+}
+
+func readPackedInts(r *bytes.Reader) (*packedInts, error) {
+	var width uint8
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &width); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if width == 0 || width > 32 {
+		return nil, fmt.Errorf("segment: corrupt packed ints width %d", width)
+	}
+	words := (n*uint64(width) + 63) / 64
+	if words*8 > uint64(r.Len()) {
+		return nil, fmt.Errorf("segment: corrupt packed ints length %d", n)
+	}
+	p := newPackedInts(int(n), width)
+	if err := binary.Read(r, binary.LittleEndian, p.words); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SVForwardIndex is a single-value dictionary-id forward index.
+type SVForwardIndex struct {
+	packed *packedInts
+}
+
+// newSVForwardIndex packs the given dict ids with the minimal width for the
+// cardinality.
+func newSVForwardIndex(ids []int, cardinality int) *SVForwardIndex {
+	p := newPackedInts(len(ids), bitsNeeded(cardinality-1))
+	for i, id := range ids {
+		p.set(i, uint32(id))
+	}
+	return &SVForwardIndex{packed: p}
+}
+
+// Get returns the dict id at a document position.
+func (f *SVForwardIndex) Get(doc int) int { return int(f.packed.get(doc)) }
+
+// NumDocs returns the number of documents.
+func (f *SVForwardIndex) NumDocs() int { return f.packed.n }
+
+// BitsPerValue returns the packed width, exposed for metadata/stats.
+func (f *SVForwardIndex) BitsPerValue() int { return int(f.packed.width) }
+
+func (f *SVForwardIndex) writeTo(w io.Writer) error { return f.packed.writeTo(w) }
+
+func readSVForwardIndex(r *bytes.Reader) (*SVForwardIndex, error) {
+	p, err := readPackedInts(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SVForwardIndex{packed: p}, nil
+}
+
+// MVForwardIndex is a multi-value dictionary-id forward index: an offsets
+// array into a packed value stream.
+type MVForwardIndex struct {
+	offsets []uint32 // len = numDocs+1
+	packed  *packedInts
+}
+
+func newMVForwardIndex(idLists [][]int, cardinality int) *MVForwardIndex {
+	total := 0
+	for _, ids := range idLists {
+		total += len(ids)
+	}
+	offsets := make([]uint32, len(idLists)+1)
+	p := newPackedInts(total, bitsNeeded(cardinality-1))
+	pos := 0
+	for i, ids := range idLists {
+		offsets[i] = uint32(pos)
+		for _, id := range ids {
+			p.set(pos, uint32(id))
+			pos++
+		}
+	}
+	offsets[len(idLists)] = uint32(pos)
+	return &MVForwardIndex{offsets: offsets, packed: p}
+}
+
+// Get appends the dict ids of a document to buf and returns it.
+func (f *MVForwardIndex) Get(doc int, buf []int) []int {
+	start, end := f.offsets[doc], f.offsets[doc+1]
+	for i := start; i < end; i++ {
+		buf = append(buf, int(f.packed.get(int(i))))
+	}
+	return buf
+}
+
+// NumDocs returns the number of documents.
+func (f *MVForwardIndex) NumDocs() int { return len(f.offsets) - 1 }
+
+// validate checks offsets are monotonic, end at the packed stream length,
+// and that every packed id is within the dictionary.
+func (f *MVForwardIndex) validate(cardinality int) error {
+	if len(f.offsets) == 0 {
+		return fmt.Errorf("segment: MV index missing offsets")
+	}
+	for i := 1; i < len(f.offsets); i++ {
+		if f.offsets[i] < f.offsets[i-1] {
+			return fmt.Errorf("segment: MV offsets not monotonic at %d", i)
+		}
+	}
+	if int(f.offsets[len(f.offsets)-1]) != f.packed.n {
+		return fmt.Errorf("segment: MV offsets end at %d, packed stream has %d", f.offsets[len(f.offsets)-1], f.packed.n)
+	}
+	for i := 0; i < f.packed.n; i++ {
+		if int(f.packed.get(i)) >= cardinality {
+			return fmt.Errorf("segment: MV entry %d has dict id %d beyond cardinality %d", i, f.packed.get(i), cardinality)
+		}
+	}
+	return nil
+}
+
+// MaxEntries returns the largest per-document value count.
+func (f *MVForwardIndex) MaxEntries() int {
+	max := 0
+	for i := 0; i < f.NumDocs(); i++ {
+		if n := int(f.offsets[i+1] - f.offsets[i]); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func (f *MVForwardIndex) writeTo(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(f.offsets))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, f.offsets); err != nil {
+		return err
+	}
+	return f.packed.writeTo(w)
+}
+
+func readMVForwardIndex(r *bytes.Reader) (*MVForwardIndex, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n*4 > uint64(r.Len()) {
+		return nil, fmt.Errorf("segment: corrupt MV offset count %d", n)
+	}
+	offsets := make([]uint32, n)
+	if err := binary.Read(r, binary.LittleEndian, offsets); err != nil {
+		return nil, err
+	}
+	p, err := readPackedInts(r)
+	if err != nil {
+		return nil, err
+	}
+	return &MVForwardIndex{offsets: offsets, packed: p}, nil
+}
+
+// MetricColumn stores raw (non-dictionary) metric values for fast
+// aggregation scans.
+type MetricColumn interface {
+	Type() DataType
+	NumDocs() int
+	Long(doc int) int64
+	Double(doc int) float64
+	MinLong() int64
+	MaxLong() int64
+	MinDouble() float64
+	MaxDouble() float64
+}
+
+type longMetricColumn struct {
+	values   []int64
+	min, max int64
+}
+
+func newLongMetricColumn(values []int64) *longMetricColumn {
+	c := &longMetricColumn{values: values}
+	if len(values) > 0 {
+		c.min, c.max = values[0], values[0]
+		for _, v := range values[1:] {
+			if v < c.min {
+				c.min = v
+			}
+			if v > c.max {
+				c.max = v
+			}
+		}
+	}
+	return c
+}
+
+func (c *longMetricColumn) Type() DataType         { return TypeLong }
+func (c *longMetricColumn) NumDocs() int           { return len(c.values) }
+func (c *longMetricColumn) Long(doc int) int64     { return c.values[doc] }
+func (c *longMetricColumn) Double(doc int) float64 { return float64(c.values[doc]) }
+func (c *longMetricColumn) MinLong() int64         { return c.min }
+func (c *longMetricColumn) MaxLong() int64         { return c.max }
+func (c *longMetricColumn) MinDouble() float64     { return float64(c.min) }
+func (c *longMetricColumn) MaxDouble() float64     { return float64(c.max) }
+
+type doubleMetricColumn struct {
+	values   []float64
+	min, max float64
+}
+
+func newDoubleMetricColumn(values []float64) *doubleMetricColumn {
+	c := &doubleMetricColumn{values: values}
+	if len(values) > 0 {
+		c.min, c.max = values[0], values[0]
+		for _, v := range values[1:] {
+			if v < c.min {
+				c.min = v
+			}
+			if v > c.max {
+				c.max = v
+			}
+		}
+	}
+	return c
+}
+
+func (c *doubleMetricColumn) Type() DataType         { return TypeDouble }
+func (c *doubleMetricColumn) NumDocs() int           { return len(c.values) }
+func (c *doubleMetricColumn) Long(doc int) int64     { return int64(c.values[doc]) }
+func (c *doubleMetricColumn) Double(doc int) float64 { return c.values[doc] }
+func (c *doubleMetricColumn) MinLong() int64         { return int64(c.min) }
+func (c *doubleMetricColumn) MaxLong() int64         { return int64(c.max) }
+func (c *doubleMetricColumn) MinDouble() float64     { return c.min }
+func (c *doubleMetricColumn) MaxDouble() float64     { return c.max }
+
+func writeMetricColumn(w io.Writer, m MetricColumn) error {
+	if err := binary.Write(w, binary.LittleEndian, uint8(m.Type())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(m.NumDocs())); err != nil {
+		return err
+	}
+	switch c := m.(type) {
+	case *longMetricColumn:
+		return binary.Write(w, binary.LittleEndian, c.values)
+	case *doubleMetricColumn:
+		return binary.Write(w, binary.LittleEndian, c.values)
+	}
+	return fmt.Errorf("segment: unknown metric column type %T", m)
+}
+
+func readMetricColumn(r *bytes.Reader) (MetricColumn, error) {
+	var t uint8
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &t); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n*8 > uint64(r.Len()) {
+		return nil, fmt.Errorf("segment: corrupt metric column length %d", n)
+	}
+	switch DataType(t) {
+	case TypeLong:
+		values := make([]int64, n)
+		if err := binary.Read(r, binary.LittleEndian, values); err != nil {
+			return nil, err
+		}
+		return newLongMetricColumn(values), nil
+	case TypeDouble:
+		values := make([]float64, n)
+		if err := binary.Read(r, binary.LittleEndian, values); err != nil {
+			return nil, err
+		}
+		return newDoubleMetricColumn(values), nil
+	}
+	return nil, fmt.Errorf("segment: unknown metric column type byte %d", t)
+}

@@ -1,0 +1,496 @@
+package segment
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pinot/internal/bitmap"
+)
+
+// Segment on-disk layout: a directory holding metadata.json and columns.psf.
+// columns.psf is an append-only block file (paper section 3.2: "This file is
+// append-only which allows the server to create inverted indexes on
+// demand"): blocks added later for the same column+type override earlier
+// ones at load time.
+const (
+	// MetadataFile is the JSON metadata file name inside a segment dir.
+	MetadataFile = "metadata.json"
+	// IndexFile is the columnar index block file name inside a segment dir.
+	IndexFile = "columns.psf"
+)
+
+const psfMagic = uint32(0x50_53_46_31) // "PSF1"
+
+// maxBlockBytes bounds a single index block; corrupted headers fail fast
+// instead of over-allocating.
+const maxBlockBytes = 1 << 31
+
+// validate sanity-checks deserialized metadata before any index block is
+// interpreted against it.
+func (m *Metadata) validate() error {
+	if m.Schema == nil {
+		return errors.New("segment: metadata missing schema")
+	}
+	if m.Name == "" {
+		return errors.New("segment: metadata missing segment name")
+	}
+	if m.NumDocs <= 0 {
+		return fmt.Errorf("segment: metadata has invalid document count %d", m.NumDocs)
+	}
+	return nil
+}
+
+type blockType uint8
+
+const (
+	blockDict blockType = iota + 1
+	blockSVFwd
+	blockMVFwd
+	blockMetric
+	blockInverted
+	blockStarTree
+	blockMetadata
+)
+
+func writeBlock(w io.Writer, name string, bt blockType, payload []byte) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(bt)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(payload))); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+type block struct {
+	name    string
+	typ     blockType
+	payload []byte
+}
+
+func readBlock(r io.Reader) (*block, error) {
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	var bt uint8
+	if err := binary.Read(r, binary.LittleEndian, &bt); err != nil {
+		return nil, err
+	}
+	var plen uint64
+	if err := binary.Read(r, binary.LittleEndian, &plen); err != nil {
+		return nil, err
+	}
+	if plen > maxBlockBytes {
+		return nil, fmt.Errorf("segment: corrupt block length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return &block{name: string(name), typ: blockType(bt), payload: payload}, nil
+}
+
+func (c *Column) invertedPayload() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(c.inverted))); err != nil {
+		return nil, err
+	}
+	for _, bm := range c.inverted {
+		if _, err := bm.WriteTo(&buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func parseInvertedPayload(payload []byte) ([]*bitmap.Bitmap, error) {
+	r := bytes.NewReader(payload)
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int64(n) > int64(r.Len()) {
+		return nil, fmt.Errorf("segment: corrupt inverted index cardinality %d", n)
+	}
+	out := make([]*bitmap.Bitmap, n)
+	for i := range out {
+		bm := bitmap.New()
+		if _, err := bm.ReadFrom(r); err != nil {
+			return nil, err
+		}
+		out[i] = bm
+	}
+	return out, nil
+}
+
+// writeIndexBlocks writes every column's blocks (and the star-tree, if
+// present) to w in the PSF block format, preceded by the magic.
+func (s *Segment) writeIndexBlocks(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, psfMagic); err != nil {
+		return err
+	}
+	for _, f := range s.meta.Schema.Fields {
+		c := s.columns[f.Name]
+		if c.dict != nil {
+			var buf bytes.Buffer
+			if err := writeDictionary(&buf, c.dict); err != nil {
+				return err
+			}
+			if err := writeBlock(w, f.Name, blockDict, buf.Bytes()); err != nil {
+				return err
+			}
+		}
+		switch {
+		case c.fwd != nil:
+			var buf bytes.Buffer
+			if err := c.fwd.writeTo(&buf); err != nil {
+				return err
+			}
+			if err := writeBlock(w, f.Name, blockSVFwd, buf.Bytes()); err != nil {
+				return err
+			}
+		case c.mv != nil:
+			var buf bytes.Buffer
+			if err := c.mv.writeTo(&buf); err != nil {
+				return err
+			}
+			if err := writeBlock(w, f.Name, blockMVFwd, buf.Bytes()); err != nil {
+				return err
+			}
+		case c.metric != nil:
+			var buf bytes.Buffer
+			if err := writeMetricColumn(&buf, c.metric); err != nil {
+				return err
+			}
+			if err := writeBlock(w, f.Name, blockMetric, buf.Bytes()); err != nil {
+				return err
+			}
+		}
+		if c.inverted != nil {
+			payload, err := c.invertedPayload()
+			if err != nil {
+				return err
+			}
+			if err := writeBlock(w, f.Name, blockInverted, payload); err != nil {
+				return err
+			}
+		}
+	}
+	if s.starTreeData != nil {
+		if err := writeBlock(w, "", blockStarTree, s.starTreeData); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadIndexBlocks reconstructs columns from a PSF stream, given metadata.
+func loadIndexBlocks(r io.Reader, meta *Metadata) (map[string]*Column, []byte, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, nil, err
+	}
+	if magic != psfMagic {
+		return nil, nil, errors.New("segment: bad index file magic")
+	}
+	columns := make(map[string]*Column)
+	var starTree []byte
+	colFor := func(name string) (*Column, error) {
+		if c, ok := columns[name]; ok {
+			return c, nil
+		}
+		f, ok := meta.Schema.Field(name)
+		if !ok {
+			return nil, fmt.Errorf("segment: index block for unknown column %q", name)
+		}
+		c := &Column{spec: f, numDocs: meta.NumDocs}
+		columns[name] = c
+		return c, nil
+	}
+	for {
+		b, err := readBlock(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if b.typ == blockStarTree {
+			starTree = b.payload
+			continue
+		}
+		c, err := colFor(b.name)
+		if err != nil {
+			return nil, nil, err
+		}
+		br := bytes.NewReader(b.payload)
+		switch b.typ {
+		case blockDict:
+			d, err := readDictionary(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Preserve the declared type over the storage type.
+			c.dict = d
+		case blockSVFwd:
+			fwd, err := readSVForwardIndex(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.fwd = fwd
+		case blockMVFwd:
+			mv, err := readMVForwardIndex(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.mv = mv
+		case blockMetric:
+			m, err := readMetricColumn(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.metric = m
+		case blockInverted:
+			inv, err := parseInvertedPayload(b.payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.inverted = inv
+		default:
+			return nil, nil, fmt.Errorf("segment: unknown block type %d", b.typ)
+		}
+	}
+	// Structural validation before any derived index is built: corrupted
+	// blobs must fail here, never panic later.
+	for name, c := range columns {
+		if err := c.validate(meta.NumDocs); err != nil {
+			return nil, nil, fmt.Errorf("segment: column %q: %w", name, err)
+		}
+	}
+	for _, f := range meta.Schema.Fields {
+		if _, ok := columns[f.Name]; !ok {
+			return nil, nil, fmt.Errorf("segment: column %q missing from index file", f.Name)
+		}
+	}
+	// Rebuild derived sorted-range indexes.
+	for _, c := range columns {
+		if c.fwd != nil && c.dict != nil {
+			c.sortedRanges = c.detectSortedRanges()
+		}
+	}
+	return columns, starTree, nil
+}
+
+// validate cross-checks a loaded column's structures against each other and
+// the segment document count.
+func (c *Column) validate(numDocs int) error {
+	switch {
+	case c.metric != nil:
+		if c.metric.NumDocs() != numDocs {
+			return fmt.Errorf("metric column has %d docs, segment has %d", c.metric.NumDocs(), numDocs)
+		}
+		if c.dict != nil || c.fwd != nil || c.mv != nil {
+			return errors.New("metric column with dictionary blocks")
+		}
+		return nil
+	case c.dict == nil:
+		return errors.New("dimension column without dictionary")
+	}
+	card := c.dict.Len()
+	if card == 0 {
+		return errors.New("empty dictionary")
+	}
+	switch {
+	case c.fwd != nil:
+		if c.fwd.NumDocs() != numDocs {
+			return fmt.Errorf("forward index has %d docs, segment has %d", c.fwd.NumDocs(), numDocs)
+		}
+		for doc := 0; doc < numDocs; doc++ {
+			if id := c.fwd.Get(doc); id >= card {
+				return fmt.Errorf("doc %d has dict id %d beyond cardinality %d", doc, id, card)
+			}
+		}
+	case c.mv != nil:
+		if c.mv.NumDocs() != numDocs {
+			return fmt.Errorf("MV forward index has %d docs, segment has %d", c.mv.NumDocs(), numDocs)
+		}
+		if err := c.mv.validate(card); err != nil {
+			return err
+		}
+	default:
+		return errors.New("dimension column without forward index")
+	}
+	if c.inverted != nil {
+		if len(c.inverted) != card {
+			return fmt.Errorf("inverted index has %d postings, dictionary has %d", len(c.inverted), card)
+		}
+		for id, bm := range c.inverted {
+			if max, ok := bm.Maximum(); ok && int(max) >= numDocs {
+				return fmt.Errorf("posting list %d references doc %d beyond %d", id, max, numDocs)
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes the segment to a directory (metadata.json + columns.psf).
+func (s *Segment) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	metaBytes, err := json.MarshalIndent(s.meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetadataFile), metaBytes, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, IndexFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.writeIndexBlocks(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a segment from a directory written by Save.
+func Load(dir string) (*Segment, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, MetadataFile))
+	if err != nil {
+		return nil, err
+	}
+	var meta Metadata
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("segment: corrupt metadata: %w", err)
+	}
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, IndexFile))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	columns, starTree, err := loadIndexBlocks(f, &meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{meta: meta, columns: columns, starTreeData: starTree}, nil
+}
+
+// AppendInvertedIndex builds an inverted index for a column and appends it
+// to the on-disk index file without rewriting existing blocks, exercising
+// the append-only property of the segment format.
+func AppendInvertedIndex(dir string, s *Segment, column string) error {
+	if err := s.AddInvertedIndex(column); err != nil {
+		return err
+	}
+	c := s.columns[column]
+	payload, err := c.invertedPayload()
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, IndexFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := writeBlock(f, column, blockInverted, payload); err != nil {
+		return err
+	}
+	// Metadata gains the index flag too.
+	metaBytes, err := json.MarshalIndent(s.meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetadataFile), metaBytes, 0o644); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Marshal serializes the whole segment (metadata + indexes) into one blob
+// suitable for the object store.
+func (s *Segment) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	metaBytes, err := json.Marshal(s.meta)
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, psfMagic); err != nil {
+		return nil, err
+	}
+	if err := writeBlock(&buf, "", blockMetadata, metaBytes); err != nil {
+		return nil, err
+	}
+	var idx bytes.Buffer
+	if err := s.writeIndexBlocks(&idx); err != nil {
+		return nil, err
+	}
+	if _, err := buf.Write(idx.Bytes()[4:]); err != nil { // skip inner magic
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a segment from a Marshal blob.
+func Unmarshal(data []byte) (*Segment, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != psfMagic {
+		return nil, errors.New("segment: bad blob magic")
+	}
+	mb, err := readBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	if mb.typ != blockMetadata {
+		return nil, errors.New("segment: blob does not start with metadata block")
+	}
+	var meta Metadata
+	if err := json.Unmarshal(mb.payload, &meta); err != nil {
+		return nil, err
+	}
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	// Re-prefix the remaining bytes with the magic so loadIndexBlocks can
+	// consume them.
+	rest := make([]byte, 4+r.Len())
+	binary.LittleEndian.PutUint32(rest, psfMagic)
+	if _, err := io.ReadFull(r, rest[4:]); err != nil {
+		return nil, err
+	}
+	columns, starTree, err := loadIndexBlocks(bytes.NewReader(rest), &meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{meta: meta, columns: columns, starTreeData: starTree}, nil
+}

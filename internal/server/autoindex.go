@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+
+	"pinot/internal/pql"
+	"pinot/internal/query"
+	"pinot/internal/segment"
+)
+
+// autoIndexer implements the self-service optimization of paper section
+// 5.2: "we also parse the query logs and execution statistics on an ongoing
+// basis in order to automatically add inverted indexes on columns where
+// they would prove beneficial". It counts filter-column usage per resource
+// and, past a threshold, builds inverted indexes on the hosted segments of
+// the hot columns.
+type autoIndexer struct {
+	mu        sync.Mutex
+	threshold int
+	counts    map[string]map[string]int // resource -> column -> filter uses
+	applied   map[string]map[string]bool
+}
+
+func newAutoIndexer(threshold int) *autoIndexer {
+	return &autoIndexer{
+		threshold: threshold,
+		counts:    map[string]map[string]int{},
+		applied:   map[string]map[string]bool{},
+	}
+}
+
+// observe records one query's filter columns and returns the columns that
+// just crossed the threshold.
+func (a *autoIndexer) observe(resource string, q *pql.Query) []string {
+	if a == nil || q.Filter == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.counts[resource] == nil {
+		a.counts[resource] = map[string]int{}
+		a.applied[resource] = map[string]bool{}
+	}
+	var hot []string
+	for _, col := range pql.PredicateColumns(q.Filter) {
+		a.counts[resource][col]++
+		if a.counts[resource][col] == a.threshold && !a.applied[resource][col] {
+			a.applied[resource][col] = true
+			hot = append(hot, col)
+		}
+	}
+	return hot
+}
+
+// applyAutoIndexes builds inverted indexes for hot columns on every loaded
+// immutable segment of the resource. Failures (raw metric columns, columns
+// a segment predates) are skipped; reindexing is best-effort background
+// work.
+func (t *tableDataManager) applyAutoIndexes(columns []string) {
+	t.mu.RLock()
+	segs := make([]query.IndexedSegment, 0, len(t.segments))
+	for _, is := range t.segments {
+		segs = append(segs, is)
+	}
+	t.mu.RUnlock()
+	for _, is := range segs {
+		seg, ok := is.Seg.(*segment.Segment)
+		if !ok {
+			continue
+		}
+		for _, col := range columns {
+			_ = seg.AddInvertedIndex(col)
+		}
+	}
+}

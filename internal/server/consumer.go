@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pinot/internal/controller"
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+	"pinot/internal/stream"
+	"pinot/internal/transport"
+)
+
+// consumer ingests one stream partition into a mutable segment and, when the
+// end criteria is reached, runs the replica side of the segment completion
+// protocol (paper 3.3.6).
+type consumer struct {
+	tdm     *tableDataManager
+	segName string
+	seg     *segment.MutableSegment
+	cons    *stream.Consumer
+	// End criteria (paper 3.3.6): a row count, a wall-clock duration, or
+	// both — whichever is reached first. Time-based flushes make replicas
+	// diverge (local clocks), which the completion protocol reconciles.
+	endRows  int
+	endTime  time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	finished atomic.Bool
+}
+
+// startConsuming handles the OFFLINE→CONSUMING transition: every replica
+// creates a consumer at the segment's start offset, so all replicas consume
+// the exact same data.
+func (t *tableDataManager) startConsuming(segName string) error {
+	meta, err := controller.ReadSegmentMeta(t.server.sess, t.server.cfg.Cluster, t.resource, segName)
+	if err != nil {
+		return fmt.Errorf("server %s: consuming segment %s metadata: %w", t.server.cfg.Instance, segName, err)
+	}
+	cfg := t.cfg.Load()
+	topic, err := t.server.streams.Topic(cfg.StreamTopic)
+	if err != nil {
+		return err
+	}
+	sc, err := stream.NewConsumer(topic, meta.Partition, meta.StartOffset)
+	if err != nil {
+		return err
+	}
+	ms, err := segment.NewMutableSegment(t.resource, segName, cfg.Schema, cfg.IndexConfig())
+	if err != nil {
+		return err
+	}
+	c := &consumer{
+		tdm:     t,
+		segName: segName,
+		seg:     ms,
+		cons:    sc,
+		endRows: cfg.FlushThresholdRows,
+		endTime: time.Duration(cfg.FlushThresholdMillis) * time.Millisecond,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	t.mu.Lock()
+	t.consuming[segName] = c
+	t.mu.Unlock()
+	go c.run()
+	return nil
+}
+
+// completeConsuming handles CONSUMING→ONLINE: promote the locally sealed
+// copy if this replica committed (or was told KEEP), otherwise download the
+// authoritative copy from the object store (DISCARD path).
+func (t *tableDataManager) completeConsuming(segName string) error {
+	t.mu.Lock()
+	c := t.consuming[segName]
+	t.mu.Unlock()
+	if c != nil {
+		// Give the completion loop a moment to finish its commit
+		// conversation, then stop it.
+		deadline := time.Now().Add(3 * time.Second)
+		for !c.finished.Load() && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		c.halt()
+	}
+	t.mu.Lock()
+	sealed := t.sealed[segName]
+	delete(t.sealed, segName)
+	delete(t.consuming, segName)
+	t.mu.Unlock()
+	if sealed != nil {
+		return t.install(sealed)
+	}
+	return t.loadFromStore(segName)
+}
+
+func (c *consumer) halt() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+func (c *consumer) stopped() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *consumer) run() {
+	defer close(c.done)
+	rows := 0
+	start := time.Now()
+	for !c.stopped() {
+		if c.endRows > 0 && rows >= c.endRows {
+			c.complete()
+			return
+		}
+		if c.endTime > 0 && time.Since(start) >= c.endTime && rows > 0 {
+			// Time criterion: replicas hit this at different local
+			// offsets; the completion protocol's CATCHUP/DISCARD
+			// paths reconcile them (paper 3.3.6).
+			c.complete()
+			return
+		}
+		// Never poll past the row criterion: the consumer offset must
+		// equal the number of consumed messages so row-bounded
+		// replicas agree exactly on segment boundaries.
+		max := c.tdm.server.cfg.ConsumeBatch
+		if c.endRows > 0 && c.endRows-rows < max {
+			max = c.endRows - rows
+		}
+		msgs, err := c.cons.Poll(max)
+		if err != nil || len(msgs) == 0 {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		for _, m := range msgs {
+			// A malformed event is skipped but still counts toward
+			// the end criteria (all replicas consume identical bytes,
+			// so they stay deterministic); ingestion must not wedge
+			// on bad input.
+			_ = c.indexMessage(m.Value)
+			rows++
+		}
+	}
+}
+
+func (c *consumer) indexMessage(value []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(value))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		return err
+	}
+	return c.seg.AddMap(m)
+}
+
+// consumeTo catches the replica up to the target offset (CATCHUP).
+func (c *consumer) consumeTo(target int64) {
+	for c.cons.Offset() < target && !c.stopped() {
+		max := int(target - c.cons.Offset())
+		if max > c.tdm.server.cfg.ConsumeBatch {
+			max = c.tdm.server.cfg.ConsumeBatch
+		}
+		msgs, err := c.cons.Poll(max)
+		if err != nil || len(msgs) == 0 {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		for _, m := range msgs {
+			_ = c.indexMessage(m.Value)
+		}
+	}
+}
+
+// complete runs the replica side of the completion protocol: poll the lead
+// controller with the current offset and follow its instructions.
+func (c *consumer) complete() {
+	defer c.finished.Store(true)
+	s := c.tdm.server
+	for !c.stopped() {
+		client, ok := s.leaderController()
+		if !ok {
+			time.Sleep(s.cfg.CompletionPollInterval)
+			continue
+		}
+		resp, err := client.SegmentConsumed(context.Background(), &transport.SegmentConsumedRequest{
+			Segment:  c.segName,
+			Resource: c.tdm.resource,
+			Instance: s.cfg.Instance,
+			Offset:   c.cons.Offset(),
+		})
+		if err != nil {
+			time.Sleep(s.cfg.CompletionPollInterval)
+			continue
+		}
+		s.recordCompletionAction(resp.Action)
+		switch resp.Action {
+		case transport.ActionHold:
+			time.Sleep(s.cfg.CompletionPollInterval)
+		case transport.ActionNotLeader:
+			time.Sleep(s.cfg.CompletionPollInterval)
+		case transport.ActionCatchup:
+			c.consumeTo(resp.TargetOffset)
+		case transport.ActionKeep:
+			c.keepLocal()
+			return
+		case transport.ActionDiscard:
+			// Another replica committed a different version; the
+			// authoritative copy arrives via CONSUMING→ONLINE.
+			return
+		case transport.ActionCommit:
+			blob, seg, err := c.sealBlob()
+			if err != nil {
+				time.Sleep(s.cfg.CompletionPollInterval)
+				continue
+			}
+			cr, err := client.CommitSegment(context.Background(), &transport.SegmentCommitRequest{
+				Segment:  c.segName,
+				Resource: c.tdm.resource,
+				Instance: s.cfg.Instance,
+				Offset:   c.cons.Offset(),
+				Blob:     blob,
+			})
+			if err != nil || !cr.Success {
+				// Paper 3.3.6 COMMIT: "if the commit fails, resume
+				// polling".
+				time.Sleep(s.cfg.CompletionPollInterval)
+				continue
+			}
+			c.storeSealed(seg)
+			return
+		}
+	}
+}
+
+// keepLocal seals the consuming segment and keeps it as the local ONLINE
+// copy (offsets matched the committed copy exactly).
+func (c *consumer) keepLocal() {
+	_, seg, err := c.sealBlob()
+	if err != nil {
+		return
+	}
+	c.storeSealed(seg)
+}
+
+func (c *consumer) storeSealed(seg *segment.Segment) {
+	c.tdm.mu.Lock()
+	c.tdm.sealed[c.segName] = seg
+	c.tdm.mu.Unlock()
+}
+
+// sealBlob converts the mutable segment to its immutable form, attaches the
+// configured star-tree, and marshals it for commit.
+func (c *consumer) sealBlob() ([]byte, *segment.Segment, error) {
+	seg, err := c.seg.Seal()
+	if err != nil {
+		return nil, nil, err
+	}
+	if stCfg := c.tdm.cfg.Load().StarTree; stCfg != nil {
+		tree, err := startree.Build(seg, *stCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := tree.Marshal()
+		if err != nil {
+			return nil, nil, err
+		}
+		seg.SetStarTreeData(data)
+	}
+	blob, err := seg.Marshal()
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, seg, nil
+}
+
+// leaderController returns a client for the current lead controller.
+func (s *Server) leaderController() (transport.ControllerClient, bool) {
+	for _, c := range s.controllers() {
+		if lc, ok := c.(interface{ IsLeader() bool }); ok {
+			if lc.IsLeader() {
+				return c, true
+			}
+			continue
+		}
+		return c, true // remote client: let NOTLEADER responses rotate
+	}
+	return nil, false
+}

@@ -1,0 +1,439 @@
+// Package server implements the Pinot server (paper 3.2): the component
+// hosting segments and processing queries on them. Servers execute Helix
+// state transitions — downloading segments from the object store for
+// OFFLINE→ONLINE, consuming from the stream for OFFLINE→CONSUMING — and run
+// per-segment query plans under a multitenant token-bucket scheduler.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinot/internal/controller"
+	"pinot/internal/helix"
+	"pinot/internal/objstore"
+	"pinot/internal/pql"
+	"pinot/internal/query"
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+	"pinot/internal/stream"
+	"pinot/internal/table"
+	"pinot/internal/tenancy"
+	"pinot/internal/transport"
+	"pinot/internal/zkmeta"
+)
+
+// Config tunes a server instance.
+type Config struct {
+	Cluster  string
+	Instance string
+	// Tags beyond the implicit "server" tag (tenant tags).
+	Tags []string
+	// Parallelism bounds concurrent per-segment plans per query.
+	Parallelism int
+	// DefaultTimeout bounds query execution when the request has none.
+	DefaultTimeout time.Duration
+	// PlanOptions tune physical planning (the Druid baseline overrides
+	// these).
+	PlanOptions query.Options
+	// ConsumeBatch is the stream poll batch size.
+	ConsumeBatch int
+	// CompletionPollInterval paces completion-protocol polling.
+	CompletionPollInterval time.Duration
+	// TenantTokens/TenantRefill configure per-tenant token buckets in
+	// seconds of execution time; zero disables tenancy throttling.
+	TenantTokens float64
+	TenantRefill float64
+	// AutoIndexThreshold enables query-log driven index creation (paper
+	// 5.2): once a non-indexed column appears in this many query
+	// filters, inverted indexes are built on the hosted segments. Zero
+	// disables the feature.
+	AutoIndexThreshold int
+}
+
+func (c *Config) withDefaults() {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.ConsumeBatch <= 0 {
+		c.ConsumeBatch = 1000
+	}
+	if c.CompletionPollInterval <= 0 {
+		c.CompletionPollInterval = 10 * time.Millisecond
+	}
+}
+
+// Server is one Pinot server instance.
+type Server struct {
+	cfg         Config
+	store       *zkmeta.Store
+	sess        *zkmeta.Session
+	objects     objstore.Store
+	streams     *stream.Cluster
+	controllers func() []transport.ControllerClient
+	participant *helix.Participant
+	engine      *query.Engine
+	sched       *tenancy.Scheduler
+	auto        *autoIndexer
+
+	mu     sync.RWMutex
+	tables map[string]*tableDataManager
+
+	// simulatedLatency is a failure-injection hook: when set, every
+	// query on this server is delayed by this much, modelling the
+	// stragglers that motivate large-cluster routing (paper 4.4).
+	simulatedLatency atomic.Int64
+
+	// completionActions counts the completion-protocol instructions this
+	// server has received, for observability and tests.
+	completionMu      sync.Mutex
+	completionActions map[transport.SegmentConsumedAction]int64
+}
+
+// CompletionActionCounts returns how many times each completion-protocol
+// instruction (HOLD, CATCHUP, COMMIT, ...) this server has received.
+func (s *Server) CompletionActionCounts() map[transport.SegmentConsumedAction]int64 {
+	s.completionMu.Lock()
+	defer s.completionMu.Unlock()
+	out := make(map[transport.SegmentConsumedAction]int64, len(s.completionActions))
+	for k, v := range s.completionActions {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *Server) recordCompletionAction(a transport.SegmentConsumedAction) {
+	s.completionMu.Lock()
+	if s.completionActions == nil {
+		s.completionActions = map[transport.SegmentConsumedAction]int64{}
+	}
+	s.completionActions[a]++
+	s.completionMu.Unlock()
+}
+
+// InjectLatency sets a per-query artificial delay (0 clears it). Testing
+// and benchmarking hook for straggler simulation.
+func (s *Server) InjectLatency(d time.Duration) { s.simulatedLatency.Store(int64(d)) }
+
+// New creates a server. controllers resolves the current controller clients
+// for the segment completion protocol (tried in order until one is leader).
+func New(cfg Config, store *zkmeta.Store, objects objstore.Store, streams *stream.Cluster, controllers func() []transport.ControllerClient) *Server {
+	cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		store:       store,
+		objects:     objects,
+		streams:     streams,
+		controllers: controllers,
+		tables:      map[string]*tableDataManager{},
+		engine:      &query.Engine{Parallelism: cfg.Parallelism, Options: cfg.PlanOptions},
+	}
+	if cfg.TenantTokens > 0 {
+		s.sched = tenancy.NewScheduler(cfg.TenantTokens, cfg.TenantRefill, nil)
+	}
+	if cfg.AutoIndexThreshold > 0 {
+		s.auto = newAutoIndexer(cfg.AutoIndexThreshold)
+	}
+	return s
+}
+
+// Instance returns the server's instance name.
+func (s *Server) Instance() string { return s.cfg.Instance }
+
+// Start registers the instance and joins the cluster as a Helix
+// participant.
+func (s *Server) Start() error {
+	s.sess = s.store.NewSession()
+	admin := helix.NewAdmin(s.sess, s.cfg.Cluster)
+	if err := admin.CreateCluster(); err != nil {
+		return err
+	}
+	tags := append([]string{"server"}, s.cfg.Tags...)
+	if err := admin.RegisterInstance(helix.InstanceConfig{Instance: s.cfg.Instance, Tags: tags}); err != nil {
+		return err
+	}
+	s.participant = helix.NewParticipant(s.store, s.cfg.Cluster, s.cfg.Instance, s.handleTransition)
+	return s.participant.Start()
+}
+
+// Stop leaves the cluster and halts consumers.
+func (s *Server) Stop() {
+	if s.participant != nil {
+		s.participant.Stop()
+	}
+	s.mu.Lock()
+	tables := make([]*tableDataManager, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tables {
+		t.stopAll()
+	}
+	if s.sess != nil {
+		s.sess.Close()
+	}
+}
+
+// Kill simulates a crash (ungraceful session expiry).
+func (s *Server) Kill() {
+	if s.participant != nil {
+		s.participant.Kill()
+	}
+	s.mu.Lock()
+	tables := make([]*tableDataManager, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tables {
+		t.stopAll()
+	}
+	if s.sess != nil {
+		s.sess.Expire()
+	}
+}
+
+func (s *Server) tableManager(resource string) (*tableDataManager, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[resource]; ok {
+		return t, nil
+	}
+	cfg, err := controller.ReadTableConfig(s.sess, s.cfg.Cluster, resource)
+	if err != nil {
+		return nil, fmt.Errorf("server %s: no config for %s: %w", s.cfg.Instance, resource, err)
+	}
+	t := &tableDataManager{
+		server:    s,
+		resource:  resource,
+		segments:  map[string]query.IndexedSegment{},
+		consuming: map[string]*consumer{},
+		sealed:    map[string]*segment.Segment{},
+	}
+	t.cfg.Store(cfg)
+	// Track on-the-fly config changes (schema evolution, index changes;
+	// paper 5.2) via a watch on the stored table config.
+	events, cancel := s.sess.Watch(helix.PropertyStorePath(s.cfg.Cluster, "CONFIGS", "TABLE", resource))
+	t.cfgCancel = cancel
+	go func() {
+		for range events {
+			if fresh, err := controller.ReadTableConfig(s.sess, s.cfg.Cluster, resource); err == nil {
+				t.cfg.Store(fresh)
+			}
+		}
+	}()
+	s.tables[resource] = t
+	return t, nil
+}
+
+// handleTransition executes Helix state transitions (paper Figures 3 and 4).
+func (s *Server) handleTransition(resource, partition, from, to string) error {
+	t, err := s.tableManager(resource)
+	if err != nil {
+		return err
+	}
+	switch {
+	case from == helix.StateOffline && to == helix.StateOnline:
+		return t.loadFromStore(partition)
+	case from == helix.StateOffline && to == helix.StateConsuming:
+		return t.startConsuming(partition)
+	case from == helix.StateConsuming && to == helix.StateOnline:
+		return t.completeConsuming(partition)
+	case to == helix.StateOffline:
+		t.unload(partition)
+		return nil
+	case to == helix.StateDropped:
+		t.drop(partition)
+		return nil
+	}
+	return fmt.Errorf("server %s: unsupported transition %s→%s", s.cfg.Instance, from, to)
+}
+
+// Execute runs a query on this server's share of a resource's segments
+// (paper 3.3.3 steps 4–6).
+func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+	q, err := pql.Parse(req.PQL)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	t, ok := s.tables[req.Resource]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server %s: resource %s not hosted", s.cfg.Instance, req.Resource)
+	}
+	if hot := s.auto.observe(req.Resource, q); len(hot) > 0 {
+		t.applyAutoIndexes(hot)
+	}
+	segs := t.segmentsFor(req.Segments)
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	if d := time.Duration(s.simulatedLatency.Load()); d > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	var resp *transport.QueryResponse
+	run := func() error {
+		merged, exceptions, err := s.engine.Execute(ctx, q, segs, t.cfg.Load().Schema)
+		if err != nil {
+			return err
+		}
+		resp = &transport.QueryResponse{Result: merged, Exceptions: exceptions}
+		return nil
+	}
+	if s.sched != nil {
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		err = s.sched.Execute(ctx, tenant, run)
+	} else {
+		err = run()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// HostedSegments returns the names of segments currently queryable for a
+// resource (loaded immutable + consuming).
+func (s *Server) HostedSegments(resource string) []string {
+	s.mu.RLock()
+	t, ok := s.tables[resource]
+	s.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return t.hostedNames()
+}
+
+// tableDataManager holds one resource's segments on a server.
+type tableDataManager struct {
+	server    *Server
+	resource  string
+	cfg       atomic.Pointer[table.Config]
+	cfgCancel func()
+
+	mu        sync.RWMutex
+	segments  map[string]query.IndexedSegment
+	consuming map[string]*consumer
+	sealed    map[string]*segment.Segment // committed locally, pre-ONLINE
+}
+
+func (t *tableDataManager) hostedNames() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for name := range t.segments {
+		out = append(out, name)
+	}
+	for name := range t.consuming {
+		out = append(out, name)
+	}
+	return out
+}
+
+// segmentsFor resolves requested segment names (nil = all hosted) to
+// executable segments, including in-progress consuming segments.
+func (t *tableDataManager) segmentsFor(names []string) []query.IndexedSegment {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if names == nil {
+		out := make([]query.IndexedSegment, 0, len(t.segments)+len(t.consuming))
+		for _, is := range t.segments {
+			out = append(out, is)
+		}
+		for _, c := range t.consuming {
+			out = append(out, query.IndexedSegment{Seg: c.seg})
+		}
+		return out
+	}
+	out := make([]query.IndexedSegment, 0, len(names))
+	for _, n := range names {
+		if is, ok := t.segments[n]; ok {
+			out = append(out, is)
+			continue
+		}
+		if c, ok := t.consuming[n]; ok {
+			out = append(out, query.IndexedSegment{Seg: c.seg})
+		}
+	}
+	return out
+}
+
+// loadFromStore fetches a segment blob and makes it queryable (paper Figure
+// 4: fetch from the object store, unpack, load).
+func (t *tableDataManager) loadFromStore(segName string) error {
+	meta, err := controller.ReadSegmentMeta(t.server.sess, t.server.cfg.Cluster, t.resource, segName)
+	if err != nil {
+		return fmt.Errorf("server %s: segment %s metadata: %w", t.server.cfg.Instance, segName, err)
+	}
+	blob, err := t.server.objects.Get(meta.ObjectKey)
+	if err != nil {
+		return fmt.Errorf("server %s: segment %s blob: %w", t.server.cfg.Instance, segName, err)
+	}
+	seg, err := segment.Unmarshal(blob)
+	if err != nil {
+		return fmt.Errorf("server %s: segment %s corrupt: %w", t.server.cfg.Instance, segName, err)
+	}
+	return t.install(seg)
+}
+
+func (t *tableDataManager) install(seg *segment.Segment) error {
+	is := query.IndexedSegment{Seg: seg}
+	if data := seg.StarTreeData(); data != nil {
+		tree, err := startree.Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("server %s: segment %s star tree corrupt: %w", t.server.cfg.Instance, seg.Name(), err)
+		}
+		is.Tree = tree
+	}
+	t.mu.Lock()
+	t.segments[seg.Name()] = is
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *tableDataManager) unload(segName string) {
+	t.mu.Lock()
+	c := t.consuming[segName]
+	delete(t.segments, segName)
+	delete(t.consuming, segName)
+	delete(t.sealed, segName)
+	t.mu.Unlock()
+	if c != nil {
+		c.halt()
+	}
+}
+
+func (t *tableDataManager) drop(segName string) {
+	t.unload(segName)
+}
+
+func (t *tableDataManager) stopAll() {
+	if t.cfgCancel != nil {
+		t.cfgCancel()
+	}
+	t.mu.Lock()
+	consumers := make([]*consumer, 0, len(t.consuming))
+	for _, c := range t.consuming {
+		consumers = append(consumers, c)
+	}
+	t.mu.Unlock()
+	for _, c := range consumers {
+		c.halt()
+	}
+}

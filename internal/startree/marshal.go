@@ -1,0 +1,196 @@
+package startree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const treeMagic = uint32(0x53_54_52_31) // "STR1"
+
+// Marshal serializes the tree for storage alongside a segment.
+func (t *Tree) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v any) {
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	writeString := func(s string) {
+		w(uint16(len(s)))
+		buf.WriteString(s)
+	}
+	w(treeMagic)
+	w(uint32(t.maxLeaf))
+	w(uint64(t.numRawDocs))
+	w(uint16(len(t.splitOrder)))
+	for _, d := range t.splitOrder {
+		writeString(d)
+	}
+	w(uint16(len(t.metrics)))
+	for _, m := range t.metrics {
+		writeString(m)
+	}
+	w(uint32(len(t.counts)))
+	for _, col := range t.dims {
+		w(col)
+	}
+	for _, col := range t.sums {
+		w(col)
+	}
+	w(t.counts)
+	// Nodes, preorder.
+	var writeNode func(n *node)
+	writeNode = func(n *node) {
+		w(n.dictID)
+		w(n.childDim)
+		w(n.start)
+		w(n.end)
+		w(uint32(len(n.children)))
+		hasStar := uint8(0)
+		if n.star != nil {
+			hasStar = 1
+		}
+		w(hasStar)
+		for _, child := range n.children {
+			writeNode(child)
+		}
+		if n.star != nil {
+			writeNode(n.star)
+		}
+	}
+	writeNode(t.root)
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a tree serialized with Marshal.
+func Unmarshal(data []byte) (*Tree, error) {
+	r := bytes.NewReader(data)
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	readString := func() (string, error) {
+		var n uint16
+		if err := read(&n); err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	var magic uint32
+	if err := read(&magic); err != nil {
+		return nil, err
+	}
+	if magic != treeMagic {
+		return nil, errors.New("startree: bad magic")
+	}
+	t := &Tree{}
+	var maxLeaf uint32
+	var rawDocs uint64
+	if err := read(&maxLeaf); err != nil {
+		return nil, err
+	}
+	if err := read(&rawDocs); err != nil {
+		return nil, err
+	}
+	t.maxLeaf = int(maxLeaf)
+	t.numRawDocs = int(rawDocs)
+	var nd, nm uint16
+	if err := read(&nd); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nd); i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		t.splitOrder = append(t.splitOrder, s)
+	}
+	if err := read(&nm); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nm); i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		t.metrics = append(t.metrics, s)
+	}
+	var nrec uint32
+	if err := read(&nrec); err != nil {
+		return nil, err
+	}
+	t.dims = make([][]int32, nd)
+	for d := range t.dims {
+		t.dims[d] = make([]int32, nrec)
+		if err := read(t.dims[d]); err != nil {
+			return nil, err
+		}
+	}
+	t.sums = make([][]float64, nm)
+	for m := range t.sums {
+		t.sums[m] = make([]float64, nrec)
+		if err := read(t.sums[m]); err != nil {
+			return nil, err
+		}
+	}
+	t.counts = make([]int64, nrec)
+	if err := read(t.counts); err != nil {
+		return nil, err
+	}
+	var readNode func() (*node, error)
+	readNode = func() (*node, error) {
+		n := &node{}
+		if err := read(&n.dictID); err != nil {
+			return nil, err
+		}
+		if err := read(&n.childDim); err != nil {
+			return nil, err
+		}
+		if err := read(&n.start); err != nil {
+			return nil, err
+		}
+		if err := read(&n.end); err != nil {
+			return nil, err
+		}
+		var nChildren uint32
+		var hasStar uint8
+		if err := read(&nChildren); err != nil {
+			return nil, err
+		}
+		if err := read(&hasStar); err != nil {
+			return nil, err
+		}
+		if nChildren > nrec+1 {
+			return nil, fmt.Errorf("startree: corrupt node with %d children", nChildren)
+		}
+		if nChildren > 0 {
+			n.children = make(map[int32]*node, nChildren)
+			for i := uint32(0); i < nChildren; i++ {
+				child, err := readNode()
+				if err != nil {
+					return nil, err
+				}
+				n.children[child.dictID] = child
+			}
+		}
+		if hasStar == 1 {
+			star, err := readNode()
+			if err != nil {
+				return nil, err
+			}
+			n.star = star
+		}
+		return n, nil
+	}
+	root, err := readNode()
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("startree: %d trailing bytes", r.Len())
+	}
+	return t, nil
+}

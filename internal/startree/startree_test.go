@@ -1,0 +1,329 @@
+package startree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pinot/internal/segment"
+)
+
+// buildSegment creates a test segment mirroring the paper's Figure 9/10
+// example: Browser, Country, Locale dimensions and an Impressions metric.
+func buildSegment(t testing.TB, rows [][4]any) *segment.Segment {
+	t.Helper()
+	sch, err := segment.NewSchema("imps", []segment.FieldSpec{
+		{Name: "Browser", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "Country", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "Locale", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "Impressions", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := segment.NewBuilder("imps", "imps_0", sch, segment.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := b.Add(segment.Row{r[0], r[1], r[2], r[3]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func sampleRows() [][4]any {
+	return [][4]any{
+		{"firefox", "us", "en", int64(10)},
+		{"firefox", "us", "en", int64(5)},
+		{"firefox", "de", "de", int64(7)},
+		{"safari", "us", "en", int64(3)},
+		{"safari", "fr", "fr", int64(2)},
+		{"chrome", "us", "en", int64(20)},
+		{"chrome", "de", "de", int64(11)},
+		{"chrome", "fr", "en", int64(1)},
+	}
+}
+
+func buildTree(t testing.TB, seg *segment.Segment, maxLeaf int) *Tree {
+	t.Helper()
+	tree, err := Build(seg, Config{
+		DimensionSplitOrder: []string{"Browser", "Country", "Locale"},
+		Metrics:             []string{"Impressions"},
+		MaxLeafRecords:      maxLeaf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// matcherFor builds an IDMatcher accepting the given values of a column.
+func matcherFor(seg *segment.Segment, col string, values ...string) IDMatcher {
+	ids := map[int32]bool{}
+	c := seg.Column(col)
+	for _, v := range values {
+		if id, ok := c.IndexOf(v); ok {
+			ids[int32(id)] = true
+		}
+	}
+	return func(id int32) bool { return ids[id] }
+}
+
+// scanSum runs a Scan and totals the Impressions sums of matched records.
+func scanSum(tree *Tree, matchers map[int]IDMatcher, groupDims []int) (float64, int) {
+	var total float64
+	scanned := tree.Scan(matchers, groupDims, func(rec int) {
+		total += tree.Sum(rec, 0)
+	})
+	return total, scanned
+}
+
+func TestFigure9Query(t *testing.T) {
+	// select sum(Impressions) from Table where Browser = 'firefox'
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1)
+	matchers := map[int]IDMatcher{0: matcherFor(seg, "Browser", "firefox")}
+	got, scanned := scanSum(tree, matchers, nil)
+	if got != 22 {
+		t.Fatalf("sum = %v, want 22", got)
+	}
+	// With maxLeaf=1 the firefox subtree resolves country and locale via
+	// star paths: far fewer records than the 3 raw firefox rows.
+	if scanned > 3 {
+		t.Fatalf("scanned %d pre-aggregated records, want <= 3", scanned)
+	}
+}
+
+func TestFigure10Query(t *testing.T) {
+	// select sum(Impressions) where Browser = 'firefox' or Browser =
+	// 'safari' group by Country.
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1)
+	matchers := map[int]IDMatcher{0: matcherFor(seg, "Browser", "firefox", "safari")}
+	groups := map[int32]float64{}
+	countryDim := tree.DimIndex("Country")
+	tree.Scan(matchers, []int{countryDim}, func(rec int) {
+		groups[tree.DimValue(rec, countryDim)] += tree.Sum(rec, 0)
+	})
+	country := seg.Column("Country")
+	want := map[string]float64{"us": 18, "de": 7, "fr": 2}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v", groups)
+	}
+	for id, sum := range groups {
+		name := country.Value(int(id)).(string)
+		if want[name] != sum {
+			t.Fatalf("group %s = %v, want %v", name, sum, want[name])
+		}
+	}
+}
+
+func TestNoFilterTotal(t *testing.T) {
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1)
+	got, scanned := scanSum(tree, nil, nil)
+	if got != 59 {
+		t.Fatalf("total sum = %v, want 59", got)
+	}
+	// All star path: a single record should answer the query.
+	if scanned != 1 {
+		t.Fatalf("scanned = %d, want 1", scanned)
+	}
+}
+
+func TestGroupByWithoutFilter(t *testing.T) {
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1)
+	browserDim := tree.DimIndex("Browser")
+	groups := map[string]float64{}
+	counts := map[string]int64{}
+	tree.Scan(nil, []int{browserDim}, func(rec int) {
+		name := seg.Column("Browser").Value(int(tree.DimValue(rec, browserDim))).(string)
+		groups[name] += tree.Sum(rec, 0)
+		counts[name] += tree.Count(rec)
+	})
+	if groups["firefox"] != 22 || groups["safari"] != 5 || groups["chrome"] != 32 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if counts["firefox"] != 3 || counts["safari"] != 2 || counts["chrome"] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestLargeLeafFallsBackToRecordScan(t *testing.T) {
+	// With a huge maxLeaf the root itself is a leaf; predicates are
+	// applied per record and results must still be exact.
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1000000)
+	matchers := map[int]IDMatcher{1: matcherFor(seg, "Country", "us")}
+	got, scanned := scanSum(tree, matchers, nil)
+	if got != 38 {
+		t.Fatalf("sum = %v, want 38", got)
+	}
+	if scanned != tree.NumRecords() {
+		t.Fatalf("scanned %d, want all %d", scanned, tree.NumRecords())
+	}
+}
+
+func TestPredicateOnLaterDimension(t *testing.T) {
+	// Filter on Country (dim 1) only: traversal must not take the star
+	// path for Country.
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1)
+	matchers := map[int]IDMatcher{1: matcherFor(seg, "Country", "de")}
+	got, _ := scanSum(tree, matchers, nil)
+	if got != 18 {
+		t.Fatalf("sum = %v, want 18", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	seg := buildSegment(t, sampleRows())
+	if _, err := Build(seg, Config{}); err == nil {
+		t.Fatal("empty split order accepted")
+	}
+	if _, err := Build(seg, Config{DimensionSplitOrder: []string{"nope"}}); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	if _, err := Build(seg, Config{DimensionSplitOrder: []string{"Impressions"}}); err == nil {
+		t.Fatal("metric as split dimension accepted")
+	}
+	if _, err := Build(seg, Config{DimensionSplitOrder: []string{"Browser"}, Metrics: []string{"nope"}}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := Build(seg, Config{DimensionSplitOrder: []string{"Browser"}, Metrics: []string{"Country"}}); err == nil {
+		t.Fatal("dimension as metric accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	seg := buildSegment(t, sampleRows())
+	tree := buildTree(t, seg, 1)
+	blob, err := tree.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != tree.NumRecords() || got.NumRawDocs() != tree.NumRawDocs() {
+		t.Fatalf("record counts differ: %d/%d vs %d/%d", got.NumRecords(), got.NumRawDocs(), tree.NumRecords(), tree.NumRawDocs())
+	}
+	// Same query answers.
+	m := map[int]IDMatcher{0: matcherFor(seg, "Browser", "chrome")}
+	want, _ := scanSum(tree, m, nil)
+	have, _ := scanSum(got, m, nil)
+	if want != have {
+		t.Fatalf("round-trip query mismatch: %v vs %v", have, want)
+	}
+	if _, err := Unmarshal([]byte("bogus")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestRandomizedAgainstRawScan cross-checks star-tree answers against a
+// brute-force scan over many random datasets and queries.
+func TestRandomizedAgainstRawScan(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	browsers := []string{"chrome", "firefox", "safari", "edge"}
+	countries := []string{"us", "de", "fr", "in", "br", "jp"}
+	locales := []string{"en", "de", "fr", "pt"}
+	for trial := 0; trial < 10; trial++ {
+		n := 200 + r.Intn(400)
+		rows := make([][4]any, n)
+		for i := range rows {
+			rows[i] = [4]any{
+				browsers[r.Intn(len(browsers))],
+				countries[r.Intn(len(countries))],
+				locales[r.Intn(len(locales))],
+				int64(r.Intn(100)),
+			}
+		}
+		seg := buildSegment(t, rows)
+		for _, maxLeaf := range []int{1, 10, 100000} {
+			tree := buildTree(t, seg, maxLeaf)
+			// Query: filter by random browser, group by country.
+			browser := browsers[r.Intn(len(browsers))]
+			matchers := map[int]IDMatcher{0: matcherFor(seg, "Browser", browser)}
+			countryDim := tree.DimIndex("Country")
+			groups := map[string]float64{}
+			gcounts := map[string]int64{}
+			tree.Scan(matchers, []int{countryDim}, func(rec int) {
+				name := seg.Column("Country").Value(int(tree.DimValue(rec, countryDim))).(string)
+				groups[name] += tree.Sum(rec, 0)
+				gcounts[name] += tree.Count(rec)
+			})
+			// Brute force.
+			wantSum := map[string]float64{}
+			wantCount := map[string]int64{}
+			for _, row := range rows {
+				if row[0] == browser {
+					c := row[1].(string)
+					wantSum[c] += float64(row[3].(int64))
+					wantCount[c]++
+				}
+			}
+			if len(groups) != len(wantSum) {
+				t.Fatalf("trial %d maxLeaf %d: group count %d, want %d", trial, maxLeaf, len(groups), len(wantSum))
+			}
+			for c, s := range wantSum {
+				if groups[c] != s {
+					t.Fatalf("trial %d maxLeaf %d: group %s sum %v, want %v", trial, maxLeaf, c, groups[c], s)
+				}
+				if gcounts[c] != wantCount[c] {
+					t.Fatalf("trial %d maxLeaf %d: group %s count %v, want %v", trial, maxLeaf, c, gcounts[c], wantCount[c])
+				}
+			}
+		}
+	}
+}
+
+// TestScanRatio verifies the Figure 13 property: with a reasonable tree,
+// filtered aggregations touch far fewer pre-aggregated records than raw
+// docs.
+func TestScanRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var rows [][4]any
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, [4]any{
+			[]string{"chrome", "firefox", "safari"}[r.Intn(3)],
+			[]string{"us", "de", "fr", "in", "br"}[r.Intn(5)],
+			[]string{"en", "de", "fr"}[r.Intn(3)],
+			int64(r.Intn(10)),
+		})
+	}
+	seg := buildSegment(t, rows)
+	tree := buildTree(t, seg, 100)
+	matchers := map[int]IDMatcher{0: matcherFor(seg, "Browser", "firefox")}
+	_, scanned := scanSum(tree, matchers, nil)
+	ratio := float64(scanned) / float64(tree.NumRawDocs())
+	if ratio > 0.05 {
+		t.Fatalf("scan ratio %.3f too high (scanned %d of %d raw)", ratio, scanned, tree.NumRawDocs())
+	}
+}
+
+func BenchmarkStarTreeScan(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var rows [][4]any
+	for i := 0; i < 20000; i++ {
+		rows = append(rows, [4]any{
+			[]string{"chrome", "firefox", "safari"}[r.Intn(3)],
+			[]string{"us", "de", "fr", "in", "br"}[r.Intn(5)],
+			[]string{"en", "de", "fr"}[r.Intn(3)],
+			int64(r.Intn(10)),
+		})
+	}
+	seg := buildSegment(b, rows)
+	tree := buildTree(b, seg, 100)
+	matchers := map[int]IDMatcher{0: matcherFor(seg, "Browser", "firefox")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanSum(tree, matchers, nil)
+	}
+}

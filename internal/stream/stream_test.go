@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopicLifecycle(t *testing.T) {
+	c := NewCluster()
+	if _, err := c.CreateTopic("t", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	topic, err := c.CreateTopic("t", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTopic("t", 4); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("duplicate topic: %v", err)
+	}
+	if _, err := c.Topic("missing"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("missing topic: %v", err)
+	}
+	got, err := c.Topic("t")
+	if err != nil || got != topic {
+		t.Fatal("topic lookup failed")
+	}
+	if topic.NumPartitions() != 4 || topic.Name() != "t" {
+		t.Fatal("topic shape wrong")
+	}
+}
+
+func TestProduceFetchOffsets(t *testing.T) {
+	c := NewCluster()
+	topic, _ := c.CreateTopic("t", 1)
+	for i := 0; i < 10; i++ {
+		off, err := topic.ProduceTo(0, nil, []byte(fmt.Sprintf("m%d", i)))
+		if err != nil || off != int64(i) {
+			t.Fatalf("produce %d: off=%d err=%v", i, off, err)
+		}
+	}
+	msgs, err := topic.Fetch(0, 3, 4)
+	if err != nil || len(msgs) != 4 {
+		t.Fatalf("fetch: %d msgs, %v", len(msgs), err)
+	}
+	if msgs[0].Offset != 3 || string(msgs[0].Value) != "m3" {
+		t.Fatalf("msg = %+v", msgs[0])
+	}
+	// Fetch past the end is empty, not an error.
+	msgs, err = topic.Fetch(0, 10, 5)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("end fetch: %d msgs, %v", len(msgs), err)
+	}
+	if _, err := topic.Fetch(7, 0, 1); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("bad partition fetch: %v", err)
+	}
+	lo, _ := topic.EarliestOffset(0)
+	hi, _ := topic.LatestOffset(0)
+	if lo != 0 || hi != 10 {
+		t.Fatalf("offsets = %d..%d", lo, hi)
+	}
+}
+
+func TestKeyPartitioningIsDeterministic(t *testing.T) {
+	c := NewCluster()
+	topic, _ := c.CreateTopic("t", 8)
+	key := []byte("member-42")
+	p1, _ := topic.Produce(key, []byte("a"))
+	p2, _ := topic.Produce(key, []byte("b"))
+	if p1 != p2 {
+		t.Fatalf("same key to different partitions: %d vs %d", p1, p2)
+	}
+	if p1 != PartitionFor(key, 8) {
+		t.Fatal("Produce does not match PartitionFor")
+	}
+}
+
+func TestMurmur2KnownValues(t *testing.T) {
+	// Reference values from the Kafka Java client's
+	// Utils.murmur2: murmur2("21".getBytes()) = -973932308 and
+	// ("abc") = 479470107.
+	cases := map[string]int32{
+		"21":  -973932308,
+		"abc": 479470107,
+	}
+	for k, want := range cases {
+		if got := int32(murmur2([]byte(k))); got != want {
+			t.Errorf("murmur2(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestPartitionForDistribution(t *testing.T) {
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		counts[PartitionFor([]byte(fmt.Sprintf("key-%d", i)), 16)]++
+	}
+	for p, n := range counts {
+		if n < 500 || n > 1500 {
+			t.Errorf("partition %d has %d keys, badly skewed", p, n)
+		}
+	}
+}
+
+func TestRetentionTrim(t *testing.T) {
+	c := NewCluster()
+	topic, _ := c.CreateTopic("t", 1)
+	for i := 0; i < 100; i++ {
+		topic.ProduceTo(0, nil, []byte{byte(i)})
+	}
+	topic.TrimBefore(40)
+	if _, err := topic.Fetch(0, 10, 5); !errors.Is(err, ErrOffsetTooEarly) {
+		t.Fatalf("pre-horizon fetch: %v", err)
+	}
+	msgs, err := topic.Fetch(0, 40, 5)
+	if err != nil || msgs[0].Offset != 40 {
+		t.Fatalf("horizon fetch: %+v %v", msgs, err)
+	}
+	lo, _ := topic.EarliestOffset(0)
+	if lo != 40 {
+		t.Fatalf("earliest = %d", lo)
+	}
+	// Trimming backwards is a no-op; trimming everything empties the log.
+	topic.TrimBefore(10)
+	if lo, _ := topic.EarliestOffset(0); lo != 40 {
+		t.Fatal("backwards trim moved horizon")
+	}
+	topic.TrimBefore(1000)
+	lo, _ = topic.EarliestOffset(0)
+	hi, _ := topic.LatestOffset(0)
+	if lo != 100 || hi != 100 {
+		t.Fatalf("full trim offsets = %d..%d", lo, hi)
+	}
+	// New produces continue after the horizon.
+	off, _ := topic.ProduceTo(0, nil, []byte("new"))
+	if off != 100 {
+		t.Fatalf("post-trim offset = %d", off)
+	}
+}
+
+func TestConsumer(t *testing.T) {
+	c := NewCluster()
+	topic, _ := c.CreateTopic("t", 2)
+	for i := 0; i < 10; i++ {
+		topic.ProduceTo(1, nil, []byte{byte(i)})
+	}
+	if _, err := NewConsumer(topic, 5, 0); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("bad partition consumer: %v", err)
+	}
+	cons, err := NewConsumer(topic, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	for {
+		msgs, err := cons.Poll(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			if m.Value[0] != byte(seen) {
+				t.Fatalf("out of order: %d vs %d", m.Value[0], seen)
+			}
+			seen++
+		}
+	}
+	if seen != 10 || cons.Offset() != 10 {
+		t.Fatalf("consumed %d, offset %d", seen, cons.Offset())
+	}
+	if cons.Partition() != 1 {
+		t.Fatal("partition accessor wrong")
+	}
+}
+
+// Property: two independent consumers starting at the same offset see the
+// exact same messages — the invariant the segment completion protocol relies
+// on (paper 3.3.6).
+func TestQuickIdenticalReplicaConsumption(t *testing.T) {
+	f := func(values [][]byte, start uint8) bool {
+		if len(values) == 0 {
+			return true
+		}
+		c := NewCluster()
+		topic, _ := c.CreateTopic("t", 1)
+		for _, v := range values {
+			topic.ProduceTo(0, nil, v)
+		}
+		startOff := int64(start) % int64(len(values))
+		c1, _ := NewConsumer(topic, 0, startOff)
+		c2, _ := NewConsumer(topic, 0, startOff)
+		m1, _ := c1.Poll(len(values))
+		m2, _ := c2.Poll(len(values))
+		if len(m1) != len(m2) {
+			return false
+		}
+		for i := range m1 {
+			if m1[i].Offset != m2[i].Offset || string(m1[i].Value) != string(m2[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentProducersMonotonicOffsets(t *testing.T) {
+	c := NewCluster()
+	topic, _ := c.CreateTopic("t", 1)
+	var wg sync.WaitGroup
+	offsets := make(chan int64, 8*100)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				off, _ := topic.ProduceTo(0, nil, []byte("x"))
+				offsets <- off
+			}
+		}()
+	}
+	wg.Wait()
+	close(offsets)
+	seen := map[int64]bool{}
+	for off := range offsets {
+		if seen[off] {
+			t.Fatalf("duplicate offset %d", off)
+		}
+		seen[off] = true
+	}
+	if len(seen) != 800 {
+		t.Fatalf("offsets = %d", len(seen))
+	}
+}

@@ -1,0 +1,216 @@
+// Package table defines the shared table-level configuration and segment
+// metadata types used by controllers, servers and brokers: table configs,
+// OFFLINE/REALTIME resource naming, and the segment metadata records kept in
+// the metadata store's property store.
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+)
+
+// Type distinguishes offline (batch-pushed) from realtime (stream-consumed)
+// tables. A hybrid table is simply both types sharing a name (paper 3.3.3).
+type Type string
+
+// Table types.
+const (
+	Offline  Type = "OFFLINE"
+	Realtime Type = "REALTIME"
+)
+
+// ResourceName returns the Helix resource for a table+type, e.g.
+// "events_OFFLINE".
+func ResourceName(name string, t Type) string { return name + "_" + string(t) }
+
+// ParseResource splits a resource name back into table name and type.
+func ParseResource(resource string) (string, Type, error) {
+	switch {
+	case strings.HasSuffix(resource, "_OFFLINE"):
+		return strings.TrimSuffix(resource, "_OFFLINE"), Offline, nil
+	case strings.HasSuffix(resource, "_REALTIME"):
+		return strings.TrimSuffix(resource, "_REALTIME"), Realtime, nil
+	}
+	return "", "", fmt.Errorf("table: %q is not a table resource", resource)
+}
+
+// Config is a table's configuration, stored in the property store and
+// synchronized across the cluster (paper 5.2 keeps these in source control).
+type Config struct {
+	Name   string          `json:"name"`
+	Type   Type            `json:"type"`
+	Schema *segment.Schema `json:"schema"`
+	// Replicas is the number of copies of each segment.
+	Replicas int `json:"replicas"`
+	// RetentionUnits garbage-collects segments whose max time is older
+	// than (latest time - RetentionUnits). Zero disables retention.
+	RetentionUnits int64 `json:"retentionUnits,omitempty"`
+	// QuotaBytes caps the table's total (unreplicated) segment bytes.
+	// Zero means unlimited.
+	QuotaBytes int64 `json:"quotaBytes,omitempty"`
+	// SortColumn / InvertedColumns / StarTree configure indexing for
+	// segments built by the system (realtime flushes, minion rewrites).
+	SortColumn      string           `json:"sortColumn,omitempty"`
+	InvertedColumns []string         `json:"invertedColumns,omitempty"`
+	StarTree        *startree.Config `json:"starTree,omitempty"`
+	// StreamTopic names the stream to consume (realtime tables).
+	StreamTopic string `json:"streamTopic,omitempty"`
+	// FlushThresholdRows ends a consuming segment after this many rows.
+	FlushThresholdRows int `json:"flushThresholdRows,omitempty"`
+	// FlushThresholdMillis ends a consuming segment after this much
+	// wall-clock time (paper 3.3.6: "Pinot supports flushing segments
+	// after a configurable number of records and after a configurable
+	// amount of time"). Replicas flushing on local clocks diverge in
+	// offsets, which the segment completion protocol reconciles via
+	// CATCHUP. Zero disables the time criterion.
+	FlushThresholdMillis int64 `json:"flushThresholdMillis,omitempty"`
+	// PartitionColumn enables partition-aware routing: data is
+	// partitioned by this column with the stream partition function.
+	PartitionColumn string `json:"partitionColumn,omitempty"`
+	NumPartitions   int    `json:"numPartitions,omitempty"`
+	// ServerTenant tags which server instances may host this table.
+	// Empty means any server.
+	ServerTenant string `json:"serverTenant,omitempty"`
+	// BrokerTenant tags which brokers serve this table (informational).
+	BrokerTenant string `json:"brokerTenant,omitempty"`
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("table: empty table name")
+	}
+	if strings.ContainsAny(c.Name, "_/ ") {
+		// Underscores are reserved for the resource/segment naming
+		// convention.
+		return fmt.Errorf("table: name %q must not contain '_', '/' or spaces", c.Name)
+	}
+	if c.Type != Offline && c.Type != Realtime {
+		return fmt.Errorf("table: %s: invalid type %q", c.Name, c.Type)
+	}
+	if c.Schema == nil {
+		return fmt.Errorf("table: %s: missing schema", c.Name)
+	}
+	if c.Replicas <= 0 {
+		return fmt.Errorf("table: %s: replicas must be positive", c.Name)
+	}
+	if c.Type == Realtime {
+		if c.StreamTopic == "" {
+			return fmt.Errorf("table: %s: realtime table needs a stream topic", c.Name)
+		}
+		if c.FlushThresholdRows <= 0 && c.FlushThresholdMillis <= 0 {
+			return fmt.Errorf("table: %s: realtime table needs a row or time flush threshold", c.Name)
+		}
+		if c.FlushThresholdRows < 0 || c.FlushThresholdMillis < 0 {
+			return fmt.Errorf("table: %s: negative flush threshold", c.Name)
+		}
+	}
+	if c.RetentionUnits < 0 || c.QuotaBytes < 0 {
+		return fmt.Errorf("table: %s: negative retention or quota", c.Name)
+	}
+	if c.PartitionColumn != "" {
+		if _, ok := c.Schema.Field(c.PartitionColumn); !ok {
+			return fmt.Errorf("table: %s: partition column %q not in schema", c.Name, c.PartitionColumn)
+		}
+		if c.NumPartitions <= 0 {
+			return fmt.Errorf("table: %s: partition column set without numPartitions", c.Name)
+		}
+	}
+	if c.RetentionUnits > 0 && c.Schema.TimeColumn() == "" {
+		return fmt.Errorf("table: %s: retention requires a time column", c.Name)
+	}
+	return nil
+}
+
+// Resource returns the table's Helix resource name.
+func (c *Config) Resource() string { return ResourceName(c.Name, c.Type) }
+
+// IndexConfig converts the table's index settings to the segment builder
+// form.
+func (c *Config) IndexConfig() segment.IndexConfig {
+	return segment.IndexConfig{SortColumn: c.SortColumn, InvertedColumns: c.InvertedColumns}
+}
+
+// SegmentStatus tracks a segment's lifecycle in the metadata store.
+type SegmentStatus string
+
+// Segment statuses.
+const (
+	// StatusInProgress marks a realtime segment still consuming.
+	StatusInProgress SegmentStatus = "IN_PROGRESS"
+	// StatusDone marks a completed, durable segment.
+	StatusDone SegmentStatus = "DONE"
+)
+
+// SegmentMeta is the per-segment record in the property store (what Pinot
+// calls SegmentZKMetadata).
+type SegmentMeta struct {
+	Name      string        `json:"name"`
+	Resource  string        `json:"resource"`
+	Status    SegmentStatus `json:"status"`
+	NumDocs   int           `json:"numDocs"`
+	SizeBytes int64         `json:"sizeBytes"`
+	MinTime   int64         `json:"minTime"`
+	MaxTime   int64         `json:"maxTime"`
+	// ObjectKey locates the segment blob in the object store ("" while
+	// consuming).
+	ObjectKey string `json:"objectKey,omitempty"`
+	// CRC distinguishes segment versions for replace/refresh.
+	CRC uint32 `json:"crc,omitempty"`
+	// Partition is the data partition this segment holds (-1 if
+	// unpartitioned).
+	Partition int `json:"partition"`
+	// StartOffset/EndOffset delimit a realtime segment's stream range.
+	// EndOffset is -1 while consuming.
+	StartOffset int64 `json:"startOffset,omitempty"`
+	EndOffset   int64 `json:"endOffset,omitempty"`
+}
+
+// Marshal encodes the metadata as JSON.
+func (m *SegmentMeta) Marshal() []byte {
+	data, _ := json.Marshal(m)
+	return data
+}
+
+// UnmarshalSegmentMeta decodes segment metadata.
+func UnmarshalSegmentMeta(data []byte) (*SegmentMeta, error) {
+	var m SegmentMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ConsumingSegmentName builds the realtime segment naming convention
+// <table>__<partition>__<sequence>.
+func ConsumingSegmentName(tableName string, partition, sequence int) string {
+	return fmt.Sprintf("%s__%d__%d", tableName, partition, sequence)
+}
+
+// ParseConsumingSegmentName extracts partition and sequence from a realtime
+// segment name.
+func ParseConsumingSegmentName(name string) (tableName string, partition, sequence int, err error) {
+	parts := strings.Split(name, "__")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("table: %q is not a realtime segment name", name)
+	}
+	p, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("table: bad partition in %q", name)
+	}
+	s, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("table: bad sequence in %q", name)
+	}
+	return parts[0], p, s, nil
+}
+
+// SegmentObjectKey is the object-store key for a segment blob.
+func SegmentObjectKey(resource, segmentName string, crc uint32) string {
+	return fmt.Sprintf("segments/%s/%s/%d", resource, segmentName, crc)
+}

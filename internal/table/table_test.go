@@ -1,0 +1,112 @@
+package table
+
+import (
+	"testing"
+
+	"pinot/internal/segment"
+)
+
+func schema(t *testing.T) *segment.Schema {
+	t.Helper()
+	s, err := segment.NewSchema("ev", []segment.FieldSpec{
+		{Name: "d", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "m", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+		{Name: "ts", Type: segment.TypeLong, Kind: segment.Time, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestResourceNaming(t *testing.T) {
+	if got := ResourceName("events", Offline); got != "events_OFFLINE" {
+		t.Fatalf("resource = %s", got)
+	}
+	name, typ, err := ParseResource("events_REALTIME")
+	if err != nil || name != "events" || typ != Realtime {
+		t.Fatalf("parse = %s %s %v", name, typ, err)
+	}
+	if _, _, err := ParseResource("garbage"); err == nil {
+		t.Fatal("bad resource accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := func() *Config {
+		return &Config{Name: "ev", Type: Offline, Schema: schema(t), Replicas: 1}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Name = "" },
+		func(c *Config) { c.Name = "with_underscore" },
+		func(c *Config) { c.Type = "BOGUS" },
+		func(c *Config) { c.Schema = nil },
+		func(c *Config) { c.Replicas = 0 },
+		func(c *Config) { c.Type = Realtime },                      // no topic
+		func(c *Config) { c.Type = Realtime; c.StreamTopic = "t" }, // no flush
+		func(c *Config) { c.RetentionUnits = -1 },
+		func(c *Config) { c.PartitionColumn = "nope"; c.NumPartitions = 4 },
+		func(c *Config) { c.PartitionColumn = "d" }, // no partition count
+	}
+	for i, mutate := range cases {
+		c := base()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	rt := base()
+	rt.Type = Realtime
+	rt.StreamTopic = "t"
+	rt.FlushThresholdRows = 100
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Resource() != "ev_REALTIME" {
+		t.Fatal("resource")
+	}
+}
+
+func TestRetentionNeedsTimeColumn(t *testing.T) {
+	s, err := segment.NewSchema("nt", []segment.FieldSpec{
+		{Name: "d", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "m", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Config{Name: "nt", Type: Offline, Schema: s, Replicas: 1, RetentionUnits: 5}
+	if err := c.Validate(); err == nil {
+		t.Fatal("retention without time column accepted")
+	}
+}
+
+func TestConsumingSegmentNames(t *testing.T) {
+	name := ConsumingSegmentName("events", 3, 7)
+	if name != "events__3__7" {
+		t.Fatalf("name = %s", name)
+	}
+	tbl, p, s, err := ParseConsumingSegmentName(name)
+	if err != nil || tbl != "events" || p != 3 || s != 7 {
+		t.Fatalf("parse = %s %d %d %v", tbl, p, s, err)
+	}
+	for _, bad := range []string{"plain", "a__b__c", "a__1", "a__x__2"} {
+		if _, _, _, err := ParseConsumingSegmentName(bad); err == nil {
+			t.Errorf("ParseConsumingSegmentName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSegmentMetaRoundTrip(t *testing.T) {
+	m := &SegmentMeta{Name: "s0", Resource: "ev_OFFLINE", Status: StatusDone, NumDocs: 10, MinTime: 1, MaxTime: 9, Partition: -1, CRC: 42}
+	got, err := UnmarshalSegmentMeta(m.Marshal())
+	if err != nil || *got != *m {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := UnmarshalSegmentMeta([]byte("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

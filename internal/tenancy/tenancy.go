@@ -1,0 +1,148 @@
+// Package tenancy implements Pinot's multitenant resource isolation (paper
+// section 4.5): a token bucket per tenant. Each query deducts tokens
+// proportional to its execution time; when a tenant's bucket is empty its
+// queries queue until the bucket refills, so short spikes are absorbed but a
+// misbehaving tenant cannot starve colocated tenants.
+package tenancy
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for tests.
+type Clock func() time.Time
+
+// TokenBucket is a refilling budget of execution tokens. One token
+// represents one second of query execution time.
+type TokenBucket struct {
+	mu         sync.Mutex
+	capacity   float64
+	tokens     float64
+	refillRate float64 // tokens per second
+	last       time.Time
+	clock      Clock
+}
+
+// NewTokenBucket returns a full bucket.
+func NewTokenBucket(capacity, refillPerSecond float64, clock Clock) *TokenBucket {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &TokenBucket{
+		capacity:   capacity,
+		tokens:     capacity,
+		refillRate: refillPerSecond,
+		last:       clock(),
+		clock:      clock,
+	}
+}
+
+func (b *TokenBucket) refillLocked() {
+	now := b.clock()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.refillRate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+}
+
+// Tokens returns the current token balance.
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+// Charge deducts cost tokens; the balance may go negative, which delays
+// future queries (the query already ran — its cost is only known
+// afterwards).
+func (b *TokenBucket) Charge(cost float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.tokens -= cost
+}
+
+// waitDelay returns how long until the balance becomes positive (0 if it
+// already is).
+func (b *TokenBucket) waitDelay() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens > 0 {
+		return 0
+	}
+	deficit := -b.tokens + 1e-9
+	return time.Duration(deficit / b.refillRate * float64(time.Second))
+}
+
+// Wait blocks until the bucket has a positive balance or the context ends.
+func (b *TokenBucket) Wait(ctx context.Context) error {
+	for {
+		d := b.waitDelay()
+		if d == 0 {
+			return nil
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// Scheduler gates query execution per tenant.
+type Scheduler struct {
+	mu       sync.Mutex
+	buckets  map[string]*TokenBucket
+	capacity float64
+	refill   float64
+	clock    Clock
+}
+
+// NewScheduler creates a scheduler giving every tenant a bucket of the given
+// capacity (in seconds of execution time) refilling at refillPerSecond.
+func NewScheduler(capacity, refillPerSecond float64, clock Clock) *Scheduler {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Scheduler{
+		buckets:  map[string]*TokenBucket{},
+		capacity: capacity,
+		refill:   refillPerSecond,
+		clock:    clock,
+	}
+}
+
+// Bucket returns (creating if needed) a tenant's bucket.
+func (s *Scheduler) Bucket(tenant string) *TokenBucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[tenant]
+	if !ok {
+		b = NewTokenBucket(s.capacity, s.refill, s.clock)
+		s.buckets[tenant] = b
+	}
+	return b
+}
+
+// Execute runs fn under the tenant's budget: it waits for a positive
+// balance, runs fn, and charges its wall-clock execution time.
+func (s *Scheduler) Execute(ctx context.Context, tenant string, fn func() error) error {
+	b := s.Bucket(tenant)
+	if err := b.Wait(ctx); err != nil {
+		return err
+	}
+	start := s.clock()
+	err := fn()
+	b.Charge(s.clock().Sub(start).Seconds())
+	return err
+}

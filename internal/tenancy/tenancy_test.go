@@ -1,0 +1,142 @@
+package tenancy
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBucketChargeAndRefill(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	b := NewTokenBucket(10, 2, clock.Now)
+	if got := b.Tokens(); got != 10 {
+		t.Fatalf("initial tokens = %v", got)
+	}
+	b.Charge(4)
+	if got := b.Tokens(); got != 6 {
+		t.Fatalf("after charge = %v", got)
+	}
+	clock.Advance(1 * time.Second)
+	if got := b.Tokens(); got != 8 {
+		t.Fatalf("after 1s refill = %v", got)
+	}
+	// Refill caps at capacity.
+	clock.Advance(time.Hour)
+	if got := b.Tokens(); got != 10 {
+		t.Fatalf("capped tokens = %v", got)
+	}
+}
+
+func TestBucketGoesNegative(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	b := NewTokenBucket(5, 1, clock.Now)
+	b.Charge(8) // overrun: cost known only after execution
+	if got := b.Tokens(); got != -3 {
+		t.Fatalf("tokens = %v", got)
+	}
+	if d := b.waitDelay(); d < 2*time.Second || d > 4*time.Second {
+		t.Fatalf("waitDelay = %v", d)
+	}
+	clock.Advance(4 * time.Second)
+	if d := b.waitDelay(); d != 0 {
+		t.Fatalf("waitDelay after refill = %v", d)
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	b := NewTokenBucket(1, 0.0001, nil) // glacial refill
+	b.Charge(100)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.Wait(ctx); err == nil {
+		t.Fatal("Wait returned before refill without error")
+	}
+}
+
+func TestWaitUnblocksAfterRefill(t *testing.T) {
+	b := NewTokenBucket(1, 100, nil) // 100 tokens/s: fast refill
+	b.Charge(2)                      // ~20ms to positive
+	start := time.Now()
+	if err := b.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 5*time.Millisecond {
+		t.Fatalf("Wait returned too early (%v)", e)
+	}
+	if b.Tokens() <= 0 {
+		t.Fatal("tokens still negative after Wait")
+	}
+}
+
+func TestSchedulerIsolatesTenants(t *testing.T) {
+	s := NewScheduler(1, 50, nil)
+	// The misbehaving tenant exhausts its bucket.
+	heavy := s.Bucket("heavy")
+	heavy.Charge(5)
+	// A well-behaved tenant is unaffected.
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Execute(context.Background(), "light", func() error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("light tenant blocked by heavy tenant")
+	}
+	// The heavy tenant has to wait.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Execute(ctx, "heavy", func() error { return nil }); err == nil {
+		t.Fatal("heavy tenant ran despite empty bucket")
+	}
+}
+
+func TestSchedulerChargesExecutionTime(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	s := NewScheduler(10, 1, clock.Now)
+	err := s.Execute(context.Background(), "t", func() error {
+		clock.Advance(3 * time.Second) // query "runs" 3 seconds
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 - 3 + (3s refill at 1/s happens inside charge) = 10 tokens were
+	// refilled during execution too; balance = 10 - 3 + 3 capped at 10?
+	// Charge refills first (3 tokens, capped at 10) then deducts 3.
+	if got := s.Bucket("t").Tokens(); got != 7 {
+		t.Fatalf("tokens after 3s query = %v", got)
+	}
+}
+
+func TestSchedulerSameBucketReturned(t *testing.T) {
+	s := NewScheduler(5, 1, nil)
+	if s.Bucket("a") != s.Bucket("a") {
+		t.Fatal("bucket not stable per tenant")
+	}
+	if s.Bucket("a") == s.Bucket("b") {
+		t.Fatal("tenants share a bucket")
+	}
+}

@@ -1,0 +1,25 @@
+package transport
+
+import (
+	"testing"
+
+	"pinot/internal/pql"
+	"pinot/internal/query"
+)
+
+func TestDistinctCountGob(t *testing.T) {
+	inter := query.NewAggIntermediate([]pql.Expression{{IsAgg: true, Func: pql.DistinctCount, Column: "m"}})
+	inter.Aggs[0].AddDistinct("a")
+	inter.Aggs[0].AddDistinct("b")
+	data, err := EncodeResponse(&QueryResponse{Result: inter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := got.Result.Aggs[0].Result().(int64); n != 2 {
+		t.Fatalf("distinct = %d", n)
+	}
+}

@@ -1,0 +1,128 @@
+// Package transport defines the broker↔server and server↔controller wire
+// contracts. The in-process cluster passes these structs directly; the HTTP
+// layer carries them as gob payloads, so all value types are registered
+// here.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+
+	"pinot/internal/query"
+)
+
+// QueryRequest asks a server to execute a query on a subset of a resource's
+// segments (paper 3.3.3 step 3).
+type QueryRequest struct {
+	Resource string
+	PQL      string
+	// Segments restricts execution to these segment names; nil means all
+	// segments the server hosts for the resource.
+	Segments []string
+	// Tenant is the token-bucket account charged for execution.
+	Tenant string
+	// TimeoutMillis bounds server-side execution (0 = server default).
+	TimeoutMillis int64
+}
+
+// QueryResponse carries a server's partial result.
+type QueryResponse struct {
+	Result     *query.Intermediate
+	Exceptions []string
+}
+
+// ServerClient executes queries on one server instance.
+type ServerClient interface {
+	Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error)
+}
+
+// Registry resolves instance names to clients; brokers use it to scatter
+// queries.
+type Registry interface {
+	ServerClient(instance string) (ServerClient, bool)
+}
+
+// RegistryFunc adapts a function to Registry.
+type RegistryFunc func(instance string) (ServerClient, bool)
+
+// ServerClient implements Registry.
+func (f RegistryFunc) ServerClient(instance string) (ServerClient, bool) { return f(instance) }
+
+// SegmentConsumedAction is the controller's instruction to a polling replica
+// in the segment completion protocol (paper 3.3.6).
+type SegmentConsumedAction string
+
+// Completion-protocol actions.
+const (
+	ActionHold      SegmentConsumedAction = "HOLD"
+	ActionCatchup   SegmentConsumedAction = "CATCHUP"
+	ActionKeep      SegmentConsumedAction = "KEEP"
+	ActionCommit    SegmentConsumedAction = "COMMIT"
+	ActionDiscard   SegmentConsumedAction = "DISCARD"
+	ActionNotLeader SegmentConsumedAction = "NOTLEADER"
+)
+
+// SegmentConsumedRequest is a replica's poll after reaching its end
+// criteria.
+type SegmentConsumedRequest struct {
+	Segment  string
+	Resource string
+	Instance string
+	Offset   int64
+}
+
+// SegmentConsumedResponse is the controller's instruction.
+type SegmentConsumedResponse struct {
+	Action SegmentConsumedAction
+	// TargetOffset accompanies CATCHUP.
+	TargetOffset int64
+}
+
+// SegmentCommitRequest uploads the committer's sealed segment.
+type SegmentCommitRequest struct {
+	Segment  string
+	Resource string
+	Instance string
+	Offset   int64
+	Blob     []byte
+}
+
+// SegmentCommitResponse reports commit success.
+type SegmentCommitResponse struct {
+	Success bool
+	Reason  string
+}
+
+// ControllerClient is the server's view of the lead controller.
+type ControllerClient interface {
+	SegmentConsumed(ctx context.Context, req *SegmentConsumedRequest) (*SegmentConsumedResponse, error)
+	CommitSegment(ctx context.Context, req *SegmentCommitRequest) (*SegmentCommitResponse, error)
+}
+
+func init() {
+	// Concrete types that travel inside `any` fields of query results.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]any{})
+}
+
+// EncodeResponse gob-encodes a query response for the HTTP data plane.
+func EncodeResponse(r *QueryResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResponse reverses EncodeResponse.
+func DecodeResponse(data []byte) (*QueryResponse, error) {
+	var r QueryResponse
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"pinot/internal/pql"
+	"pinot/internal/query"
+)
+
+func TestResponseGobRoundTrip(t *testing.T) {
+	inter := query.NewAggIntermediate([]pql.Expression{
+		{IsAgg: true, Func: pql.Count, Column: "*"},
+		{IsAgg: true, Func: pql.Sum, Column: "clicks"},
+	})
+	inter.Aggs[0].AddCount(42)
+	inter.Aggs[1].AddNumeric(3.5)
+	inter.Stats.NumDocsScanned = 7
+	resp := &QueryResponse{Result: inter, Exceptions: []string{"warn"}}
+	data, err := EncodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Aggs[0].Count != 42 || got.Result.Aggs[1].Sum != 3.5 {
+		t.Fatalf("aggs = %+v", got.Result.Aggs)
+	}
+	if got.Result.Stats.NumDocsScanned != 7 || got.Exceptions[0] != "warn" {
+		t.Fatalf("stats/exceptions lost: %+v", got)
+	}
+	if _, err := DecodeResponse([]byte("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGroupByGobRoundTrip(t *testing.T) {
+	inter := &query.Intermediate{
+		Kind:      query.KindGroupBy,
+		AggExprs:  []pql.Expression{{IsAgg: true, Func: pql.Sum, Column: "x"}},
+		GroupCols: []string{"country"},
+		Groups:    map[string]*query.GroupEntry{},
+	}
+	s := query.NewAggState(pql.Sum)
+	s.AddNumeric(5)
+	inter.Groups["us"] = &query.GroupEntry{Values: []any{"us"}, Aggs: []*query.AggState{s}}
+	sm := query.NewAggState(pql.Sum)
+	sm.AddNumeric(7)
+	inter.Groups["7"] = &query.GroupEntry{Values: []any{int64(7)}, Aggs: []*query.AggState{sm}}
+
+	data, err := EncodeResponse(&QueryResponse{Result: inter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Typed group values survive the wire (int64 stays int64).
+	if v, ok := got.Result.Groups["7"].Values[0].(int64); !ok || v != 7 {
+		t.Fatalf("typed value lost: %#v", got.Result.Groups["7"].Values[0])
+	}
+	if got.Result.Groups["us"].Aggs[0].Sum != 5 {
+		t.Fatalf("group agg lost")
+	}
+}
+
+func TestSelectionGobRoundTrip(t *testing.T) {
+	inter := &query.Intermediate{
+		Kind:       query.KindSelection,
+		SelectCols: []string{"a", "b"},
+		Rows:       [][]any{{int64(1), "x"}, {int64(2), []any{"m", "n"}}},
+	}
+	data, err := EncodeResponse(&QueryResponse{Result: inter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Rows[1][1].([]any)[0] != "m" {
+		t.Fatalf("multi-value cell lost: %#v", got.Result.Rows)
+	}
+}
+
+func TestRegistryFunc(t *testing.T) {
+	var r Registry = RegistryFunc(func(instance string) (ServerClient, bool) {
+		if instance == "known" {
+			return fakeClient{}, true
+		}
+		return nil, false
+	})
+	if _, ok := r.ServerClient("known"); !ok {
+		t.Fatal("known instance missing")
+	}
+	if _, ok := r.ServerClient("other"); ok {
+		t.Fatal("unknown instance resolved")
+	}
+}
+
+type fakeClient struct{}
+
+func (fakeClient) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	return &QueryResponse{}, nil
+}

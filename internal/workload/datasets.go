@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pinot/internal/segment"
+	"pinot/internal/startree"
+)
+
+// SizeConfig scales a dataset.
+type SizeConfig struct {
+	Segments       int
+	RowsPerSegment int
+	Seed           int64
+}
+
+func (c *SizeConfig) withDefaults(segments, rows int) {
+	if c.Segments <= 0 {
+		c.Segments = segments
+	}
+	if c.RowsPerSegment <= 0 {
+		c.RowsPerSegment = rows
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ---- Anomaly detection dataset (Figures 11, 12, 13) ----
+
+var (
+	anomalyCountries = genNames("country", 40)
+	anomalyMetrics   = genNames("metric", 80)
+	anomalyPlatforms = []string{"web", "ios", "android", "api"}
+	anomalyFabrics   = []string{"lva1", "ltx1", "lor1", "lsg1", "ela4"}
+	anomalyBrowsers  = []string{"chrome", "firefox", "safari", "edge", "opera", "other"}
+)
+
+const anomalyDays = 30
+
+func genNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%02d", prefix, i)
+	}
+	return out
+}
+
+// Anomaly builds the ad-hoc reporting / anomaly detection dataset: SUM
+// aggregations over multidimensional business metrics "with a variable
+// number of filtering predicates and grouping clauses" (paper section 6).
+func Anomaly(cfg SizeConfig) *Dataset {
+	cfg.withDefaults(4, 50000)
+	schema := mustSchema("anomaly", []segment.FieldSpec{
+		{Name: "metricName", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "country", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "platform", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "fabric", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "browser", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "value", Type: segment.TypeDouble, Kind: segment.Metric, SingleValue: true},
+		{Name: "count", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+		{Name: "day", Type: segment.TypeLong, Kind: segment.Time, SingleValue: true, TimeUnit: "DAYS"},
+	})
+	d := &Dataset{
+		Name:           "anomaly",
+		Schema:         schema,
+		NumSegments:    cfg.Segments,
+		RowsPerSegment: cfg.RowsPerSegment,
+		InvertedColumns: []string{
+			"metricName", "country", "platform", "fabric", "browser",
+		},
+		StarTree: &startree.Config{
+			DimensionSplitOrder: []string{"metricName", "day", "country", "platform", "fabric", "browser"},
+			Metrics:             []string{"value", "count"},
+			MaxLeafRecords:      1000,
+		},
+		seed: cfg.Seed,
+	}
+	d.genRow = func(r *rand.Rand, i int) segment.Row {
+		// Metric popularity is skewed: a handful of key business
+		// metrics dominate.
+		m := anomalyMetrics[int(float64(len(anomalyMetrics))*r.Float64()*r.Float64())%len(anomalyMetrics)]
+		return segment.Row{
+			m,
+			pick(r, anomalyCountries),
+			pick(r, anomalyPlatforms),
+			pick(r, anomalyFabrics),
+			pick(r, anomalyBrowsers),
+			float64(r.Intn(10000)) / 10,
+			int64(1 + r.Intn(20)),
+			int64(16000 + r.Intn(anomalyDays)),
+		}
+	}
+	d.genQry = func(r *rand.Rand) string {
+		// The monitoring portion issues fixed-shape queries; analysts
+		// drill down with more predicates and group-bys.
+		var preds []string
+		preds = append(preds, fmt.Sprintf("metricName = '%s'", pick(r, anomalyMetrics)))
+		if r.Float64() < 0.7 {
+			lo := 16000 + r.Intn(anomalyDays-7)
+			preds = append(preds, fmt.Sprintf("day BETWEEN %d AND %d", lo, lo+6))
+		}
+		if r.Float64() < 0.4 {
+			preds = append(preds, fmt.Sprintf("country = '%s'", pick(r, anomalyCountries)))
+		}
+		if r.Float64() < 0.3 {
+			preds = append(preds, fmt.Sprintf("platform = '%s'", pick(r, anomalyPlatforms)))
+		}
+		if r.Float64() < 0.15 {
+			preds = append(preds, fmt.Sprintf("(browser = '%s' OR browser = '%s')",
+				anomalyBrowsers[r.Intn(3)], anomalyBrowsers[3+r.Intn(3)]))
+		}
+		q := "SELECT sum(value), count(*) FROM anomaly WHERE " + strings.Join(preds, " AND ")
+		switch r.Intn(4) {
+		case 0:
+			q += " GROUP BY country TOP 10"
+		case 1:
+			q += " GROUP BY day TOP 31"
+		case 2:
+			q += " GROUP BY platform TOP 10"
+		}
+		return q
+	}
+	return d
+}
+
+// ---- Share analytics / WVMP dataset (Figures 14 and 15) ----
+
+var (
+	wvmpRegions     = genNames("region", 30)
+	wvmpSeniorities = genNames("seniority", 10)
+	wvmpIndustries  = genNames("industry", 50)
+)
+
+// ShareAnalytics builds the "share analytics" / "who viewed my profile"
+// dataset: every query filters on a Zipf-skewed entity id (vieweeId), so
+// physically sorting on it makes query work a contiguous range (paper 4.2:
+// "all queries have a filter on the vieweeId column").
+func ShareAnalytics(cfg SizeConfig) *Dataset {
+	cfg.withDefaults(4, 100000)
+	numViewees := cfg.Segments * cfg.RowsPerSegment / 40
+	if numViewees < 100 {
+		numViewees = 100
+	}
+	numViewers := numViewees * 4
+	schema := mustSchema("wvmp", []segment.FieldSpec{
+		{Name: "vieweeId", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+		{Name: "viewerId", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+		{Name: "region", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "seniority", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "industry", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "views", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+		{Name: "day", Type: segment.TypeLong, Kind: segment.Time, SingleValue: true, TimeUnit: "DAYS"},
+	})
+	d := &Dataset{
+		Name:            "wvmp",
+		Schema:          schema,
+		NumSegments:     cfg.Segments,
+		RowsPerSegment:  cfg.RowsPerSegment,
+		SortColumn:      "vieweeId",
+		InvertedColumns: []string{"vieweeId", "region", "seniority", "industry"},
+		seed:            cfg.Seed,
+	}
+	d.genRow = func(r *rand.Rand, i int) segment.Row {
+		// Lazily created per generator call chain: one Zipf per rand.
+		return wvmpRow(r, numViewees, numViewers)
+	}
+	d.genQry = func(r *rand.Rand) string {
+		// Hot profiles are viewed (and therefore queried) more.
+		viewee := int64(float64(numViewees) * r.Float64() * r.Float64())
+		base := fmt.Sprintf("FROM wvmp WHERE vieweeId = %d", viewee)
+		switch r.Intn(4) {
+		case 0:
+			return "SELECT count(*), sum(views) " + base
+		case 1:
+			return "SELECT distinctcount(viewerId) " + base
+		case 2:
+			return "SELECT count(*) " + base + " GROUP BY region TOP 10"
+		default:
+			return "SELECT sum(views) " + base + " GROUP BY seniority TOP 10"
+		}
+	}
+	return d
+}
+
+func wvmpRow(r *rand.Rand, numViewees, numViewers int) segment.Row {
+	// Quadratic skew approximates the long-tail profile-view
+	// distribution without per-call Zipf construction cost.
+	viewee := int64(float64(numViewees) * r.Float64() * r.Float64())
+	return segment.Row{
+		viewee,
+		int64(r.Intn(numViewers)),
+		pick(r, wvmpRegions),
+		pick(r, wvmpSeniorities),
+		pick(r, wvmpIndustries),
+		int64(1 + r.Intn(3)),
+		int64(16000 + r.Intn(90)),
+	}
+}
+
+// WVMP is the "who viewed my profile" variant of the share-analytics
+// dataset used by Figure 15: identical shape, smaller facet set.
+func WVMP(cfg SizeConfig) *Dataset {
+	d := ShareAnalytics(cfg)
+	d.Name = "wvmp"
+	return d
+}
+
+// ---- Impression discounting dataset (Figure 16) ----
+
+// Impressions builds the impression-discounting dataset: every news-feed
+// render looks up the items one member has already seen, so queries are
+// high-rate single-member selections and the table is partitioned on
+// memberId (paper 4.4 and section 6).
+func Impressions(cfg SizeConfig, numPartitions int) *Dataset {
+	cfg.withDefaults(8, 50000)
+	if numPartitions <= 0 {
+		numPartitions = 8
+	}
+	numMembers := cfg.Segments * cfg.RowsPerSegment / 50
+	if numMembers < 1000 {
+		numMembers = 1000
+	}
+	schema := mustSchema("impressions", []segment.FieldSpec{
+		{Name: "memberId", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+		{Name: "itemId", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+		{Name: "action", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+		{Name: "impressions", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+		{Name: "ts", Type: segment.TypeLong, Kind: segment.Time, SingleValue: true, TimeUnit: "MINUTES"},
+	})
+	d := &Dataset{
+		Name:            "impressions",
+		Schema:          schema,
+		NumSegments:     cfg.Segments,
+		RowsPerSegment:  cfg.RowsPerSegment,
+		SortColumn:      "memberId",
+		InvertedColumns: []string{"memberId"},
+		PartitionColumn: "memberId",
+		NumPartitions:   numPartitions,
+		seed:            cfg.Seed,
+	}
+	actions := []string{"view", "scroll", "click", "hide"}
+	// Segment si holds members of partition si % numPartitions, matching
+	// how stream-partitioned realtime segments line up.
+	d.genRow = func(r *rand.Rand, i int) segment.Row {
+		si := i / cfg.RowsPerSegment
+		p := si % numPartitions
+		member := memberForPartition(r, numMembers, numPartitions, p)
+		return segment.Row{
+			member,
+			int64(r.Intn(1 << 20)),
+			pick(r, actions),
+			int64(1 + r.Intn(4)),
+			int64(26000000 + r.Intn(10000)),
+		}
+	}
+	d.genQry = func(r *rand.Rand) string {
+		member := int64(r.Intn(numMembers))
+		return fmt.Sprintf("SELECT itemId, impressions FROM impressions WHERE memberId = %d LIMIT 200", member)
+	}
+	return d
+}
+
+// memberForPartition samples a member id landing in stream partition p
+// under the Kafka partition function, by rejection.
+func memberForPartition(r *rand.Rand, numMembers, numPartitions, p int) int64 {
+	for {
+		m := int64(r.Intn(numMembers))
+		if PartitionOfMember(m, numPartitions) == p {
+			return m
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package workload
+
+import (
+	"fmt"
+
+	"pinot/internal/stream"
+)
+
+// PartitionOfMember maps a member id to its stream partition exactly as a
+// producer keying messages by fmt.Sprint(memberId) would, so offline
+// segments and realtime partitions agree (paper 4.4).
+func PartitionOfMember(member int64, numPartitions int) int {
+	return stream.PartitionFor([]byte(fmt.Sprint(member)), numPartitions)
+}

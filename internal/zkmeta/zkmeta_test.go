@@ -1,0 +1,279 @@
+package zkmeta
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	if err := sess.Create("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Create("/a", nil); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := sess.Create("/b/c", nil); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("orphan create: %v", err)
+	}
+	data, v, err := sess.Get("/a")
+	if err != nil || string(data) != "x" || v != 0 {
+		t.Fatalf("get: %q v%d %v", data, v, err)
+	}
+	if _, _, err := sess.Get("/missing"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("get missing: %v", err)
+	}
+	nv, err := sess.Set("/a", []byte("y"), 0)
+	if err != nil || nv != 1 {
+		t.Fatalf("set: v%d %v", nv, err)
+	}
+	if _, err := sess.Set("/a", []byte("z"), 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale set: %v", err)
+	}
+	if _, err := sess.Set("/a", []byte("z"), -1); err != nil {
+		t.Fatalf("any-version set: %v", err)
+	}
+	if err := sess.Delete("/a", 1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale delete: %v", err)
+	}
+	if err := sess.Delete("/a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Exists("/a") {
+		t.Fatal("node exists after delete")
+	}
+}
+
+func TestCreateAllAndChildren(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	if err := sess.CreateAll("/x/y/z", []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := sess.Get("/x/y/z")
+	if err != nil || string(data) != "deep" {
+		t.Fatalf("deep get: %q %v", data, err)
+	}
+	if err := sess.CreateAll("/x/y/z", nil); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("CreateAll duplicate leaf: %v", err)
+	}
+	_ = sess.Create("/x/y/w", nil)
+	kids, err := sess.Children("/x/y")
+	if err != nil || len(kids) != 2 || kids[0] != "w" || kids[1] != "z" {
+		t.Fatalf("children: %v %v", kids, err)
+	}
+	// Deleting a non-empty node fails.
+	if err := sess.Delete("/x/y", -1); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("non-empty delete: %v", err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	for _, p := range []string{"relative", "//double", "/trail//ing"} {
+		if err := sess.Create(p, nil); err == nil {
+			t.Errorf("Create(%q) accepted", p)
+		}
+	}
+}
+
+func collectEvent(t *testing.T, ch <-chan Event) Event {
+	t.Helper()
+	select {
+	case e := <-ch:
+		return e
+	case <-time.After(time.Second):
+		t.Fatal("no event within 1s")
+		return Event{}
+	}
+}
+
+func TestWatches(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	ch, cancel := sess.Watch("/w")
+	defer cancel()
+	_ = sess.Create("/w", []byte("1"))
+	if e := collectEvent(t, ch); e.Type != EventCreated || e.Path != "/w" {
+		t.Fatalf("event = %+v", e)
+	}
+	_, _ = sess.Set("/w", []byte("2"), -1)
+	if e := collectEvent(t, ch); e.Type != EventDataChanged {
+		t.Fatalf("event = %+v", e)
+	}
+	_ = sess.Delete("/w", -1)
+	if e := collectEvent(t, ch); e.Type != EventDeleted {
+		t.Fatalf("event = %+v", e)
+	}
+	// Persistent: recreate fires again.
+	_ = sess.Create("/w", nil)
+	if e := collectEvent(t, ch); e.Type != EventCreated {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestChildWatches(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	_ = sess.Create("/parent", nil)
+	ch, cancel := sess.WatchChildren("/parent")
+	defer cancel()
+	_ = sess.Create("/parent/a", nil)
+	if e := collectEvent(t, ch); e.Type != EventChildrenChanged || e.Path != "/parent" {
+		t.Fatalf("event = %+v", e)
+	}
+	_ = sess.Delete("/parent/a", -1)
+	if e := collectEvent(t, ch); e.Type != EventChildrenChanged {
+		t.Fatalf("event = %+v", e)
+	}
+	// Data changes do not fire child watches.
+	_, _ = sess.Set("/parent", []byte("d"), -1)
+	select {
+	case e := <-ch:
+		t.Fatalf("unexpected event %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestWatchCancel(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	ch, cancel := sess.Watch("/c")
+	cancel()
+	cancel() // idempotent
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+	_ = sess.Create("/c", nil) // must not panic
+}
+
+func TestEphemeralLifecycle(t *testing.T) {
+	s := NewStore()
+	owner := s.NewSession()
+	observer := s.NewSession()
+	if err := owner.CreateEphemeral("/live", []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := observer.Watch("/live")
+	defer cancel()
+	owner.Close()
+	if e := collectEvent(t, ch); e.Type != EventDeleted {
+		t.Fatalf("event = %+v", e)
+	}
+	if observer.Exists("/live") {
+		t.Fatal("ephemeral survived session close")
+	}
+	// Operations on a closed session fail.
+	if err := owner.Create("/after", nil); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("closed-session create: %v", err)
+	}
+	// Expire is an alias; double close is safe.
+	owner.Expire()
+}
+
+func TestEphemeralDeletedExplicitly(t *testing.T) {
+	s := NewStore()
+	sess := s.NewSession()
+	_ = sess.CreateEphemeral("/tmp", nil)
+	if err := sess.Delete("/tmp", -1); err != nil {
+		t.Fatal(err)
+	}
+	// Closing afterwards must not error on the already-deleted node.
+	sess.Close()
+}
+
+func TestLeaderElectionPattern(t *testing.T) {
+	// The leader-election pattern Helix builds on: ephemeral create
+	// contention, watch for deletion, re-contend.
+	s := NewStore()
+	a, b := s.NewSession(), s.NewSession()
+	if err := a.CreateEphemeral("/leader", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateEphemeral("/leader", []byte("b")); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("second leader create: %v", err)
+	}
+	ch, cancel := b.Watch("/leader")
+	defer cancel()
+	a.Close() // leader dies
+	if e := collectEvent(t, ch); e.Type != EventDeleted {
+		t.Fatalf("event = %+v", e)
+	}
+	if err := b.CreateEphemeral("/leader", []byte("b")); err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	data, _, _ := b.Get("/leader")
+	if string(data) != "b" {
+		t.Fatalf("leader = %q", data)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	s := NewStore()
+	root := s.NewSession()
+	_ = root.Create("/counters", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for j := 0; j < 100; j++ {
+				path := fmt.Sprintf("/counters/n%d_%d", i, j)
+				if err := sess.Create(path, nil); err != nil {
+					t.Errorf("create %s: %v", path, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	kids, err := root.Children("/counters")
+	if err != nil || len(kids) != 800 {
+		t.Fatalf("children = %d, %v", len(kids), err)
+	}
+}
+
+func TestOptimisticConcurrencyLoop(t *testing.T) {
+	// CAS retry loop, the idiom controllers use for shared state.
+	s := NewStore()
+	sess := s.NewSession()
+	_ = sess.Create("/count", []byte("0"))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := s.NewSession()
+			defer w.Close()
+			for j := 0; j < 50; j++ {
+				for {
+					data, v, err := w.Get("/count")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					n := 0
+					fmt.Sscanf(string(data), "%d", &n)
+					if _, err := w.Set("/count", []byte(fmt.Sprint(n+1)), v); err == nil {
+						break
+					} else if !errors.Is(err, ErrBadVersion) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	data, _, _ := sess.Get("/count")
+	if string(data) != "200" {
+		t.Fatalf("count = %s, want 200", data)
+	}
+}

@@ -1,0 +1,197 @@
+package pinot
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func facadeSchema(t testing.TB) *Schema {
+	t.Helper()
+	s, err := NewSchema("events", []FieldSpec{
+		{Name: "country", Type: TypeString, Kind: Dimension, SingleValue: true},
+		{Name: "clicks", Type: TypeLong, Kind: Metric, SingleValue: true},
+		{Name: "day", Type: TypeLong, Kind: Time, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFacadeOfflineLifecycle(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	schema := facadeSchema(t)
+	if err := c.AddTable(&TableConfig{Name: "events", Type: Offline, Schema: schema, Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{"us", int64(10), int64(100)},
+		{"de", int64(20), int64(100)},
+		{"us", int64(30), int64(101)},
+	}
+	blob, err := BuildSegmentBlob("events", "events_0", schema, IndexConfig{}, rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadSegment("events_OFFLINE", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(context.Background(), "SELECT sum(clicks) FROM events WHERE country = 'us'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(float64); got != 40 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestFacadeRealtimeLifecycle(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.CreateStreamTopic("clickstream", 1); err != nil {
+		t.Fatal(err)
+	}
+	schema := facadeSchema(t)
+	err = c.AddTable(&TableConfig{
+		Name: "events", Type: Realtime, Schema: schema, Replicas: 1,
+		StreamTopic: "clickstream", FlushThresholdRows: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForConsuming("events_REALTIME", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		msg, _ := json.Marshal(map[string]any{"country": "us", "clicks": i, "day": 100})
+		if err := c.Produce("clickstream", nil, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.Query(context.Background(), "SELECT count(*) FROM events")
+		if err == nil && res.Rows[0][0].(int64) == 25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("realtime rows never visible: %v %v", res, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFacadeStarTreeSegment(t *testing.T) {
+	schema := facadeSchema(t)
+	rows := make([]Row, 0, 200)
+	for i := 0; i < 200; i++ {
+		rows = append(rows, Row{[]string{"us", "de"}[i%2], int64(i), int64(100 + i%3)})
+	}
+	blob, err := BuildSegmentBlob("events", "s0", schema, IndexConfig{}, rows, &StarTreeConfig{
+		DimensionSplitOrder: []string{"country", "day"},
+		Metrics:             []string{"clicks"},
+		MaxLeafRecords:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.AddTable(&TableConfig{Name: "events", Type: Offline, Schema: schema, Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadSegment("events_OFFLINE", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(context.Background(), "SELECT sum(clicks) FROM events WHERE country = 'us'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StarTreeSegments != 1 {
+		t.Fatalf("star tree unused: %+v", res.Stats)
+	}
+	var want float64
+	for i := 0; i < 200; i += 2 {
+		want += float64(i)
+	}
+	if got := res.Rows[0][0].(float64); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestFacadeBuildErrors(t *testing.T) {
+	schema := facadeSchema(t)
+	if _, err := BuildSegmentBlob("t", "s", schema, IndexConfig{SortColumn: "nope"}, nil, nil); err == nil {
+		t.Fatal("bad index config accepted")
+	}
+	if _, err := BuildSegmentBlob("t", "s", schema, IndexConfig{}, []Row{{"only-one-field"}}, nil); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := BuildSegmentBlob("t", "s", schema, IndexConfig{}, nil, nil); err == nil {
+		t.Fatal("empty segment accepted")
+	}
+	rows := []Row{{"us", int64(1), int64(1)}}
+	if _, err := BuildSegmentBlob("t", "s", schema, IndexConfig{}, rows, &StarTreeConfig{}); err == nil {
+		t.Fatal("bad star tree config accepted")
+	}
+}
+
+func TestFacadeMinionPurge(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{Minions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	schema := facadeSchema(t)
+	if err := c.AddTable(&TableConfig{Name: "events", Type: Offline, Schema: schema, Replicas: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for i := 0; i < 40; i++ {
+		rows = append(rows, Row{fmt.Sprintf("c%d", i%4), int64(i), int64(100)})
+	}
+	blob, _ := BuildSegmentBlob("events", "events_0", schema, IndexConfig{}, rows, nil)
+	if err := c.UploadSegment("events_OFFLINE", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	err = c.ScheduleTask(&Task{
+		ID: "p1", Type: "purge", Resource: "events_OFFLINE", Segment: "events_0",
+		PurgeColumn: "country", PurgeValues: []string{"c2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := c.Query(context.Background(), "SELECT count(*) FROM events")
+		if err == nil && res.Rows[0][0].(int64) == 30 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("purge never took effect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
