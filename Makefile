@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race verify fuzz clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verify: what CI and the roadmap require to stay green.
+verify: build vet race
+
+# Short fuzz pass over the transport decoder.
+fuzz:
+	$(GO) test ./internal/transport -fuzz=FuzzDecodeResponse -fuzztime=10s
+
+clean:
+	$(GO) clean ./...

@@ -103,6 +103,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("hybrid count for member 42 (offline history + realtime): %v\n", res.Rows[0][0])
+	// Completeness accounting: with no injected faults every scatter group
+	// answers, so the result is complete, not partial.
+	fmt.Printf("scatter groups responded: %d/%d (partial=%v)\n",
+		res.ServersResponded, res.ServersQueried, res.Partial)
 
 	// Push past the flush threshold: consuming segments commit through
 	// the HOLD/CATCHUP/COMMIT protocol and roll to the next sequence.

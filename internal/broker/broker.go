@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +34,21 @@ type Config struct {
 	PartitionAware bool
 	// QueryTimeout bounds end-to-end query execution.
 	QueryTimeout time.Duration
+	// MaxRetries bounds how many times a failed scatter group is retried
+	// against alternate replicas of its segments. 0 means the default of
+	// one retry; -1 disables retries.
+	MaxRetries int
+	// RetryBackoff is the pause before each retry attempt.
+	RetryBackoff time.Duration
+	// HedgeDelay, when positive, sends a duplicate request to another
+	// replica if a server has not answered within the delay, taking
+	// whichever response arrives first (tail-latency hedging). 0 disables
+	// hedging.
+	HedgeDelay time.Duration
+	// PerServerTimeout bounds each individual server attempt, carving the
+	// query budget so a hung server leaves time for a retry. Defaults to
+	// QueryTimeout divided among the retry attempts.
+	PerServerTimeout time.Duration
 	// Seed fixes the routing RNG for reproducible tests (0 = random).
 	Seed int64
 }
@@ -53,6 +69,27 @@ func (c *Config) withDefaults() {
 	if c.QueryTimeout <= 0 {
 		c.QueryTimeout = 10 * time.Second
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.PerServerTimeout <= 0 {
+		attempts := c.MaxRetries + 1
+		if attempts < 1 {
+			attempts = 1
+		}
+		c.PerServerTimeout = c.QueryTimeout / time.Duration(attempts)
+	}
+}
+
+// retries returns the effective retry budget (-1 disables).
+func (c *Config) retries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
 }
 
 // Broker routes queries to servers and merges their partial results.
@@ -277,11 +314,29 @@ func (b *Broker) timeBoundary(offlineResource string) (int64, bool) {
 	return max, found
 }
 
+// ServerException records one server-level failure observed during
+// scatter/gather. Recovered failures were masked by a retry or hedged
+// request and did not affect the result; unrecovered ones mark it partial.
+type ServerException struct {
+	Server    string
+	Error     string
+	Recovered bool
+}
+
 // Response is the broker's reply to a client.
 type Response struct {
 	*query.Result
-	// ServersQueried counts the server fan-out across subqueries.
+	// ServersQueried counts the scatter groups fanned out across
+	// subqueries (paper 3.3.3 step 7's "servers queried").
 	ServersQueried int
+	// ServersResponded counts the groups that produced a result, possibly
+	// via an alternate replica after the primary failed. The result is
+	// complete iff ServersResponded == ServersQueried and there are no
+	// carried exceptions.
+	ServersResponded int
+	// ServerExceptions details every per-server failure, including those
+	// recovered by retries or hedging.
+	ServerExceptions []ServerException
 }
 
 // Execute parses PQL, performs hybrid rewriting, scatters the query and
@@ -334,26 +389,36 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 
 	var merged *query.Intermediate
 	var exceptions []string
-	servers := 0
+	var srvExcs []ServerException
+	queried, responded := 0, 0
 	for _, sub := range subs {
-		res, exc, n, err := b.scatterGather(ctx, sub.resource, sub.cfg, sub.q, tenant)
+		out, err := b.scatterGather(ctx, sub.resource, sub.cfg, sub.q, tenant)
 		if err != nil {
 			return nil, err
 		}
-		servers += n
-		exceptions = append(exceptions, exc...)
+		queried += out.queried
+		responded += out.responded
+		exceptions = append(exceptions, out.respExcs...)
+		srvExcs = append(srvExcs, out.srvExcs...)
 		if merged == nil {
-			merged = res
+			merged = out.result
 			continue
 		}
-		if res != nil {
-			if err := merged.Merge(res); err != nil {
+		if out.result != nil {
+			if err := merged.Merge(out.result); err != nil {
 				return nil, err
 			}
 		}
 	}
+	// Unrecovered server failures surface as client-visible exceptions;
+	// failures masked by a retry or hedge stay in ServerExceptions only.
+	for _, e := range srvExcs {
+		if !e.Recovered {
+			exceptions = append(exceptions, fmt.Sprintf("server %s: %s", e.Server, e.Error))
+		}
+	}
 	if merged == nil {
-		if len(exceptions) == 0 {
+		if len(exceptions) == 0 && responded == queried {
 			return nil, fmt.Errorf("broker: no servers produced results")
 		}
 		// Every server failed: degrade to an empty partial result
@@ -362,17 +427,45 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	}
 	final := merged.Finalize(q)
 	final.Exceptions = exceptions
-	final.Partial = len(exceptions) > 0
+	final.Partial = len(exceptions) > 0 || responded < queried
 	final.TimeMillis = time.Since(start).Milliseconds()
-	return &Response{Result: final, ServersQueried: servers}, nil
+	return &Response{
+		Result:           final,
+		ServersQueried:   queried,
+		ServersResponded: responded,
+		ServerExceptions: srvExcs,
+	}, nil
+}
+
+// gatherResult is the outcome of scattering one subquery.
+type gatherResult struct {
+	result    *query.Intermediate
+	respExcs  []string          // exceptions carried inside successful responses
+	srvExcs   []ServerException // transport/server-level failures
+	queried   int               // scatter groups fanned out
+	responded int               // groups that produced a full result
+}
+
+// groupResult is the outcome of one scatter group (a server and its assigned
+// segments), after retries and hedging.
+type groupResult struct {
+	result    *query.Intermediate
+	responded bool
+	respExcs  []string
+	excs      []ServerException
+	err       error // fatal merge error, aborts the query
 }
 
 // scatterGather sends one rewritten subquery to the servers of a resource
-// and merges their partial results.
-func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.Config, q *pql.Query, tenant string) (*query.Intermediate, []string, int, error) {
+// and merges their partial results. Each scatter group gets its own deadline
+// carved from the query budget; failed groups are retried against alternate
+// replicas of their segments, and stragglers optionally race a hedged
+// duplicate (paper 3.3.3 steps 3-7).
+func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.Config, q *pql.Query, tenant string) (gatherResult, error) {
+	var out gatherResult
 	rs, err := b.routingFor(resource)
 	if err != nil {
-		return nil, nil, 0, err
+		return out, err
 	}
 	var rt RoutingTable
 	b.rndMu.Lock()
@@ -380,7 +473,7 @@ func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.
 	b.rndMu.Unlock()
 	if rt == nil {
 		// Resource exists but has no queryable segments yet.
-		return nil, nil, 0, nil
+		return out, nil
 	}
 	// Partition-aware pruning (paper 4.4): a single-partition query only
 	// contacts servers holding that partition's segments.
@@ -395,54 +488,235 @@ func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.
 	}
 
 	pqlText := q.String()
-	type reply struct {
-		instance string
-		resp     *transport.QueryResponse
-		err      error
-	}
-	replies := make(chan reply, len(rt))
+	results := make(chan groupResult, len(rt))
 	for instance, segs := range rt {
 		go func(instance string, segs []string) {
-			client, ok := b.registry.ServerClient(instance)
-			if !ok {
-				replies <- reply{instance: instance, err: fmt.Errorf("no client for %s", instance)}
-				return
-			}
-			resp, err := client.Execute(ctx, &transport.QueryRequest{
-				Resource: resource,
-				PQL:      pqlText,
-				Segments: segs,
-				Tenant:   tenant,
-			})
-			replies <- reply{instance: instance, resp: resp, err: err}
+			results <- b.queryGroup(ctx, rs, resource, pqlText, tenant, q, instance, segs)
 		}(instance, segs)
 	}
-
-	var merged *query.Intermediate
-	var exceptions []string
+	out.queried = len(rt)
 	for i := 0; i < len(rt); i++ {
-		r := <-replies
-		if r.err != nil {
-			// Per paper 3.3.3 step 7: errors mark the result partial
-			// rather than failing the query.
-			exceptions = append(exceptions, fmt.Sprintf("server %s: %v", r.instance, r.err))
+		gr := <-results
+		if gr.err != nil {
+			return out, gr.err
+		}
+		if gr.responded {
+			out.responded++
+		}
+		out.respExcs = append(out.respExcs, gr.respExcs...)
+		out.srvExcs = append(out.srvExcs, gr.excs...)
+		if gr.result == nil {
 			continue
 		}
-		exceptions = append(exceptions, r.resp.Exceptions...)
-		if merged == nil {
-			merged = r.resp.Result
+		if out.result == nil {
+			out.result = gr.result
 			continue
 		}
-		if err := merged.Merge(r.resp.Result); err != nil {
-			return nil, nil, 0, err
+		if err := out.result.Merge(gr.result); err != nil {
+			return out, err
 		}
 	}
-	if merged == nil && len(exceptions) == len(rt) && len(rt) > 0 {
-		// All servers failed for this subquery; still degrade
-		// gracefully with an empty partial result.
-		return nil, exceptions, len(rt), nil
+	return out, nil
+}
+
+// queryGroup drives one scatter group to completion: query the primary
+// replica (hedging against a straggler if configured), then retry any failed
+// segments on untried replicas with backoff, up to the retry budget.
+func (b *Broker) queryGroup(ctx context.Context, rs *routingState, resource, pqlText, tenant string, q *pql.Query, primary string, segs []string) groupResult {
+	var gr groupResult
+	tried := map[string]bool{}
+	assign := RoutingTable{primary: segs}
+	lost := false // segments dropped because no untried replica remained
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(b.cfg.RetryBackoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return gr
+			case <-timer.C:
+			}
+		}
+		// Deterministic order keeps replica selection reproducible.
+		insts := make([]string, 0, len(assign))
+		for inst := range assign {
+			insts = append(insts, inst)
+		}
+		sort.Strings(insts)
+		var failed []string
+		for _, inst := range insts {
+			resp, excs := b.hedgedCall(ctx, rs, resource, pqlText, tenant, q, inst, assign[inst], tried)
+			gr.excs = append(gr.excs, excs...)
+			if resp == nil {
+				failed = append(failed, assign[inst]...)
+				continue
+			}
+			gr.respExcs = append(gr.respExcs, resp.Exceptions...)
+			if gr.result == nil {
+				gr.result = resp.Result
+				continue
+			}
+			if err := gr.result.Merge(resp.Result); err != nil {
+				gr.err = err
+				return gr
+			}
+		}
+		if len(failed) == 0 {
+			if !lost {
+				gr.responded = true
+				// Every segment got a result: earlier failures were
+				// masked by a retry or hedge.
+				for i := range gr.excs {
+					gr.excs[i].Recovered = true
+				}
+			}
+			return gr
+		}
+		if attempt >= b.cfg.retries() || ctx.Err() != nil {
+			return gr
+		}
+		next := alternateGroups(rs, failed, tried)
+		if next.SegmentCount() < len(failed) {
+			lost = true
+		}
+		if len(next) == 0 {
+			return gr
+		}
+		assign = next
 	}
-	return merged, exceptions, len(rt), nil
+}
+
+// hedgedCall executes one server request with a per-server deadline. When
+// hedging is enabled and the server has not answered within HedgeDelay, a
+// duplicate request races on an untried replica holding the same segments;
+// the first usable response wins. Responses failing shape validation count
+// as server failures so corruption can never poison the merge.
+func (b *Broker) hedgedCall(ctx context.Context, rs *routingState, resource, pqlText, tenant string, q *pql.Query, instance string, segs []string, tried map[string]bool) (*transport.QueryResponse, []ServerException) {
+	type callRes struct {
+		inst string
+		resp *transport.QueryResponse
+		err  error
+	}
+	ch := make(chan callRes, 2)
+	launch := func(inst string) {
+		tried[inst] = true
+		go func() {
+			resp, err := b.callServer(ctx, resource, pqlText, tenant, inst, segs)
+			ch <- callRes{inst, resp, err}
+		}()
+	}
+	launch(instance)
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	var hedgeTimer *time.Timer
+	if b.cfg.HedgeDelay > 0 {
+		if _, ok := hedgeTarget(rs, segs, tried); ok {
+			hedgeTimer = time.NewTimer(b.cfg.HedgeDelay)
+			hedgeC = hedgeTimer.C
+			defer hedgeTimer.Stop()
+		}
+	}
+
+	var excs []ServerException
+	for outstanding > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if h, ok := hedgeTarget(rs, segs, tried); ok {
+				launch(h)
+				outstanding++
+			}
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if cerr := r.resp.Result.Conforms(q); cerr != nil {
+					r.err = cerr
+				}
+			}
+			if r.err != nil {
+				excs = append(excs, ServerException{Server: r.inst, Error: r.err.Error()})
+				continue
+			}
+			return r.resp, excs
+		}
+	}
+	return nil, excs
+}
+
+// callServer issues one request to one server under the per-server deadline.
+func (b *Broker) callServer(ctx context.Context, resource, pqlText, tenant, instance string, segs []string) (*transport.QueryResponse, error) {
+	client, ok := b.registry.ServerClient(instance)
+	if !ok {
+		return nil, fmt.Errorf("no client for %s", instance)
+	}
+	cctx := ctx
+	if b.cfg.PerServerTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, b.cfg.PerServerTimeout)
+		defer cancel()
+	}
+	return client.Execute(cctx, &transport.QueryRequest{
+		Resource: resource,
+		PQL:      pqlText,
+		Segments: segs,
+		Tenant:   tenant,
+	})
+}
+
+// alternateGroups reassigns failed segments onto untried replicas, least
+// loaded first. Segments with no untried replica are dropped: they stay
+// failed and the group reports an explicitly partial result.
+func alternateGroups(rs *routingState, segs []string, tried map[string]bool) RoutingTable {
+	sorted := append([]string(nil), segs...)
+	sort.Strings(sorted)
+	load := map[string]int{}
+	out := RoutingTable{}
+	for _, seg := range sorted {
+		var candidates []string
+		for _, inst := range rs.segments[seg] {
+			if !tried[inst] {
+				candidates = append(candidates, inst)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		sort.Strings(candidates)
+		best := candidates[0]
+		for _, inst := range candidates[1:] {
+			if load[inst] < load[best] {
+				best = inst
+			}
+		}
+		out[best] = append(out[best], seg)
+		load[best]++
+	}
+	return out
+}
+
+// hedgeTarget picks the lexicographically first untried replica hosting
+// every segment of the group, if one exists.
+func hedgeTarget(rs *routingState, segs []string, tried map[string]bool) (string, bool) {
+	counts := map[string]int{}
+	for _, seg := range segs {
+		for _, inst := range rs.segments[seg] {
+			if !tried[inst] {
+				counts[inst]++
+			}
+		}
+	}
+	var full []string
+	for inst, n := range counts {
+		if n == len(segs) {
+			full = append(full, inst)
+		}
+	}
+	if len(full) == 0 {
+		return "", false
+	}
+	sort.Strings(full)
+	return full[0], true
 }
 
 // partitionFilterValue extracts the value of a top-level equality predicate

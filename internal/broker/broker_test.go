@@ -6,6 +6,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,12 +27,21 @@ type fakeServer struct {
 	respond  func(req *transport.QueryRequest) *query.Intermediate
 	latency  time.Duration
 	instance string
+	// intercept, when set and returning handled=true, replaces the normal
+	// scripted behavior for that call.
+	intercept func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error, bool)
 }
 
 func (f *fakeServer) Execute(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
 	f.mu.Lock()
 	f.calls = append(f.calls, req)
+	ic := f.intercept
 	f.mu.Unlock()
+	if ic != nil {
+		if resp, err, handled := ic(ctx, req); handled {
+			return resp, err
+		}
+	}
 	if f.latency > 0 {
 		select {
 		case <-ctx.Done():
@@ -340,5 +350,230 @@ func TestBrokerEmptyResourceNoSegments(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "no servers") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// armFirstCall installs fn as a shared one-shot intercept on the given
+// replicas: exactly the first broker→server call overall is handled by fn —
+// whichever replica the routing table happened to pick as primary — and
+// every later call behaves normally. This keeps the tests independent of
+// the (randomized, watch-refreshed) routing table's replica choice.
+func armFirstCall(env *testEnv, fn func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error), servers ...string) {
+	var used atomic.Bool
+	ic := func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error, bool) {
+		if used.CompareAndSwap(false, true) {
+			resp, err := fn(ctx, req)
+			return resp, err, true
+		}
+		return nil, nil, false
+	}
+	for _, s := range servers {
+		env.servers[s].intercept = ic
+	}
+}
+
+// other returns the replica that is not `primary` among s1/s2.
+func other(primary string) string {
+	if primary == "s1" {
+		return "s2"
+	}
+	return "s1"
+}
+
+func TestBrokerRetryRecoversOnAlternateReplica(t *testing.T) {
+	env := newTestEnv(t, Config{RetryBackoff: time.Millisecond})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg0"}, // second replica of the same segment
+	}, 10)
+	// The primary — whichever replica is routed to first — fails once.
+	armFirstCall(env, func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+		return nil, errors.New("injected server failure")
+	}, "s1", "s2")
+
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("retry should mask the failure: %+v", res.Result)
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	if res.ServersQueried != 1 || res.ServersResponded != 1 {
+		t.Fatalf("queried/responded = %d/%d, want 1/1", res.ServersQueried, res.ServersResponded)
+	}
+	if len(res.ServerExceptions) != 1 || !res.ServerExceptions[0].Recovered {
+		t.Fatalf("server exceptions = %+v", res.ServerExceptions)
+	}
+	primary := res.ServerExceptions[0].Server
+	if env.servers[primary].callCount() != 1 || env.servers[other(primary)].callCount() != 1 {
+		t.Fatalf("calls = %d/%d, want one failed primary call and one retry",
+			env.servers[primary].callCount(), env.servers[other(primary)].callCount())
+	}
+}
+
+func TestBrokerBothReplicasFailingIsExplicitlyPartial(t *testing.T) {
+	env := newTestEnv(t, Config{RetryBackoff: time.Millisecond})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg0"},
+	}, 10)
+	env.servers["s1"].fail = true
+	env.servers["s2"].fail = true
+
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expected explicitly partial result")
+	}
+	if res.ServersResponded >= res.ServersQueried {
+		t.Fatalf("queried/responded = %d/%d, want responded < queried", res.ServersQueried, res.ServersResponded)
+	}
+	if len(res.Exceptions) == 0 {
+		t.Fatal("expected client-visible exceptions")
+	}
+	for _, e := range res.ServerExceptions {
+		if e.Recovered {
+			t.Fatalf("no failure was recovered: %+v", e)
+		}
+	}
+	// Both replicas were actually attempted.
+	if env.servers["s1"].callCount() != 1 || env.servers["s2"].callCount() != 1 {
+		t.Fatalf("calls = %d/%d", env.servers["s1"].callCount(), env.servers["s2"].callCount())
+	}
+}
+
+func TestBrokerRetryDisabled(t *testing.T) {
+	env := newTestEnv(t, Config{MaxRetries: -1})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg0"},
+	}, 10)
+	armFirstCall(env, func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+		return nil, errors.New("injected server failure")
+	}, "s1", "s2")
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expected partial result with retries disabled")
+	}
+	if len(res.ServerExceptions) != 1 || res.ServerExceptions[0].Recovered {
+		t.Fatalf("server exceptions = %+v", res.ServerExceptions)
+	}
+	alternate := other(res.ServerExceptions[0].Server)
+	if env.servers[alternate].callCount() != 0 {
+		t.Fatalf("alternate was contacted %d times with retries disabled", env.servers[alternate].callCount())
+	}
+}
+
+func TestBrokerPerServerDeadlineLeavesRetryBudget(t *testing.T) {
+	env := newTestEnv(t, Config{
+		QueryTimeout:     5 * time.Second,
+		PerServerTimeout: 20 * time.Millisecond,
+		RetryBackoff:     time.Millisecond,
+	})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg0"},
+	}, 10)
+	// The primary hangs far beyond its per-server deadline; the carved
+	// budget must leave room to retry the other replica.
+	armFirstCall(env, func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Minute):
+			return nil, errors.New("latency fault outlived the test")
+		}
+	}, "s1", "s2")
+
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("hung primary should be recovered by retry: %+v", res.Result)
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	if len(res.ServerExceptions) != 1 || !res.ServerExceptions[0].Recovered {
+		t.Fatalf("server exceptions = %+v", res.ServerExceptions)
+	}
+}
+
+func TestBrokerHedgedRequestBeatsStraggler(t *testing.T) {
+	// Retries are disabled and the query budget is generous, so only a
+	// hedged request can explain a prompt full result.
+	env := newTestEnv(t, Config{
+		MaxRetries:   -1,
+		QueryTimeout: 5 * time.Second,
+		HedgeDelay:   5 * time.Millisecond,
+		RetryBackoff: time.Millisecond,
+	})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg0"},
+	}, 10)
+	armFirstCall(env, func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("straggler outlived the test")
+		}
+	}, "s1", "s2")
+
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("hedge should mask the straggler: %+v", res.Result)
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	if got := env.servers["s1"].callCount() + env.servers["s2"].callCount(); got != 2 {
+		t.Fatalf("total calls = %d, want 2 (straggler + hedge)", got)
+	}
+	if res.ServersQueried != 1 || res.ServersResponded != 1 {
+		t.Fatalf("queried/responded = %d/%d", res.ServersQueried, res.ServersResponded)
+	}
+}
+
+func TestBrokerMalformedResponseDegradesToRetry(t *testing.T) {
+	env := newTestEnv(t, Config{RetryBackoff: time.Millisecond})
+	env.addTable(t, "ev_OFFLINE", map[string][]string{
+		"s1": {"seg0"},
+		"s2": {"seg0"},
+	}, 10)
+	// The primary answers with a result of the wrong shape (a selection
+	// for an aggregation query) — a corrupted payload must be treated as
+	// a server failure, not merged.
+	armFirstCall(env, func(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+		return &transport.QueryResponse{
+			Result: &query.Intermediate{Kind: query.KindSelection, SelectCols: []string{"garbage"}},
+		}, nil
+	}, "s1", "s2")
+
+	res, err := env.broker.Execute(context.Background(), "SELECT count(*) FROM ev", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("corrupt response should be recovered via retry: %+v", res.Result)
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	if len(res.ServerExceptions) != 1 || !res.ServerExceptions[0].Recovered {
+		t.Fatalf("server exceptions = %+v", res.ServerExceptions)
 	}
 }

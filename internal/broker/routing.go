@@ -141,9 +141,11 @@ func generateRoutingTable(si segmentInstances, target int, rnd *rand.Rand) (Rout
 		for len(used) < target {
 			addInstance(instances[rnd.Intn(len(instances))])
 		}
-		// Cover orphan segments by adding one of their replicas.
+		// Cover orphan segments by adding one of their replicas. Orphans
+		// are processed in sorted order so the table is a pure function of
+		// the generator state — map iteration order must not leak in.
 		for len(orphan) > 0 {
-			seg := anyKey(orphan)
+			seg := minKey(orphan)
 			replicas := si[seg]
 			if len(replicas) == 0 {
 				return nil, fmt.Errorf("broker: segment %s has no available replica", seg)
@@ -213,11 +215,14 @@ func generateRoutingTable(si segmentInstances, target int, rnd *rand.Rand) (Rout
 	return rt, nil
 }
 
-func anyKey(m map[string]bool) string {
+func minKey(m map[string]bool) string {
+	min := ""
 	for k := range m {
-		return k
+		if min == "" || k < min {
+			min = k
+		}
 	}
-	return ""
+	return min
 }
 
 // filterRoutingTables is paper Algorithm 2: generate `candidates` routing

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pinot/internal/broker"
+	"pinot/internal/chaos"
 	"pinot/internal/controller"
 	"pinot/internal/helix"
 	"pinot/internal/minion"
@@ -37,6 +38,9 @@ type Options struct {
 	BrokerTemplate broker.Config
 	// ControllerTemplate seeds each controller's config.
 	ControllerTemplate controller.Config
+	// ChaosSeed seeds the fault-injection registry wrapped around the
+	// broker→server transport (0 = 1, still deterministic).
+	ChaosSeed int64
 }
 
 func (o *Options) withDefaults() {
@@ -64,6 +68,8 @@ type Cluster struct {
 	Servers     []*server.Server
 	Brokers     []*broker.Broker
 	Minions     []*minion.Minion
+	// Chaos injects deterministic faults into broker→server calls.
+	Chaos *chaos.Registry
 
 	adminSess *zkmeta.Session
 }
@@ -114,7 +120,7 @@ func NewLocal(opts Options) (*Cluster, error) {
 		c.Servers = append(c.Servers, srv)
 	}
 
-	registry := transport.RegistryFunc(func(instance string) (transport.ServerClient, bool) {
+	base := transport.RegistryFunc(func(instance string) (transport.ServerClient, bool) {
 		for _, s := range c.Servers {
 			if s.Instance() == instance {
 				return s, true
@@ -122,6 +128,10 @@ func NewLocal(opts Options) (*Cluster, error) {
 		}
 		return nil, false
 	})
+	// All broker traffic flows through the chaos registry; with no faults
+	// configured it is a transparent passthrough.
+	c.Chaos = chaos.NewRegistry(base, opts.ChaosSeed)
+	registry := transport.Registry(c.Chaos)
 	for i := 0; i < opts.Brokers; i++ {
 		cfg := opts.BrokerTemplate
 		cfg.Cluster = opts.Name

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"pinot/internal/segment"
+)
+
+// produceDays pushes n realtime events per day for days [from, to] with
+// clicks starting at clicksBase, returning the total rows and clicks sum.
+func produceDays(t testing.TB, c *Cluster, topic string, from, to int64, n int, clicksBase int64) (rows int, sum int64) {
+	t.Helper()
+	th, err := c.Streams.Topic(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks := clicksBase
+	for day := from; day <= to; day++ {
+		for i := 0; i < n; i++ {
+			msg, _ := json.Marshal(map[string]any{"country": "us", "memberId": 1, "clicks": clicks, "day": day})
+			th.ProduceTo(0, nil, msg)
+			rows++
+			sum += clicks
+			clicks++
+		}
+	}
+	return rows, sum
+}
+
+// buildDayBlob builds an offline segment whose rows all share one day, so
+// the segment's min and max time coincide (a single-bucket segment).
+func buildDayBlob(t testing.TB, name string, n int, day, clicksBase int64) []byte {
+	t.Helper()
+	b, err := segment.NewBuilder("events", name, eventsSchema(t), segment.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := b.Add(segment.Row{"us", int64(i % 20), clicksBase + int64(i), day}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := seg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func newHybridCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewLocal(Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	if _, err := c.Streams.CreateTopic("events", 1); err != nil {
+		t.Fatal(err)
+	}
+	rtCfg := realtimeConfig(t, 1, 1000)
+	rtCfg.Name = "events"
+	if err := c.AddTable(rtCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(offlineConfig(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForConsuming("events_REALTIME", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestHybridOfflineEmptyFallsBackToBothSides: with no completed offline
+// segments there is no time boundary, so the broker must query both sides
+// unrewritten. The offline side contributes nothing and every realtime row
+// is counted exactly once.
+func TestHybridOfflineEmptyFallsBackToBothSides(t *testing.T) {
+	c := newHybridCluster(t)
+	rtRows, rtSum := produceDays(t, c, "events", 100, 104, 6, 1000)
+	waitForCount(t, c, "SELECT count(*) FROM events", int64(rtRows), 5*time.Second)
+
+	res, err := c.Execute(context.Background(), "SELECT count(*), sum(clicks) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("partial result: %v", res.Exceptions)
+	}
+	if got := res.Rows[0][0].(int64); got != int64(rtRows) {
+		t.Fatalf("count = %d, want %d", got, rtRows)
+	}
+	if got := res.Rows[0][1].(float64); got != float64(rtSum) {
+		t.Fatalf("sum = %v, want %v", got, rtSum)
+	}
+}
+
+// TestHybridBoundaryOnBucketEdge: every offline row sits on exactly the
+// boundary day (segment min time == max time == boundary). Offline serves
+// day < boundary, i.e. nothing; the realtime side owns the entire boundary
+// bucket, so boundary rows are counted exactly once.
+func TestHybridBoundaryOnBucketEdge(t *testing.T) {
+	c := newHybridCluster(t)
+	// Offline: 40 rows, all on day 100. Realtime re-ingests day 100 onward.
+	if err := c.UploadSegment("events_OFFLINE", buildDayBlob(t, "events_edge", 40, 100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rtRows, rtSum := produceDays(t, c, "events", 100, 102, 5, 1000)
+	waitForCount(t, c, "SELECT count(*) FROM events WHERE clicks >= 1000", int64(rtRows), 5*time.Second)
+
+	res, err := c.Execute(context.Background(), "SELECT count(*), sum(clicks) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("partial result: %v", res.Exceptions)
+	}
+	// The offline rows all live on the boundary day and are served by the
+	// realtime side; counting any of them would double the boundary bucket.
+	if got := res.Rows[0][0].(int64); got != int64(rtRows) {
+		t.Fatalf("count = %d, want %d (boundary rows double counted?)", got, rtRows)
+	}
+	if got := res.Rows[0][1].(float64); got != float64(rtSum) {
+		t.Fatalf("sum = %v, want %v", got, rtSum)
+	}
+}
+
+// TestHybridRealtimeOnlyWindow: a filter entirely above the time boundary
+// must be answered by the realtime side alone, and the rewrite's extra
+// boundary predicates must not distort it.
+func TestHybridRealtimeOnlyWindow(t *testing.T) {
+	c := newHybridCluster(t)
+	// Offline: days 100..104 (buildBlob spreads day = 100 + i%5), boundary 104.
+	if err := c.UploadSegment("events_OFFLINE", buildBlob(t, "events_0", 0, 50, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForOnline("events_OFFLINE", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rtRows, _ := produceDays(t, c, "events", 104, 110, 4, 1000)
+	waitForCount(t, c, "SELECT count(*) FROM events WHERE clicks >= 1000", int64(rtRows), 5*time.Second)
+
+	// Window strictly above the boundary: days 105..110, 4 rows each.
+	res, err := c.Execute(context.Background(), "SELECT count(*), sum(clicks) FROM events WHERE day >= 105")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("partial result: %v", res.Exceptions)
+	}
+	wantRows, wantSum := 0, int64(0)
+	clicks := int64(1000)
+	for day := int64(104); day <= 110; day++ {
+		for i := 0; i < 4; i++ {
+			if day >= 105 {
+				wantRows++
+				wantSum += clicks
+			}
+			clicks++
+		}
+	}
+	if got := res.Rows[0][0].(int64); got != int64(wantRows) {
+		t.Fatalf("count = %d, want %d", got, wantRows)
+	}
+	if got := res.Rows[0][1].(float64); got != float64(wantSum) {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}

@@ -134,7 +134,7 @@ func (c *Controller) SegmentConsumed(ctx context.Context, req *transport.Segment
 	}
 	// A segment already committed (e.g. before a controller failover)
 	// answers from durable metadata.
-	if meta, err := ReadSegmentMeta(c.sess, c.cfg.Cluster, req.Resource, req.Segment); err == nil && meta.Status == table.StatusDone {
+	if meta, err := ReadSegmentMeta(c.session(), c.cfg.Cluster, req.Resource, req.Segment); err == nil && meta.Status == table.StatusDone {
 		if req.Offset == meta.EndOffset {
 			return &transport.SegmentConsumedResponse{Action: transport.ActionKeep}, nil
 		}
@@ -153,7 +153,7 @@ func (c *Controller) SegmentConsumed(ctx context.Context, req *transport.Segment
 }
 
 func (c *Controller) replicaCount(resource, seg string) int {
-	is, err := c.admin.IdealStateOf(resource)
+	is, err := c.helixAdmin().IdealStateOf(resource)
 	if err != nil {
 		return 1
 	}
@@ -218,7 +218,7 @@ func (c *Controller) finalizeCommit(req *transport.SegmentCommitRequest) error {
 		return err
 	}
 	metaPath := c.segmentMetaPath(req.Resource, req.Segment)
-	data, version, err := c.sess.Get(metaPath)
+	data, version, err := c.session().Get(metaPath)
 	if err != nil {
 		return err
 	}
@@ -235,7 +235,7 @@ func (c *Controller) finalizeCommit(req *transport.SegmentCommitRequest) error {
 	meta.ObjectKey = objKey
 	meta.CRC = crc
 	meta.EndOffset = req.Offset
-	if _, err := c.sess.Set(metaPath, meta.Marshal(), version); err != nil {
+	if _, err := c.session().Set(metaPath, meta.Marshal(), version); err != nil {
 		return err
 	}
 
@@ -253,7 +253,7 @@ func (c *Controller) finalizeCommit(req *transport.SegmentCommitRequest) error {
 		StartOffset: req.Offset,
 		EndOffset:   -1,
 	}
-	if err := c.sess.Create(c.segmentMetaPath(req.Resource, nextName), nextMeta.Marshal()); err != nil && err != zkmeta.ErrNodeExists {
+	if err := c.session().Create(c.segmentMetaPath(req.Resource, nextName), nextMeta.Marshal()); err != nil && err != zkmeta.ErrNodeExists {
 		return err
 	}
 
@@ -261,7 +261,7 @@ func (c *Controller) finalizeCommit(req *transport.SegmentCommitRequest) error {
 	if err != nil {
 		return err
 	}
-	err = c.admin.UpdateIdealState(req.Resource, func(is *helix.IdealState) bool {
+	err = c.helixAdmin().UpdateIdealState(req.Resource, func(is *helix.IdealState) bool {
 		for inst := range is.Partitions[req.Segment] {
 			is.Partitions[req.Segment][inst] = helix.StateOnline
 		}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pinot/internal/helix"
@@ -49,17 +50,54 @@ func (c *Config) withDefaults() {
 type Controller struct {
 	cfg      Config
 	store    *zkmeta.Store
-	sess     *zkmeta.Session
 	objects  objstore.Store
 	streams  *stream.Cluster
-	admin    *helix.Admin
 	helixCtl *helix.Controller
+
+	// conn bundles the metadata session with the helix admin built on it;
+	// both are replaced together when the session expires.
+	conn   atomic.Pointer[zkConn]
+	closed atomic.Bool
 
 	mu          sync.Mutex
 	completions map[string]*completionFSM // resource/segment -> FSM
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+type zkConn struct {
+	sess  *zkmeta.Session
+	admin *helix.Admin
+}
+
+func (c *Controller) session() *zkmeta.Session { return c.conn.Load().sess }
+func (c *Controller) helixAdmin() *helix.Admin { return c.conn.Load().admin }
+
+// connect opens a metadata session (replacing any expired one) and arms the
+// expiry hook so the controller reconnects like a real Zookeeper client:
+// durable metadata survives, only in-flight operations fail.
+func (c *Controller) connect() {
+	sess := c.store.NewSession()
+	sess.OnExpire(func() {
+		if c.closed.Load() {
+			return
+		}
+		c.connect()
+	})
+	c.conn.Store(&zkConn{sess: sess, admin: helix.NewAdmin(sess, c.cfg.Cluster)})
+}
+
+// ExpireSession simulates Zookeeper session expiry on this controller (chaos
+// hook): both the metadata session and the leader-election session expire,
+// so leadership is lost and must be re-won over fresh sessions. In-flight
+// completion-protocol writes fail and replicas retry, exactly the scenario
+// of paper 3.3.6's failure analysis.
+func (c *Controller) ExpireSession() {
+	if c.helixCtl != nil {
+		c.helixCtl.ExpireSession()
+	}
+	c.session().Expire()
 }
 
 // New creates a controller instance attached to the shared substrates.
@@ -79,9 +117,8 @@ func (c *Controller) Instance() string { return c.cfg.Instance }
 
 // Start joins the cluster and begins contending for leadership.
 func (c *Controller) Start() error {
-	c.sess = c.store.NewSession()
-	c.admin = helix.NewAdmin(c.sess, c.cfg.Cluster)
-	if err := c.admin.CreateCluster(); err != nil {
+	c.connect()
+	if err := c.helixAdmin().CreateCluster(); err != nil {
 		return err
 	}
 	for _, p := range []string{
@@ -90,7 +127,7 @@ func (c *Controller) Start() error {
 		helix.PropertyStorePath(c.cfg.Cluster, "SEGMENTS"),
 		helix.PropertyStorePath(c.cfg.Cluster, "TASKS"),
 	} {
-		if err := c.sess.Create(p, nil); err != nil && err != zkmeta.ErrNodeExists {
+		if err := c.session().Create(p, nil); err != nil && err != zkmeta.ErrNodeExists {
 			return err
 		}
 	}
@@ -123,8 +160,9 @@ func (c *Controller) Stop() {
 	if c.helixCtl != nil {
 		c.helixCtl.Stop()
 	}
-	if c.sess != nil {
-		c.sess.Close()
+	c.closed.Store(true)
+	if cn := c.conn.Load(); cn != nil {
+		cn.sess.Close()
 	}
 }
 
@@ -160,13 +198,13 @@ func (c *Controller) AddTable(cfg *table.Config) error {
 		return err
 	}
 	resource := cfg.Resource()
-	if err := c.sess.Create(c.tableConfigPath(resource), data); err != nil {
+	if err := c.session().Create(c.tableConfigPath(resource), data); err != nil {
 		if err == zkmeta.ErrNodeExists {
 			return fmt.Errorf("controller: table %s already exists", resource)
 		}
 		return err
 	}
-	if err := c.sess.Create(c.segmentsPath(resource), nil); err != nil && err != zkmeta.ErrNodeExists {
+	if err := c.session().Create(c.segmentsPath(resource), nil); err != nil && err != zkmeta.ErrNodeExists {
 		return err
 	}
 	is := &helix.IdealState{Resource: resource, NumReplicas: cfg.Replicas, Partitions: map[string]map[string]string{}}
@@ -175,7 +213,7 @@ func (c *Controller) AddTable(cfg *table.Config) error {
 			return err
 		}
 	}
-	if err := c.admin.SetIdealState(is); err != nil {
+	if err := c.helixAdmin().SetIdealState(is); err != nil {
 		return err
 	}
 	c.helixCtl.Kick()
@@ -195,7 +233,7 @@ func (c *Controller) UpdateTable(cfg *table.Config) error {
 	if err != nil {
 		return err
 	}
-	if _, err := c.sess.Set(c.tableConfigPath(cfg.Resource()), data, -1); err != nil {
+	if _, err := c.session().Set(c.tableConfigPath(cfg.Resource()), data, -1); err != nil {
 		return fmt.Errorf("controller: update table %s: %w", cfg.Resource(), err)
 	}
 	return nil
@@ -229,7 +267,7 @@ func (c *Controller) seedConsumingSegments(cfg *table.Config, is *helix.IdealSta
 			StartOffset: startOffset,
 			EndOffset:   -1,
 		}
-		if err := c.sess.Create(c.segmentMetaPath(cfg.Resource(), segName), meta.Marshal()); err != nil {
+		if err := c.session().Create(c.segmentMetaPath(cfg.Resource(), segName), meta.Marshal()); err != nil {
 			return err
 		}
 		replicas := pickReplicas(servers, is, cfg.Replicas, p)
@@ -250,7 +288,7 @@ func (c *Controller) DeleteTable(name string, typ table.Type) error {
 	}
 	resource := table.ResourceName(name, typ)
 	// Drop all segments first so servers unload.
-	if err := c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+	if err := c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 		for _, replicas := range is.Partitions {
 			for inst := range replicas {
 				replicas[inst] = helix.StateDropped
@@ -261,21 +299,21 @@ func (c *Controller) DeleteTable(name string, typ table.Type) error {
 		return err
 	}
 	c.helixCtl.Kick()
-	segs, _ := c.sess.Children(c.segmentsPath(resource))
+	segs, _ := c.session().Children(c.segmentsPath(resource))
 	for _, s := range segs {
-		data, _, err := c.sess.Get(c.segmentMetaPath(resource, s))
+		data, _, err := c.session().Get(c.segmentMetaPath(resource, s))
 		if err == nil {
 			if meta, err := table.UnmarshalSegmentMeta(data); err == nil && meta.ObjectKey != "" {
 				_ = c.objects.Delete(meta.ObjectKey)
 			}
 		}
-		_ = c.sess.Delete(c.segmentMetaPath(resource, s), -1)
+		_ = c.session().Delete(c.segmentMetaPath(resource, s), -1)
 	}
-	_ = c.sess.Delete(c.segmentsPath(resource), -1)
-	if err := c.admin.DropResource(resource); err != nil {
+	_ = c.session().Delete(c.segmentsPath(resource), -1)
+	if err := c.helixAdmin().DropResource(resource); err != nil {
 		return err
 	}
-	if err := c.sess.Delete(c.tableConfigPath(resource), -1); err != nil && err != zkmeta.ErrNoNode {
+	if err := c.session().Delete(c.tableConfigPath(resource), -1); err != nil && err != zkmeta.ErrNoNode {
 		return err
 	}
 	c.helixCtl.Kick()
@@ -284,17 +322,17 @@ func (c *Controller) DeleteTable(name string, typ table.Type) error {
 
 // TableConfig reads a table's config by resource name.
 func (c *Controller) TableConfig(resource string) (*table.Config, error) {
-	return ReadTableConfig(c.sess, c.cfg.Cluster, resource)
+	return ReadTableConfig(c.session(), c.cfg.Cluster, resource)
 }
 
 // Tables lists resources with a config.
 func (c *Controller) Tables() ([]string, error) {
-	return c.sess.Children(helix.PropertyStorePath(c.cfg.Cluster, "CONFIGS", "TABLE"))
+	return c.session().Children(helix.PropertyStorePath(c.cfg.Cluster, "CONFIGS", "TABLE"))
 }
 
 // SegmentMetas returns all segment metadata of a resource.
 func (c *Controller) SegmentMetas(resource string) ([]*table.SegmentMeta, error) {
-	return ReadSegmentMetas(c.sess, c.cfg.Cluster, resource)
+	return ReadSegmentMetas(c.session(), c.cfg.Cluster, resource)
 }
 
 // UploadSegment performs the data-upload flow of paper 3.3.5: unpack the
@@ -355,12 +393,12 @@ func (c *Controller) UploadSegment(resource string, blob []byte) error {
 	}
 	metaPath := c.segmentMetaPath(resource, seg.Name())
 	replace := false
-	if err := c.sess.Create(metaPath, meta.Marshal()); err != nil {
+	if err := c.session().Create(metaPath, meta.Marshal()); err != nil {
 		if err != zkmeta.ErrNodeExists {
 			return err
 		}
 		replace = true
-		if _, err := c.sess.Set(metaPath, meta.Marshal(), -1); err != nil {
+		if _, err := c.session().Set(metaPath, meta.Marshal(), -1); err != nil {
 			return err
 		}
 	}
@@ -374,7 +412,7 @@ func (c *Controller) UploadSegment(resource string, blob []byte) error {
 	if len(servers) == 0 {
 		return fmt.Errorf("controller: no servers available for table %s", resource)
 	}
-	err = c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+	err = c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 		replicas := pickReplicas(servers, is, cfg.Replicas, len(is.Partitions))
 		assignment := map[string]string{}
 		for _, r := range replicas {
@@ -394,7 +432,7 @@ func (c *Controller) UploadSegment(resource string, blob []byte) error {
 // reload the new blob.
 func (c *Controller) refreshSegment(resource, segName string) error {
 	var replicas map[string]string
-	err := c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+	err := c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 		replicas = is.Partitions[segName]
 		for inst := range replicas {
 			replicas[inst] = helix.StateOffline
@@ -408,7 +446,7 @@ func (c *Controller) refreshSegment(resource, segName string) error {
 	// Wait for servers to unload before flipping back online.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		ev, err := c.admin.ExternalViewOf(resource)
+		ev, err := c.helixAdmin().ExternalViewOf(resource)
 		if err != nil {
 			return err
 		}
@@ -417,7 +455,7 @@ func (c *Controller) refreshSegment(resource, segName string) error {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	err = c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+	err = c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 		for inst := range is.Partitions[segName] {
 			is.Partitions[segName][inst] = helix.StateOnline
 		}
@@ -435,7 +473,7 @@ func (c *Controller) DeleteSegment(resource, segName string) error {
 	if !c.IsLeader() {
 		return ErrNotLeader
 	}
-	err := c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+	err := c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 		replicas, ok := is.Partitions[segName]
 		if !ok {
 			return false
@@ -449,26 +487,26 @@ func (c *Controller) DeleteSegment(resource, segName string) error {
 		return err
 	}
 	c.helixCtl.Kick()
-	data, _, err := c.sess.Get(c.segmentMetaPath(resource, segName))
+	data, _, err := c.session().Get(c.segmentMetaPath(resource, segName))
 	if err == nil {
 		if meta, err := table.UnmarshalSegmentMeta(data); err == nil && meta.ObjectKey != "" {
 			_ = c.objects.Delete(meta.ObjectKey)
 		}
 	}
-	if err := c.sess.Delete(c.segmentMetaPath(resource, segName), -1); err != nil && err != zkmeta.ErrNoNode {
+	if err := c.session().Delete(c.segmentMetaPath(resource, segName), -1); err != nil && err != zkmeta.ErrNoNode {
 		return err
 	}
 	// Remove from ideal state after servers drop.
 	go func() {
 		deadline := time.Now().Add(5 * time.Second)
 		for time.Now().Before(deadline) {
-			ev, err := c.admin.ExternalViewOf(resource)
+			ev, err := c.helixAdmin().ExternalViewOf(resource)
 			if err != nil || len(ev.Partitions[segName]) == 0 {
 				break
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
-		_ = c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+		_ = c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 			if _, ok := is.Partitions[segName]; !ok {
 				return false
 			}
@@ -483,7 +521,7 @@ func (c *Controller) DeleteSegment(resource, segName string) error {
 // eligibleServers returns server instances allowed to host the table,
 // honouring its tenant tag.
 func (c *Controller) eligibleServers(cfg *table.Config) ([]string, error) {
-	configs, err := c.admin.Instances()
+	configs, err := c.helixAdmin().Instances()
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ func (c *Controller) RunReplicaRepair() {
 	if !c.IsLeader() {
 		return
 	}
-	live, err := c.admin.LiveInstances()
+	live, err := c.helixAdmin().LiveInstances()
 	if err != nil {
 		return
 	}
@@ -48,7 +48,7 @@ func (c *Controller) RunReplicaRepair() {
 			continue
 		}
 		changed := false
-		err = c.admin.UpdateIdealState(resource, func(is *helix.IdealState) bool {
+		err = c.helixAdmin().UpdateIdealState(resource, func(is *helix.IdealState) bool {
 			changed = repairIdealState(is, liveSet, liveServers, cfg)
 			return changed
 		})

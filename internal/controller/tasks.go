@@ -66,7 +66,7 @@ func (c *Controller) ScheduleTask(t *Task) error {
 	if err != nil {
 		return err
 	}
-	if err := c.sess.Create(c.taskPath(t.ID), data); err != nil {
+	if err := c.session().Create(c.taskPath(t.ID), data); err != nil {
 		if err == zkmeta.ErrNodeExists {
 			return fmt.Errorf("controller: task %s already exists", t.ID)
 		}
@@ -77,13 +77,13 @@ func (c *Controller) ScheduleTask(t *Task) error {
 
 // Tasks lists all tasks.
 func (c *Controller) Tasks() ([]*Task, error) {
-	ids, err := c.sess.Children(helix.PropertyStorePath(c.cfg.Cluster, "TASKS"))
+	ids, err := c.session().Children(helix.PropertyStorePath(c.cfg.Cluster, "TASKS"))
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Task, 0, len(ids))
 	for _, id := range ids {
-		data, _, err := c.sess.Get(c.taskPath(id))
+		data, _, err := c.session().Get(c.taskPath(id))
 		if err != nil {
 			continue
 		}
@@ -99,13 +99,13 @@ func (c *Controller) Tasks() ([]*Task, error) {
 // ClaimTask atomically assigns a pending task to a minion. It returns nil
 // when no work is available.
 func (c *Controller) ClaimTask(minion string) (*Task, error) {
-	ids, err := c.sess.Children(helix.PropertyStorePath(c.cfg.Cluster, "TASKS"))
+	ids, err := c.session().Children(helix.PropertyStorePath(c.cfg.Cluster, "TASKS"))
 	if err != nil {
 		return nil, err
 	}
 	for _, id := range ids {
 		for {
-			data, version, err := c.sess.Get(c.taskPath(id))
+			data, version, err := c.session().Get(c.taskPath(id))
 			if err != nil {
 				break
 			}
@@ -122,7 +122,7 @@ func (c *Controller) ClaimTask(minion string) (*Task, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := c.sess.Set(c.taskPath(id), out, version); err == nil {
+			if _, err := c.session().Set(c.taskPath(id), out, version); err == nil {
 				return &t, nil
 			} else if err != zkmeta.ErrBadVersion {
 				return nil, err
@@ -135,7 +135,7 @@ func (c *Controller) ClaimTask(minion string) (*Task, error) {
 
 // CompleteTask records a task outcome.
 func (c *Controller) CompleteTask(id string, taskErr error) error {
-	data, version, err := c.sess.Get(c.taskPath(id))
+	data, version, err := c.session().Get(c.taskPath(id))
 	if err != nil {
 		return err
 	}
@@ -153,13 +153,13 @@ func (c *Controller) CompleteTask(id string, taskErr error) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.sess.Set(c.taskPath(id), out, version)
+	_, err = c.session().Set(c.taskPath(id), out, version)
 	return err
 }
 
 // FetchSegmentBlob downloads a segment's current blob for rewriting.
 func (c *Controller) FetchSegmentBlob(resource, segName string) ([]byte, error) {
-	meta, err := ReadSegmentMeta(c.sess, c.cfg.Cluster, resource, segName)
+	meta, err := ReadSegmentMeta(c.session(), c.cfg.Cluster, resource, segName)
 	if err != nil {
 		return nil, err
 	}

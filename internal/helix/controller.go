@@ -19,20 +19,65 @@ import (
 // master; non-leader controllers are mostly idle").
 type Controller struct {
 	store    *zkmeta.Store
-	sess     *zkmeta.Session
 	cluster  string
 	instance string
+
+	sessMu sync.Mutex
+	sess   *zkmeta.Session
 
 	leader   atomic.Bool
 	stop     chan struct{}
 	done     chan struct{}
 	kick     chan struct{}
+	expired  chan struct{}
 	msgSeq   atomic.Int64
 	onLeader func(bool) // optional leadership callback
 
 	mu           sync.Mutex
 	stateWatches map[string]func() // per-instance current-state watch cancels
 }
+
+// session returns the current metadata session; it may change when an
+// expired session is replaced.
+func (c *Controller) session() *zkmeta.Session {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	return c.sess
+}
+
+func (c *Controller) setSession(s *zkmeta.Session) {
+	c.sessMu.Lock()
+	c.sess = s
+	c.sessMu.Unlock()
+}
+
+// armExpiry makes session expiry step this controller down immediately and
+// schedule a reconnect on the control loop.
+func (c *Controller) armExpiry(sess *zkmeta.Session) {
+	sess.OnExpire(func() {
+		c.setLeader(false)
+		select {
+		case c.expired <- struct{}{}:
+		default:
+		}
+	})
+}
+
+// reconnect opens a fresh session after expiry and re-contends for
+// leadership, mirroring how a real Zookeeper client recovers: the old
+// session's ephemerals are gone, so another controller may have won in the
+// meantime.
+func (c *Controller) reconnect() {
+	ns := c.store.NewSession()
+	c.setSession(ns)
+	c.armExpiry(ns)
+	c.tryAcquireLeadership()
+}
+
+// ExpireSession expires the controller's current metadata session (chaos
+// hook): the leader ephemeral disappears and the controller reconnects and
+// re-contends over a fresh session.
+func (c *Controller) ExpireSession() { c.session().Expire() }
 
 // NewController creates a controller instance.
 func NewController(store *zkmeta.Store, cluster, instance string) *Controller {
@@ -48,15 +93,20 @@ func (c *Controller) IsLeader() bool { return c.leader.Load() }
 
 // Start begins contending for leadership and, when leader, rebalancing.
 func (c *Controller) Start() error {
-	c.sess = c.store.NewSession()
+	sess := c.store.NewSession()
+	c.setSession(sess)
 	c.stop = make(chan struct{})
 	c.done = make(chan struct{})
 	c.kick = make(chan struct{}, 1)
+	c.expired = make(chan struct{}, 1)
+	c.armExpiry(sess)
 
-	leaderEvents, cancelLeader := c.sess.Watch(controllerPath(c.cluster))
-	idealEvents, cancelIdeal := c.sess.WatchChildren(idealStatesPath(c.cluster))
-	liveEvents, cancelLive := c.sess.WatchChildren(liveInstancesPath(c.cluster))
-	csEvents, cancelCS := c.sess.WatchChildren(currentStatesPath(c.cluster))
+	// Watches survive session replacement: they are registered against the
+	// store, so an expired-then-reconnected controller keeps seeing events.
+	leaderEvents, cancelLeader := sess.Watch(controllerPath(c.cluster))
+	idealEvents, cancelIdeal := sess.WatchChildren(idealStatesPath(c.cluster))
+	liveEvents, cancelLive := sess.WatchChildren(liveInstancesPath(c.cluster))
+	csEvents, cancelCS := sess.WatchChildren(currentStatesPath(c.cluster))
 
 	c.tryAcquireLeadership()
 
@@ -77,6 +127,8 @@ func (c *Controller) Start() error {
 				if e.Type == zkmeta.EventDeleted {
 					c.tryAcquireLeadership()
 				}
+			case <-c.expired:
+				c.reconnect()
 			case <-idealEvents:
 			case <-liveEvents:
 			case <-csEvents:
@@ -98,8 +150,8 @@ func (c *Controller) Stop() {
 		<-c.done
 		c.stop = nil
 	}
-	if c.sess != nil {
-		c.sess.Close() // releases the leader ephemeral
+	if c.session() != nil {
+		c.session().Close() // releases the leader ephemeral
 	}
 	c.setLeader(false)
 }
@@ -119,7 +171,7 @@ func (c *Controller) setLeader(v bool) {
 }
 
 func (c *Controller) tryAcquireLeadership() {
-	err := c.sess.CreateEphemeral(controllerPath(c.cluster), []byte(c.instance))
+	err := c.session().CreateEphemeral(controllerPath(c.cluster), []byte(c.instance))
 	switch {
 	case err == nil:
 		c.setLeader(true)
@@ -139,11 +191,11 @@ func Leader(sess *zkmeta.Session, cluster string) (string, bool) {
 
 // rebalance runs one convergence pass.
 func (c *Controller) rebalance() {
-	resources, err := c.sess.Children(idealStatesPath(c.cluster))
+	resources, err := c.session().Children(idealStatesPath(c.cluster))
 	if err != nil {
 		return
 	}
-	live, err := c.sess.Children(liveInstancesPath(c.cluster))
+	live, err := c.session().Children(liveInstancesPath(c.cluster))
 	if err != nil {
 		return
 	}
@@ -151,14 +203,14 @@ func (c *Controller) rebalance() {
 	for _, l := range live {
 		liveSet[l] = true
 	}
-	current, err := readCurrentStates(c.sess, c.cluster)
+	current, err := readCurrentStates(c.session(), c.cluster)
 	if err != nil {
 		return
 	}
 	c.ensureStateWatches(current)
 	pending := c.pendingMessages()
 
-	admin := NewAdmin(c.sess, c.cluster)
+	admin := NewAdmin(c.session(), c.cluster)
 	for _, res := range resources {
 		is, err := admin.IdealStateOf(res)
 		if err != nil {
@@ -205,17 +257,17 @@ func (c *Controller) rebalance() {
 // undelivered transition message.
 func (c *Controller) pendingMessages() map[string]bool {
 	out := map[string]bool{}
-	instances, err := c.sess.Children(messagesPath(c.cluster))
+	instances, err := c.session().Children(messagesPath(c.cluster))
 	if err != nil {
 		return out
 	}
 	for _, inst := range instances {
-		msgs, err := c.sess.Children(instanceMessagesPath(c.cluster, inst))
+		msgs, err := c.session().Children(instanceMessagesPath(c.cluster, inst))
 		if err != nil {
 			continue
 		}
 		for _, m := range msgs {
-			data, _, err := c.sess.Get(instanceMessagesPath(c.cluster, inst) + "/" + m)
+			data, _, err := c.session().Get(instanceMessagesPath(c.cluster, inst) + "/" + m)
 			if err != nil {
 				continue
 			}
@@ -233,7 +285,7 @@ func (c *Controller) sendMessage(instance string, msg Message) {
 	if err != nil {
 		return
 	}
-	_ = c.sess.Create(instanceMessagesPath(c.cluster, instance)+"/"+msg.ID, data)
+	_ = c.session().Create(instanceMessagesPath(c.cluster, instance)+"/"+msg.ID, data)
 }
 
 func (c *Controller) updateExternalView(res string, is *IdealState, current map[string]map[string]map[string]string, live map[string]bool) {
@@ -252,7 +304,7 @@ func (c *Controller) updateExternalView(res string, is *IdealState, current map[
 			ev.Partitions[partition][instance] = state
 		}
 	}
-	prev, err := NewAdmin(c.sess, c.cluster).ExternalViewOf(res)
+	prev, err := NewAdmin(c.session(), c.cluster).ExternalViewOf(res)
 	if err == nil && reflect.DeepEqual(prev.Partitions, ev.Partitions) {
 		return
 	}
@@ -261,8 +313,8 @@ func (c *Controller) updateExternalView(res string, is *IdealState, current map[
 		return
 	}
 	p := externalViewPath(c.cluster, res)
-	if err := c.sess.Create(p, data); err == zkmeta.ErrNodeExists {
-		_, _ = c.sess.Set(p, data, -1)
+	if err := c.session().Create(p, data); err == zkmeta.ErrNodeExists {
+		_, _ = c.session().Set(p, data, -1)
 	}
 }
 
@@ -272,13 +324,13 @@ func (c *Controller) dropOrphanViews(resources []string) {
 	for _, r := range resources {
 		have[r] = true
 	}
-	views, err := c.sess.Children(externalViewsPath(c.cluster))
+	views, err := c.session().Children(externalViewsPath(c.cluster))
 	if err != nil {
 		return
 	}
 	for _, v := range views {
 		if !have[v] {
-			_ = c.sess.Delete(externalViewPath(c.cluster, v), -1)
+			_ = c.session().Delete(externalViewPath(c.cluster, v), -1)
 		}
 	}
 }
@@ -292,7 +344,7 @@ func (c *Controller) ensureStateWatches(current map[string]map[string]map[string
 		if _, ok := c.stateWatches[inst]; ok {
 			continue
 		}
-		events, cancel := c.sess.Watch(currentStatePath(c.cluster, inst))
+		events, cancel := c.session().Watch(currentStatePath(c.cluster, inst))
 		c.stateWatches[inst] = cancel
 		go func() {
 			for range events {

@@ -25,15 +25,24 @@ type QueryRequest struct {
 	Tenant string `json:"tenant,omitempty"`
 }
 
+// ServerException mirrors broker.ServerException for JSON clients.
+type ServerException struct {
+	Server    string `json:"server"`
+	Error     string `json:"error"`
+	Recovered bool   `json:"recovered"`
+}
+
 // QueryResponse is the broker's JSON reply.
 type QueryResponse struct {
-	Columns        []string    `json:"columns"`
-	Rows           [][]any     `json:"rows"`
-	Stats          query.Stats `json:"stats"`
-	Partial        bool        `json:"partial,omitempty"`
-	Exceptions     []string    `json:"exceptions,omitempty"`
-	TimeMillis     int64       `json:"timeMillis"`
-	ServersQueried int         `json:"serversQueried"`
+	Columns          []string          `json:"columns"`
+	Rows             [][]any           `json:"rows"`
+	Stats            query.Stats       `json:"stats"`
+	Partial          bool              `json:"partial,omitempty"`
+	Exceptions       []string          `json:"exceptions,omitempty"`
+	TimeMillis       int64             `json:"timeMillis"`
+	ServersQueried   int               `json:"serversQueried"`
+	ServersResponded int               `json:"serversResponded"`
+	ServerExceptions []ServerException `json:"serverExceptions,omitempty"`
 }
 
 // errorBody is the uniform error payload.
@@ -69,15 +78,20 @@ func NewBrokerHandler(b *broker.Broker) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, QueryResponse{
-			Columns:        res.Columns,
-			Rows:           res.Rows,
-			Stats:          res.Stats,
-			Partial:        res.Partial,
-			Exceptions:     res.Exceptions,
-			TimeMillis:     res.TimeMillis,
-			ServersQueried: res.ServersQueried,
-		})
+		out := QueryResponse{
+			Columns:          res.Columns,
+			Rows:             res.Rows,
+			Stats:            res.Stats,
+			Partial:          res.Partial,
+			Exceptions:       res.Exceptions,
+			TimeMillis:       res.TimeMillis,
+			ServersQueried:   res.ServersQueried,
+			ServersResponded: res.ServersResponded,
+		}
+		for _, e := range res.ServerExceptions {
+			out.ServerExceptions = append(out.ServerExceptions, ServerException(e))
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /health", health)
 	return mux

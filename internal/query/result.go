@@ -115,6 +115,61 @@ func (r *Intermediate) Merge(o *Intermediate) error {
 	return nil
 }
 
+// Conforms checks that an intermediate has the shape the query demands; the
+// broker uses it to reject corrupted or mismatched server responses before
+// merging them (a bad payload must degrade to a per-server failure, never
+// poison the merged result).
+func (r *Intermediate) Conforms(q *pql.Query) error {
+	if r == nil {
+		return fmt.Errorf("query: nil result")
+	}
+	var want ResultKind
+	switch {
+	case q.IsAggregation() && q.HasGroupBy():
+		want = KindGroupBy
+	case q.IsAggregation():
+		want = KindAggregation
+	default:
+		want = KindSelection
+	}
+	if r.Kind != want {
+		return fmt.Errorf("query: result kind %d does not match query kind %d", r.Kind, want)
+	}
+	nAggs := 0
+	for _, e := range q.Select {
+		if e.IsAgg {
+			nAggs++
+		}
+	}
+	switch r.Kind {
+	case KindAggregation:
+		if len(r.Aggs) != nAggs {
+			return fmt.Errorf("query: aggregation arity %d, want %d", len(r.Aggs), nAggs)
+		}
+		for i, s := range r.Aggs {
+			if s == nil {
+				return fmt.Errorf("query: nil aggregation state at %d", i)
+			}
+		}
+	case KindGroupBy:
+		if len(r.AggExprs) != nAggs {
+			return fmt.Errorf("query: group-by aggregation arity %d, want %d", len(r.AggExprs), nAggs)
+		}
+		for k, g := range r.Groups {
+			if g == nil || len(g.Aggs) != nAggs {
+				return fmt.Errorf("query: malformed group %q", k)
+			}
+		}
+	case KindSelection:
+		for i, row := range r.Rows {
+			if len(row) != len(r.SelectCols) {
+				return fmt.Errorf("query: row %d has %d values for %d columns", i, len(row), len(r.SelectCols))
+			}
+		}
+	}
+	return nil
+}
+
 // Result is a finalized query response.
 type Result struct {
 	Columns    []string

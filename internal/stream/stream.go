@@ -134,10 +134,38 @@ func (t *Topic) TrimBefore(offset int64) {
 	}
 }
 
+// StallPartition marks a partition stalled: fetches return no messages (and
+// no error) until ResumePartition, so consumers stop making progress without
+// seeing a failure — the chaos hook modelling a stuck upstream partition or
+// a broker that retains data but stops serving it.
+func (t *Topic) StallPartition(partitionID int) error {
+	if partitionID < 0 || partitionID >= len(t.partitions) {
+		return ErrBadPartition
+	}
+	p := t.partitions[partitionID]
+	p.mu.Lock()
+	p.stalled = true
+	p.mu.Unlock()
+	return nil
+}
+
+// ResumePartition clears a stall; buffered messages become fetchable again.
+func (t *Topic) ResumePartition(partitionID int) error {
+	if partitionID < 0 || partitionID >= len(t.partitions) {
+		return ErrBadPartition
+	}
+	p := t.partitions[partitionID]
+	p.mu.Lock()
+	p.stalled = false
+	p.mu.Unlock()
+	return nil
+}
+
 type partition struct {
-	mu   sync.Mutex
-	base int64 // offset of log[0]
-	log  []Message
+	mu      sync.Mutex
+	base    int64 // offset of log[0]
+	log     []Message
+	stalled bool
 }
 
 func (p *partition) append(key, value []byte) int64 {
@@ -155,6 +183,9 @@ func (p *partition) append(key, value []byte) int64 {
 func (p *partition) fetch(offset int64, max int) ([]Message, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.stalled {
+		return nil, nil
+	}
 	if offset < p.base {
 		return nil, ErrOffsetTooEarly
 	}

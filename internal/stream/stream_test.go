@@ -238,3 +238,51 @@ func TestConcurrentProducersMonotonicOffsets(t *testing.T) {
 		t.Fatalf("offsets = %d", len(seen))
 	}
 }
+
+func TestStallPartition(t *testing.T) {
+	c := NewCluster()
+	topic, err := c.CreateTopic("events", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := topic.ProduceTo(0, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := topic.StallPartition(0); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsumer(topic, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := cons.Poll(10)
+	if err != nil {
+		t.Fatalf("stalled poll: %v", err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("stalled poll returned %d messages", len(msgs))
+	}
+	// Other partitions are unaffected.
+	if _, err := topic.ProduceTo(1, nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewConsumer(topic, 1, 0)
+	if msgs, _ := other.Poll(10); len(msgs) != 1 {
+		t.Fatalf("partition 1 poll = %d messages, want 1", len(msgs))
+	}
+	if err := topic.ResumePartition(0); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err = cons.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 5 {
+		t.Fatalf("resumed poll = %d messages, want 5", len(msgs))
+	}
+	if err := topic.StallPartition(9); err != ErrBadPartition {
+		t.Fatalf("StallPartition(9) = %v, want ErrBadPartition", err)
+	}
+}

@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"testing"
+
+	"pinot/internal/pql"
+	"pinot/internal/query"
+)
+
+// sampleEncoded returns a realistic encoded response to mutate.
+func sampleEncoded(t testing.TB) []byte {
+	t.Helper()
+	inter := query.NewAggIntermediate([]pql.Expression{
+		{IsAgg: true, Func: pql.Count, Column: "*"},
+		{IsAgg: true, Func: pql.Sum, Column: "clicks"},
+	})
+	inter.Aggs[0].AddCount(42)
+	inter.Aggs[1].AddNumeric(3.5)
+	data, err := EncodeResponse(&QueryResponse{Result: inter, Exceptions: []string{"warn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// decodeSafely requires that DecodeResponse never panics and never returns
+// a nil response alongside a nil error.
+func decodeSafely(t testing.TB, data []byte) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("DecodeResponse panicked on %d bytes: %v", len(data), p)
+		}
+	}()
+	resp, err := DecodeResponse(data)
+	if err == nil && resp == nil {
+		t.Fatalf("nil response with nil error on %d bytes", len(data))
+	}
+}
+
+// TestDecodeResponseNeverPanics drives DecodeResponse with every
+// truncation and every single-bit flip of a valid payload, plus assorted
+// degenerate inputs. Corrupted bytes must produce an error (or, for bit
+// flips that keep the stream well-formed, a decoded response) — never a
+// panic.
+func TestDecodeResponseNeverPanics(t *testing.T) {
+	valid := sampleEncoded(t)
+
+	for n := 0; n < len(valid); n++ {
+		decodeSafely(t, valid[:n])
+		if n < len(valid)-1 {
+			// Every strict truncation must fail: the stream is incomplete.
+			if _, err := DecodeResponse(valid[:n]); err == nil && n > 0 {
+				t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(valid))
+			}
+		}
+	}
+
+	for i := 0; i < len(valid); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(valid))
+			copy(mut, valid)
+			mut[i] ^= 1 << bit
+			decodeSafely(t, mut)
+		}
+	}
+
+	degenerate := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		// Gob length prefix claiming a huge message with no body.
+		{0xfe, 0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for _, d := range degenerate {
+		decodeSafely(t, d)
+		if _, err := DecodeResponse(d); err == nil {
+			t.Fatalf("degenerate input %v decoded without error", d)
+		}
+	}
+}
+
+// FuzzDecodeResponse lets the fuzzer search for panicking inputs, seeded
+// with a valid payload and its common corruptions.
+func FuzzDecodeResponse(f *testing.F) {
+	valid := sampleEncoded(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+	flipped := make([]byte, len(valid))
+	copy(flipped, valid)
+	flipped[0] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err == nil && resp == nil {
+			t.Fatalf("nil response with nil error on %d bytes", len(data))
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"fmt"
 
 	"pinot/internal/query"
 )
@@ -118,11 +119,21 @@ func EncodeResponse(r *QueryResponse) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeResponse reverses EncodeResponse.
-func DecodeResponse(data []byte) (*QueryResponse, error) {
+// DecodeResponse reverses EncodeResponse. Payloads arrive off the network,
+// so any byte sequence must yield a response or an error — never a panic.
+// gob's decoder is documented to recover its own panics into errors, but
+// hostile inputs have historically escaped that net (e.g. huge slice
+// allocations), so the guard stays belt-and-braces.
+func DecodeResponse(data []byte) (resp *QueryResponse, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp = nil
+			err = fmt.Errorf("transport: decode panic: %v", p)
+		}
+	}()
 	var r QueryResponse
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("transport: decode response: %w", err)
 	}
 	return &r, nil
 }

@@ -232,6 +232,7 @@ type Session struct {
 	store      *Store
 	ephemerals map[string]struct{}
 	closed     bool
+	expireCbs  []func()
 }
 
 func (sess *Session) check() error {
@@ -399,13 +400,31 @@ func (sess *Session) watch(path string, children bool) (<-chan Event, func()) {
 	return w.ch, cancel
 }
 
+// OnExpire registers fn to run when the session closes or expires. Callbacks
+// fire after the session's ephemeral nodes have been removed (so watches on
+// them have already seen the deletions) and outside the store lock, so they
+// may open a new session. This is the chaos hook components use to model
+// Zookeeper reconnection: step down, open a fresh session, re-contend.
+func (sess *Session) OnExpire(fn func()) {
+	sess.store.mu.Lock()
+	defer sess.store.mu.Unlock()
+	sess.expireCbs = append(sess.expireCbs, fn)
+}
+
+// Expired reports whether the session has been closed or expired.
+func (sess *Session) Expired() bool {
+	sess.store.mu.Lock()
+	defer sess.store.mu.Unlock()
+	return sess.closed
+}
+
 // Close ends the session: ephemeral nodes it owns are deleted (firing
 // watches) and further operations fail. Expire is an alias used by failure
 // tests.
 func (sess *Session) Close() {
 	sess.store.mu.Lock()
-	defer sess.store.mu.Unlock()
 	if sess.closed {
+		sess.store.mu.Unlock()
 		return
 	}
 	sess.closed = true
@@ -419,6 +438,12 @@ func (sess *Session) Close() {
 		_ = sess.store.deleteLocked(p, -1)
 	}
 	delete(sess.store.sessions, sess)
+	cbs := sess.expireCbs
+	sess.expireCbs = nil
+	sess.store.mu.Unlock()
+	for _, fn := range cbs {
+		fn()
+	}
 }
 
 // Expire simulates session expiry (identical to Close).
