@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fuzz clean
+.PHONY: all build vet test race verify bench-smoke bench-json fuzz clean
 
 all: verify
 
@@ -16,8 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verify: what CI and the roadmap require to stay green.
-verify: build vet race
+# Tier-1 verify: what CI and the roadmap require to stay green. The bench
+# smoke run only proves benchmarks still compile and execute, not timings.
+verify: build vet race bench-smoke
+
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Regenerate the committed benchmark baseline for the vectorized-execution
+# kernels (A/B pairs plus the micro kernels they are built from).
+bench-json:
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
 # Short fuzz pass over the transport decoder.
 fuzz:

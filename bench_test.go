@@ -294,6 +294,72 @@ func benchCountStar(b *testing.B, f *benchFixture, opts query.Options) {
 	}
 }
 
+// Vectorized block-at-a-time execution vs row-at-a-time scalar execution on
+// the no-index variants, where per-document overheads dominate. The fixed
+// queries isolate the two hot shapes (full-scan aggregation and group-by);
+// the Mixed pairs run the regular seeded workload for an end-to-end view.
+
+func benchFixedQuery(b *testing.B, f *benchFixture, variant, q string, opts query.Options) {
+	b.Helper()
+	segs := f.segs[variant]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Run(ctx, q, segs, f.dataset.Schema, opts); err != nil {
+			b.Fatalf("%s: %v", q, err)
+		}
+	}
+}
+
+const (
+	anomalyScanAggQ = "SELECT sum(value), max(value), count(*) FROM anomaly WHERE count > 5"
+	anomalyGroupByQ = "SELECT sum(value), count(*) FROM anomaly WHERE day >= 16000 GROUP BY country TOP 10"
+	wvmpScanAggQ    = "SELECT sum(views), count(*) FROM wvmp WHERE vieweeId <= 400"
+	wvmpGroupByQ    = "SELECT sum(views) FROM wvmp WHERE day >= 16000 GROUP BY region, seniority TOP 20"
+)
+
+var scalarOpts = query.Options{DisableVectorization: true}
+
+func BenchmarkVecAnomalyScanAgg(b *testing.B) {
+	benchFixedQuery(b, anomalyFixture(b), "noindex", anomalyScanAggQ, query.Options{})
+}
+
+func BenchmarkScalarAnomalyScanAgg(b *testing.B) {
+	benchFixedQuery(b, anomalyFixture(b), "noindex", anomalyScanAggQ, scalarOpts)
+}
+
+func BenchmarkVecAnomalyGroupBy(b *testing.B) {
+	benchFixedQuery(b, anomalyFixture(b), "noindex", anomalyGroupByQ, query.Options{})
+}
+
+func BenchmarkScalarAnomalyGroupBy(b *testing.B) {
+	benchFixedQuery(b, anomalyFixture(b), "noindex", anomalyGroupByQ, scalarOpts)
+}
+
+func BenchmarkVecWVMPScanAgg(b *testing.B) {
+	benchFixedQuery(b, wvmpFixture(b), "noindex", wvmpScanAggQ, query.Options{})
+}
+
+func BenchmarkScalarWVMPScanAgg(b *testing.B) {
+	benchFixedQuery(b, wvmpFixture(b), "noindex", wvmpScanAggQ, scalarOpts)
+}
+
+func BenchmarkVecWVMPGroupBy(b *testing.B) {
+	benchFixedQuery(b, wvmpFixture(b), "noindex", wvmpGroupByQ, query.Options{})
+}
+
+func BenchmarkScalarWVMPGroupBy(b *testing.B) {
+	benchFixedQuery(b, wvmpFixture(b), "noindex", wvmpGroupByQ, scalarOpts)
+}
+
+func BenchmarkVecAnomalyMixed(b *testing.B) {
+	runQueries(b, anomalyFixture(b), "noindex", query.Options{})
+}
+
+func BenchmarkScalarAnomalyMixed(b *testing.B) {
+	runQueries(b, anomalyFixture(b), "noindex", scalarOpts)
+}
+
 // Star-tree maxLeafRecords sensitivity (paper 4.3).
 func BenchmarkAblationStarTreeLeaf100(b *testing.B)   { benchStarTreeLeaf(b, 100) }
 func BenchmarkAblationStarTreeLeaf10000(b *testing.B) { benchStarTreeLeaf(b, 10000) }

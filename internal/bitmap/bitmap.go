@@ -396,6 +396,22 @@ func OrAll(ms ...*Bitmap) *Bitmap {
 	return out
 }
 
+// AndAll returns the intersection of all given bitmaps. With no arguments it
+// returns an empty bitmap.
+func AndAll(ms ...*Bitmap) *Bitmap {
+	if len(ms) == 0 {
+		return New()
+	}
+	if len(ms) == 1 {
+		return ms[0].Clone()
+	}
+	out := And(ms[0], ms[1])
+	for _, m := range ms[2:] {
+		out = And(out, m)
+	}
+	return out
+}
+
 // FlipRange returns the complement of b within [start, end): values in the
 // range are toggled, values outside are dropped. This implements NOT within
 // a document-id domain.
@@ -608,6 +624,45 @@ func (it *Iterator) Next() uint32 {
 	it.word &= it.word - 1
 	it.skipEmptyWords()
 	return v
+}
+
+// NextMany fills dst with the next values in ascending order and returns the
+// number written. It drains containers in bulk — array containers by direct
+// copy, bitset containers word-at-a-time — so per-value call overhead is
+// amortized across the block. Zero means the iterator is exhausted.
+func (it *Iterator) NextMany(dst []uint32) int {
+	n := 0
+	for n < len(dst) && it.current != nil {
+		c := it.current
+		hi := uint32(c.key) << 16
+		if c.words == nil {
+			take := len(c.array) - it.ai
+			if take > len(dst)-n {
+				take = len(dst) - n
+			}
+			for _, low := range c.array[it.ai : it.ai+take] {
+				dst[n] = hi | uint32(low)
+				n++
+			}
+			it.ai += take
+			if it.ai >= len(c.array) {
+				it.advanceContainer()
+			}
+			continue
+		}
+		base := hi | uint32(it.wi<<6)
+		word := it.word
+		for word != 0 && n < len(dst) {
+			dst[n] = base | uint32(bits.TrailingZeros64(word))
+			n++
+			word &= word - 1
+		}
+		it.word = word
+		if word == 0 {
+			it.skipEmptyWords()
+		}
+	}
+	return n
 }
 
 // AdvanceIfNeeded skips forward so the next value returned is >= target.

@@ -31,6 +31,53 @@ type docIDSet interface {
 	estimate() int
 }
 
+// blockSize is the batch granularity of the vectorized execution path: doc
+// ids, dict ids and metric values move through the engine in blocks of this
+// many documents.
+const blockSize = 1024
+
+// blockIterator is the block-at-a-time counterpart of DocIterator: nextBlock
+// fills buf with the next matching doc ids in ascending order and returns how
+// many it wrote; 0 means exhausted. Implementations must evaluate only as
+// many candidate documents as needed to fill buf — never ahead of it — so
+// stats counted per evaluated entry are identical to the row-at-a-time path
+// even when the caller stops early (selection LIMIT).
+type blockIterator interface {
+	nextBlock(buf []int) int
+}
+
+// blocksOf returns the best block iterator for a doc-id set: a native
+// batch-decoding path when the operator has one, else a generic wrapper over
+// its scalar iterator.
+func blocksOf(s docIDSet) blockIterator {
+	if sc, ok := s.(*scanDocIDSet); ok && sc.newBlockIter != nil {
+		return sc.newBlockIter()
+	}
+	it := s.iterator()
+	if b, ok := it.(blockIterator); ok {
+		return b
+	}
+	return &genericBlockIterator{it: it}
+}
+
+// genericBlockIterator adapts any DocIterator to the block interface. AND/OR
+// iterators use it: their leapfrog stays row-at-a-time (preserving the
+// range-passing stats contract) while downstream value reads still batch.
+type genericBlockIterator struct{ it DocIterator }
+
+func (g *genericBlockIterator) nextBlock(buf []int) int {
+	n := 0
+	for n < len(buf) {
+		doc := g.it.Next()
+		if doc < 0 {
+			break
+		}
+		buf[n] = doc
+		n++
+	}
+	return n
+}
+
 // ---- range (sorted column) ----
 
 type rangeDocIDSet struct {
@@ -82,6 +129,35 @@ func (it *rangeIterator) Advance(target int) int {
 	return it.Next()
 }
 
+// nextBlock expands ranges arithmetically: no per-doc virtual calls.
+func (it *rangeIterator) nextBlock(buf []int) int {
+	n := 0
+	for n < len(buf) && it.ri < len(it.ranges) {
+		r := it.ranges[it.ri]
+		doc := it.cur + 1
+		if doc < r.Start {
+			doc = r.Start
+		}
+		take := r.End - doc
+		if take <= 0 {
+			it.ri++
+			continue
+		}
+		if room := len(buf) - n; take > room {
+			take = room
+		}
+		for i := 0; i < take; i++ {
+			buf[n+i] = doc + i
+		}
+		n += take
+		it.cur = doc + take - 1
+		if it.cur+1 >= r.End {
+			it.ri++
+		}
+	}
+	return n
+}
+
 // ---- bitmap (inverted index) ----
 
 type bitmapDocIDSet struct {
@@ -95,7 +171,8 @@ func (s *bitmapDocIDSet) iterator() DocIterator {
 }
 
 type bitmapIterator struct {
-	it *bitmap.Iterator
+	it      *bitmap.Iterator
+	scratch []uint32
 }
 
 func (b *bitmapIterator) Next() int {
@@ -113,6 +190,18 @@ func (b *bitmapIterator) Advance(target int) int {
 	return b.Next()
 }
 
+// nextBlock drains whole containers through bitmap.Iterator.NextMany.
+func (b *bitmapIterator) nextBlock(buf []int) int {
+	if cap(b.scratch) < len(buf) {
+		b.scratch = make([]uint32, len(buf))
+	}
+	got := b.it.NextMany(b.scratch[:len(buf)])
+	for i := 0; i < got; i++ {
+		buf[i] = int(b.scratch[i])
+	}
+	return got
+}
+
 // ---- scan (forward index) ----
 
 // scanDocIDSet evaluates a per-document membership function over a doc
@@ -122,6 +211,11 @@ func (b *bitmapIterator) Advance(target int) int {
 type scanDocIDSet struct {
 	numDocs int
 	match   func(doc int) bool
+	// newBlockIter, when set, builds a batch-decoding block iterator for
+	// the vectorized path (dict-id chunks tested against a lookup table,
+	// or typed raw-metric chunks). It must count the same per-entry stats
+	// as match does.
+	newBlockIter func() blockIterator
 }
 
 func (s *scanDocIDSet) estimate() int { return s.numDocs }
@@ -154,6 +248,22 @@ func (it *scanIterator) Advance(target int) int {
 	return it.Next()
 }
 
+func (it *scanIterator) nextBlock(buf []int) int {
+	n := 0
+	for doc := it.cur + 1; doc < it.n; doc++ {
+		if it.match(doc) {
+			buf[n] = doc
+			n++
+			if n == len(buf) {
+				it.cur = doc
+				return n
+			}
+		}
+	}
+	it.cur = it.n
+	return n
+}
+
 // ---- full range ----
 
 type allDocIDSet struct{ numDocs int }
@@ -172,8 +282,9 @@ func (emptyDocIDSet) iterator() DocIterator { return emptyIterator{} }
 
 type emptyIterator struct{}
 
-func (emptyIterator) Next() int              { return -1 }
-func (emptyIterator) Advance(target int) int { return -1 }
+func (emptyIterator) Next() int               { return -1 }
+func (emptyIterator) Advance(target int) int  { return -1 }
+func (emptyIterator) nextBlock(buf []int) int { return 0 }
 
 // ---- AND ----
 
@@ -336,4 +447,138 @@ func materialize(s docIDSet, numDocs int) *bitmap.Bitmap {
 		bm.Add(uint32(doc))
 	}
 	return bm
+}
+
+// ---- batch scan block iterators (vectorized path) ----
+
+// dictScanBlockIterator is the block form of a single-value dictionary scan:
+// dict ids decode in blockSize chunks through the packed bulk-unpack kernel
+// and are tested against a dense membership table. Chunks may decode ahead of
+// the caller's demand, but entries are counted only when walked, so stats
+// match the scalar scan exactly even under selection early-exit.
+type dictScanBlockIterator struct {
+	col     segment.ColumnReader
+	lookup  []bool
+	stats   *Stats
+	numDocs int
+	next    int // first doc of the next chunk to decode
+	start   int // first doc of the decoded chunk
+	pos     int // walk position within the decoded chunk
+	ids     []uint32
+	docs    []int
+}
+
+func newDictScanBlockIterator(col segment.ColumnReader, lookup []bool, numDocs int, stats *Stats) *dictScanBlockIterator {
+	return &dictScanBlockIterator{col: col, lookup: lookup, stats: stats, numDocs: numDocs}
+}
+
+func (it *dictScanBlockIterator) nextBlock(buf []int) int {
+	n := 0
+	for n < len(buf) {
+		if it.pos == len(it.ids) {
+			if it.next >= it.numDocs {
+				break
+			}
+			size := min(blockSize, it.numDocs-it.next)
+			if cap(it.ids) < size {
+				it.ids = make([]uint32, size)
+				it.docs = make([]int, size)
+			}
+			it.ids = it.ids[:size]
+			it.docs = it.docs[:size]
+			for i := range it.docs {
+				it.docs[i] = it.next + i
+			}
+			it.col.DictIDs(it.docs, it.ids)
+			it.start = it.next
+			it.next += size
+			it.pos = 0
+		}
+		walked := it.pos
+		for it.pos < len(it.ids) && n < len(buf) {
+			if it.lookup[it.ids[it.pos]] {
+				buf[n] = it.start + it.pos
+				n++
+			}
+			it.pos++
+		}
+		if it.stats != nil {
+			it.stats.NumEntriesScanned += int64(it.pos - walked)
+		}
+	}
+	return n
+}
+
+// rawScanBlockIterator is the block form of a raw (no-dictionary) metric
+// scan: values decode in typed chunks and are tested without boxing.
+type rawScanBlockIterator struct {
+	col         segment.ColumnReader
+	matchLong   func(int64) bool   // set for integral columns
+	matchDouble func(float64) bool // set otherwise
+	stats       *Stats
+	numDocs     int
+	next        int
+	start       int
+	pos         int
+	chunk       int // decoded chunk length
+	docs        []int
+	longs       []int64
+	doubles     []float64
+}
+
+func (it *rawScanBlockIterator) nextBlock(buf []int) int {
+	n := 0
+	for n < len(buf) {
+		if it.pos == it.chunk {
+			if it.next >= it.numDocs {
+				break
+			}
+			size := min(blockSize, it.numDocs-it.next)
+			if cap(it.docs) < size {
+				it.docs = make([]int, size)
+				if it.matchLong != nil {
+					it.longs = make([]int64, size)
+				} else {
+					it.doubles = make([]float64, size)
+				}
+			}
+			it.docs = it.docs[:size]
+			for i := range it.docs {
+				it.docs[i] = it.next + i
+			}
+			if it.matchLong != nil {
+				it.longs = it.longs[:size]
+				it.col.Longs(it.docs, it.longs)
+			} else {
+				it.doubles = it.doubles[:size]
+				it.col.Doubles(it.docs, it.doubles)
+			}
+			it.start = it.next
+			it.next += size
+			it.chunk = size
+			it.pos = 0
+		}
+		walked := it.pos
+		if it.matchLong != nil {
+			for it.pos < it.chunk && n < len(buf) {
+				if it.matchLong(it.longs[it.pos]) {
+					buf[n] = it.start + it.pos
+					n++
+				}
+				it.pos++
+			}
+		} else {
+			for it.pos < it.chunk && n < len(buf) {
+				if it.matchDouble(it.doubles[it.pos]) {
+					buf[n] = it.start + it.pos
+					n++
+				}
+				it.pos++
+			}
+		}
+		if it.stats != nil {
+			it.stats.NumEntriesScanned += int64(it.pos - walked)
+		}
+	}
+	return n
 }

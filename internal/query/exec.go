@@ -82,13 +82,17 @@ func executeAggregation(cs columnSource, is IndexedSegment, q *pql.Query, inputs
 	if err != nil {
 		return nil, err
 	}
-	it := set.iterator()
 	var docs int64
-	for doc := it.Next(); doc >= 0; doc = it.Next() {
-		docs++
-		for i, in := range inputs {
-			in.accumulate(out.Aggs[i], doc)
+	if opt.DisableVectorization {
+		it := set.iterator()
+		for doc := it.Next(); doc >= 0; doc = it.Next() {
+			docs++
+			for i, in := range inputs {
+				in.accumulate(out.Aggs[i], doc)
+			}
 		}
+	} else {
+		docs = runAggBlocks(set, inputs, out.Aggs)
 	}
 	out.Stats.NumDocsScanned = docs
 	out.Stats.NumEntriesScanned += docs * int64(len(inputs))
@@ -161,18 +165,22 @@ func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []a
 	if err != nil {
 		return nil, err
 	}
-	it := set.iterator()
-	values := make([]any, len(groupCols))
 	var docs int64
-	for doc := it.Next(); doc >= 0; doc = it.Next() {
-		docs++
-		for i, col := range groupCols {
-			values[i] = col.Value(col.DictID(doc))
+	if opt.DisableVectorization {
+		it := set.iterator()
+		values := make([]any, len(groupCols))
+		for doc := it.Next(); doc >= 0; doc = it.Next() {
+			docs++
+			for i, col := range groupCols {
+				values[i] = col.Value(col.DictID(doc))
+			}
+			g := entryFor(values)
+			for i, in := range inputs {
+				in.accumulate(g.Aggs[i], doc)
+			}
 		}
-		g := entryFor(values)
-		for i, in := range inputs {
-			in.accumulate(g.Aggs[i], doc)
-		}
+	} else {
+		out.Groups, docs = runGroupByBlocks(set, inputs, groupCols, exprs)
 	}
 	out.Stats.NumDocsScanned = docs
 	out.Stats.NumEntriesScanned += docs * int64(len(inputs)+len(groupCols))
@@ -234,45 +242,49 @@ func executeSelection(cs columnSource, is IndexedSegment, q *pql.Query, opt Opti
 	// re-sorted at finalize, so each segment contributes its best
 	// offset+limit rows (a superset of what could be needed).
 	keep := q.Offset + q.Limit
-	it := set.iterator()
-	var docs int64
-	var buf []int
-	readValue := func(col segment.ColumnReader, doc int) any {
-		f := col.Spec()
-		switch {
-		case f.Kind == segment.Metric && f.Type.Integral():
-			return col.Long(doc)
-		case f.Kind == segment.Metric:
-			return col.Double(doc)
-		case f.SingleValue:
-			return col.Value(col.DictID(doc))
-		default:
-			buf = col.DictIDsMV(doc, buf[:0])
-			vals := make([]any, len(buf))
-			for j, id := range buf {
-				vals[j] = col.Value(id)
-			}
-			return vals
-		}
-	}
 	needAll := len(q.OrderBy) > 0
-	for doc := it.Next(); doc >= 0; doc = it.Next() {
-		docs++
-		row := make([]any, len(readers))
-		for i, col := range readers {
-			row[i] = readValue(col, doc)
+	var docs int64
+	if !opt.DisableVectorization {
+		docs = runSelectionBlocks(out, q, set, readers, keep, needAll)
+	} else {
+		it := set.iterator()
+		var buf []int
+		readValue := func(col segment.ColumnReader, doc int) any {
+			f := col.Spec()
+			switch {
+			case f.Kind == segment.Metric && f.Type.Integral():
+				return col.Long(doc)
+			case f.Kind == segment.Metric:
+				return col.Double(doc)
+			case f.SingleValue:
+				return col.Value(col.DictID(doc))
+			default:
+				buf = col.DictIDsMV(doc, buf[:0])
+				vals := make([]any, len(buf))
+				for j, id := range buf {
+					vals[j] = col.Value(id)
+				}
+				return vals
+			}
 		}
-		out.Rows = append(out.Rows, row)
-		if !needAll && len(out.Rows) >= keep {
-			break
-		}
-		if needAll && len(out.Rows) > 4*keep {
-			// Prune: sort and keep the best rows so memory stays
-			// bounded on large matches.
-			tmp := &Intermediate{Kind: KindSelection, SelectCols: cols, Rows: out.Rows}
-			pruneQ := *q
-			pruneQ.Offset, pruneQ.Limit = 0, keep
-			out.Rows = tmp.Finalize(&pruneQ).Rows
+		for doc := it.Next(); doc >= 0; doc = it.Next() {
+			docs++
+			row := make([]any, len(readers))
+			for i, col := range readers {
+				row[i] = readValue(col, doc)
+			}
+			out.Rows = append(out.Rows, row)
+			if !needAll && len(out.Rows) >= keep {
+				break
+			}
+			if needAll && len(out.Rows) > 4*keep {
+				// Prune: sort and keep the best rows so memory stays
+				// bounded on large matches.
+				tmp := &Intermediate{Kind: KindSelection, SelectCols: cols, Rows: out.Rows}
+				pruneQ := *q
+				pruneQ.Offset, pruneQ.Limit = 0, keep
+				out.Rows = tmp.Finalize(&pruneQ).Rows
+			}
 		}
 	}
 	out.Stats.NumDocsScanned = docs
@@ -397,10 +409,6 @@ func decomposeFilter(p pql.Predicate) (map[string][]pql.Predicate, bool) {
 		case pql.Not:
 			return false
 		case pql.Comparison:
-			if n.Op != pql.OpEq && n.Op != pql.OpNeq {
-				out[n.Column] = append(out[n.Column], n)
-				return true
-			}
 			out[n.Column] = append(out[n.Column], n)
 			return true
 		case pql.In:

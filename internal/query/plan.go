@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 
+	"pinot/internal/bitmap"
 	"pinot/internal/pql"
 	"pinot/internal/segment"
 )
@@ -26,6 +27,11 @@ type Options struct {
 	// 4.2: scanning beats bitmap operations on large bitmaps). Zero
 	// means the default of 0.4.
 	ScanSelectivityCutoff float64
+	// DisableVectorization forces row-at-a-time execution: no block
+	// iterators, no batch unpack, no typed aggregation kernels, no bitmap
+	// AND/OR collapse. Results and Stats are identical in both modes; the
+	// flag exists for differential testing and A/B benchmarks.
+	DisableVectorization bool
 }
 
 func (o Options) scanCutoff() float64 {
@@ -78,6 +84,9 @@ func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats)
 			}
 			children = append(children, child)
 		}
+		if !opt.DisableVectorization {
+			children = collapseBitmapChildren(children, true)
+		}
 		switch len(children) {
 		case 0:
 			return &allDocIDSet{numDocs: n}, nil
@@ -100,6 +109,9 @@ func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats)
 			}
 			children = append(children, child)
 		}
+		if !opt.DisableVectorization {
+			children = collapseBitmapChildren(children, false)
+		}
 		switch len(children) {
 		case 0:
 			return emptyDocIDSet{}, nil
@@ -116,6 +128,47 @@ func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats)
 	default:
 		return buildLeafFilter(cs, pred, opt, stats)
 	}
+}
+
+// collapseBitmapChildren merges pure-bitmap AND/OR children into one bitmap
+// via container-level And/Or, which beats the leapfrog when the inputs are of
+// comparable size (one 64-bit word op covers 64 candidate docs). ORs always
+// win; ANDs only when the smallest bitmap still spans at least a block and
+// the sizes are within 64x, otherwise leapfrogging from the small side skips
+// most of the large bitmap. Stats are unaffected: bitmap iteration counts no
+// entries (posting reads were charged at build time) and the candidate
+// sequence probing any remaining scan children depends only on the combined
+// member set, which collapse preserves.
+func collapseBitmapChildren(children []docIDSet, isAnd bool) []docIDSet {
+	var bms []*bitmap.Bitmap
+	rest := make([]docIDSet, 0, len(children))
+	for _, c := range children {
+		if b, ok := c.(*bitmapDocIDSet); ok {
+			bms = append(bms, b.bm)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	if len(bms) < 2 {
+		return children
+	}
+	if isAnd {
+		minC, maxC := bms[0].Cardinality(), bms[0].Cardinality()
+		for _, bm := range bms[1:] {
+			c := bm.Cardinality()
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if minC < blockSize || maxC > minC*64 {
+			return children
+		}
+		return append(rest, &bitmapDocIDSet{bm: bitmap.AndAll(bms...)})
+	}
+	return append(rest, &bitmapDocIDSet{bm: bitmap.OrAll(bms...)})
 }
 
 func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats) (docIDSet, error) {
@@ -136,7 +189,7 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 			return nil, err
 		}
 		integral := col.Spec().Type.Integral()
-		return &scanDocIDSet{numDocs: n, match: func(doc int) bool {
+		sds := &scanDocIDSet{numDocs: n, match: func(doc int) bool {
 			if stats != nil {
 				stats.NumEntriesScanned++
 			}
@@ -144,7 +197,24 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 				return match(col.Long(doc))
 			}
 			return match(col.Double(doc))
-		}}, nil
+		}}
+		if !opt.DisableVectorization {
+			var matchLong func(int64) bool
+			var matchDouble func(float64) bool
+			if integral {
+				if matchLong, err = longMatcher(col.Spec().Type, pred); err != nil {
+					return nil, err
+				}
+			} else {
+				if matchDouble, err = doubleMatcher(col.Spec().Type, pred); err != nil {
+					return nil, err
+				}
+			}
+			sds.newBlockIter = func() blockIterator {
+				return &rawScanBlockIterator{col: col, stats: stats, numDocs: n, matchLong: matchLong, matchDouble: matchDouble}
+			}
+		}
+		return sds, nil
 	}
 
 	// Multi-value columns have contains-any semantics: negated predicates
@@ -205,12 +275,19 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 	// Iterator scan over the forward index. Every evaluated document
 	// counts as a scanned entry.
 	if col.Spec().SingleValue {
-		return &scanDocIDSet{numDocs: n, match: func(doc int) bool {
+		sds := &scanDocIDSet{numDocs: n, match: func(doc int) bool {
 			if stats != nil {
 				stats.NumEntriesScanned++
 			}
 			return set.contains(col.DictID(doc))
-		}}, nil
+		}}
+		if !opt.DisableVectorization {
+			lookup := set.lookupTable()
+			sds.newBlockIter = func() blockIterator {
+				return newDictScanBlockIterator(col, lookup, n, stats)
+			}
+		}
+		return sds, nil
 	}
 	var buf []int
 	return &scanDocIDSet{numDocs: n, match: func(doc int) bool {

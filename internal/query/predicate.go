@@ -115,6 +115,17 @@ func (s *idSet) size() int {
 	return len(s.list)
 }
 
+// lookupTable returns a dense membership table of size card, the vectorized
+// scan's branch-free dict-id test.
+func (s *idSet) lookupTable() []bool {
+	if s.ranges == nil && s.lookup != nil {
+		return s.lookup
+	}
+	t := make([]bool, s.card)
+	s.each(func(id int) { t[id] = true })
+	return t
+}
+
 // each calls fn for every matching id in ascending order.
 func (s *idSet) each(fn func(id int)) {
 	if s.ranges != nil {
@@ -272,6 +283,131 @@ func valueMatcher(typ segment.DataType, pred pql.Predicate) (func(any) bool, err
 		}
 		neg := p.Negated
 		return func(x any) bool { return set[x] != neg }, nil
+	}
+	return nil, fmt.Errorf("query: unsupported predicate %T", pred)
+}
+
+// longMatcher is the typed counterpart of valueMatcher for integral raw
+// columns: it evaluates the predicate on int64 without boxing. It accepts
+// and rejects exactly the same values as valueMatcher over canonical int64s.
+func longMatcher(typ segment.DataType, pred pql.Predicate) (func(int64) bool, error) {
+	coerce := func(v any) (int64, error) {
+		cv, err := segment.Canonicalize(typ, v)
+		if err != nil {
+			return 0, err
+		}
+		return cv.(int64), nil
+	}
+	switch p := pred.(type) {
+	case pql.Comparison:
+		v, err := coerce(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Op {
+		case pql.OpEq:
+			return func(x int64) bool { return x == v }, nil
+		case pql.OpNeq:
+			return func(x int64) bool { return x != v }, nil
+		case pql.OpLt:
+			return func(x int64) bool { return x < v }, nil
+		case pql.OpLte:
+			return func(x int64) bool { return x <= v }, nil
+		case pql.OpGt:
+			return func(x int64) bool { return x > v }, nil
+		case pql.OpGte:
+			return func(x int64) bool { return x >= v }, nil
+		}
+		return nil, fmt.Errorf("query: unsupported operator %q", p.Op)
+	case pql.Between:
+		lo, err := coerce(p.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce(p.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return func(x int64) bool { return x >= lo && x <= hi }, nil
+	case pql.In:
+		set := make(map[int64]bool, len(p.Values))
+		for _, raw := range p.Values {
+			v, err := coerce(raw)
+			if err != nil {
+				return nil, err
+			}
+			set[v] = true
+		}
+		neg := p.Negated
+		return func(x int64) bool { return set[x] != neg }, nil
+	}
+	return nil, fmt.Errorf("query: unsupported predicate %T", pred)
+}
+
+// doubleMatcher is the typed counterpart of valueMatcher for float raw
+// columns.
+func doubleMatcher(typ segment.DataType, pred pql.Predicate) (func(float64) bool, error) {
+	coerce := func(v any) (float64, error) {
+		cv, err := segment.Canonicalize(typ, v)
+		if err != nil {
+			return 0, err
+		}
+		return cv.(float64), nil
+	}
+	// Comparisons use the same three-way compare as segment.CompareValues
+	// (NaN compares "equal" to everything there) so results are identical
+	// to the scalar matcher on any input.
+	cmp := func(x, v float64) int {
+		switch {
+		case x < v:
+			return -1
+		case x > v:
+			return 1
+		}
+		return 0
+	}
+	switch p := pred.(type) {
+	case pql.Comparison:
+		v, err := coerce(p.Value)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Op {
+		case pql.OpEq:
+			return func(x float64) bool { return cmp(x, v) == 0 }, nil
+		case pql.OpNeq:
+			return func(x float64) bool { return cmp(x, v) != 0 }, nil
+		case pql.OpLt:
+			return func(x float64) bool { return cmp(x, v) < 0 }, nil
+		case pql.OpLte:
+			return func(x float64) bool { return cmp(x, v) <= 0 }, nil
+		case pql.OpGt:
+			return func(x float64) bool { return cmp(x, v) > 0 }, nil
+		case pql.OpGte:
+			return func(x float64) bool { return cmp(x, v) >= 0 }, nil
+		}
+		return nil, fmt.Errorf("query: unsupported operator %q", p.Op)
+	case pql.Between:
+		lo, err := coerce(p.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := coerce(p.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return func(x float64) bool { return cmp(x, lo) >= 0 && cmp(x, hi) <= 0 }, nil
+	case pql.In:
+		set := make(map[float64]bool, len(p.Values))
+		for _, raw := range p.Values {
+			v, err := coerce(raw)
+			if err != nil {
+				return nil, err
+			}
+			set[v] = true
+		}
+		neg := p.Negated
+		return func(x float64) bool { return set[x] != neg }, nil
 	}
 	return nil, fmt.Errorf("query: unsupported predicate %T", pred)
 }

@@ -1,0 +1,560 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// This file is the vectorized (block-at-a-time) execution path. Matching doc
+// ids arrive in blocks of up to blockSize, dictionary ids and metric values
+// decode in batches through the ColumnReader block methods, and aggregation
+// states update through typed kernels instead of per-doc interface dispatch.
+// Every kernel folds values in the exact per-element float64 order of the
+// scalar path, so finalized results and Stats are identical in both modes —
+// the differential test in vexec_diff_test.go enforces this.
+
+// ---- numeric input reader ----
+
+type nrMode int
+
+const (
+	nrDouble     nrMode = iota // raw metric column: Double(doc)
+	nrDict                     // dictionary column, dense id→float64 table
+	nrDictScalar               // dictionary column, per-id decode (selective filters)
+)
+
+// numericReader reads the numeric input of an aggregation for a block of
+// docs, mirroring aggInput.numeric value-for-value.
+type numericReader struct {
+	col    segment.ColumnReader
+	mode   nrMode
+	decode []float64
+	ids    []uint32
+}
+
+func newNumericReader(col segment.ColumnReader, estimate int) *numericReader {
+	r := &numericReader{col: col}
+	if !col.HasDictionary() {
+		r.mode = nrDouble
+		return r
+	}
+	card := col.Cardinality()
+	// The dense decode table costs O(card) to build; worth it only when
+	// the filter is expected to touch a comparable number of rows.
+	if estimate < card/4 {
+		r.mode = nrDictScalar
+		return r
+	}
+	r.mode = nrDict
+	r.decode = make([]float64, card)
+	for id := 0; id < card; id++ {
+		r.decode[id] = dictNumeric(col.Value(id))
+	}
+	return r
+}
+
+func dictNumeric(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
+}
+
+func (r *numericReader) read(docs []int, dst []float64) {
+	if r.mode == nrDouble {
+		r.col.Doubles(docs, dst)
+		return
+	}
+	if cap(r.ids) < len(docs) {
+		r.ids = make([]uint32, blockSize)
+	}
+	ids := r.ids[:len(docs)]
+	r.col.DictIDs(docs, ids)
+	if r.mode == nrDict {
+		for i, id := range ids {
+			dst[i] = r.decode[id]
+		}
+		return
+	}
+	for i, id := range ids {
+		dst[i] = dictNumeric(r.col.Value(int(id)))
+	}
+}
+
+// ---- DISTINCTCOUNT key cache ----
+
+// dictKeyCache lazily renders dict ids to their DISTINCTCOUNT string keys. A
+// have-flag array marks rendered ids ("" is a valid dictionary value, so the
+// empty string cannot serve as the absent sentinel).
+type dictKeyCache struct {
+	col  segment.ColumnReader
+	keys []string
+	have []bool
+}
+
+func newDictKeyCache(col segment.ColumnReader) *dictKeyCache {
+	card := col.Cardinality()
+	return &dictKeyCache{col: col, keys: make([]string, card), have: make([]bool, card)}
+}
+
+func (c *dictKeyCache) key(id uint32) string {
+	if !c.have[id] {
+		c.keys[id] = fmt.Sprint(c.col.Value(int(id)))
+		c.have[id] = true
+	}
+	return c.keys[id]
+}
+
+// ---- aggregation kernel ----
+
+// aggKernel accumulates one aggregation input over doc blocks, the typed
+// replacement of per-doc aggInput.accumulate.
+type aggKernel struct {
+	in      aggInput
+	nr      *numericReader
+	keys    *dictKeyCache // DISTINCTCOUNT over a dictionary column
+	vals    []float64
+	ids     []uint32
+	longs   []int64
+	doubles []float64
+}
+
+func newAggKernel(in aggInput, estimate int) *aggKernel {
+	k := &aggKernel{in: in}
+	switch in.expr.Func {
+	case pql.Count:
+	case pql.DistinctCount:
+		if in.col.HasDictionary() {
+			k.keys = newDictKeyCache(in.col)
+		}
+	default:
+		k.nr = newNumericReader(in.col, estimate)
+	}
+	return k
+}
+
+// prepare decodes the block's input values into typed scratch.
+func (k *aggKernel) prepare(docs []int) {
+	switch k.in.expr.Func {
+	case pql.Count:
+	case pql.DistinctCount:
+		col := k.in.col
+		switch {
+		case col.HasDictionary():
+			if cap(k.ids) < len(docs) {
+				k.ids = make([]uint32, blockSize)
+			}
+			k.ids = k.ids[:len(docs)]
+			col.DictIDs(docs, k.ids)
+		case col.Spec().Type.Integral():
+			if cap(k.longs) < len(docs) {
+				k.longs = make([]int64, blockSize)
+			}
+			k.longs = k.longs[:len(docs)]
+			col.Longs(docs, k.longs)
+		default:
+			if cap(k.doubles) < len(docs) {
+				k.doubles = make([]float64, blockSize)
+			}
+			k.doubles = k.doubles[:len(docs)]
+			col.Doubles(docs, k.doubles)
+		}
+	default:
+		if cap(k.vals) < len(docs) {
+			k.vals = make([]float64, blockSize)
+		}
+		k.vals = k.vals[:len(docs)]
+		k.nr.read(docs, k.vals)
+	}
+}
+
+// keyAt renders the DISTINCTCOUNT key of the i-th doc of the prepared block,
+// producing the same strings as aggInput.distinctKey.
+func (k *aggKernel) keyAt(i int) string {
+	switch {
+	case k.keys != nil:
+		return k.keys.key(k.ids[i])
+	case k.in.col.Spec().Type.Integral():
+		return strconv.FormatInt(k.longs[i], 10)
+	default:
+		return strconv.FormatFloat(k.doubles[i], 'g', -1, 64)
+	}
+}
+
+// accumulateBlock folds a whole prepared block into one state.
+func (k *aggKernel) accumulateBlock(s *AggState, n int) {
+	switch k.in.expr.Func {
+	case pql.Count:
+		s.AddCount(int64(n))
+	case pql.DistinctCount:
+		for i := 0; i < n; i++ {
+			s.Distinct[k.keyAt(i)] = struct{}{}
+		}
+		s.Count += int64(n)
+	default:
+		accumNumericBlock(s, k.vals[:n])
+	}
+}
+
+// accumulateGroups folds each doc of the prepared block into its group's
+// aggIdx-th state.
+func (k *aggKernel) accumulateGroups(entries []*GroupEntry, aggIdx, n int) {
+	switch k.in.expr.Func {
+	case pql.Count:
+		for i := 0; i < n; i++ {
+			entries[i].Aggs[aggIdx].AddCount(1)
+		}
+	case pql.DistinctCount:
+		for i := 0; i < n; i++ {
+			entries[i].Aggs[aggIdx].AddDistinct(k.keyAt(i))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			entries[i].Aggs[aggIdx].AddNumeric(k.vals[i])
+		}
+	}
+}
+
+// accumNumericBlock applies AddNumeric to a whole block in the same
+// per-element float64 order as the scalar path, so Sum/Min/Max/Values come
+// out bit-identical.
+func accumNumericBlock(s *AggState, vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	sum, mn, mx := s.Sum, s.Min, s.Max
+	for _, v := range vs {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	s.Sum, s.Min, s.Max = sum, mn, mx
+	s.Count += int64(len(vs))
+	if s.isPercentile() {
+		s.Values = append(s.Values, vs...)
+	}
+	s.Seen = true
+}
+
+// runAggBlocks is the vectorized no-group-by aggregation loop.
+func runAggBlocks(set docIDSet, inputs []aggInput, aggs []*AggState) int64 {
+	est := set.estimate()
+	kernels := make([]*aggKernel, len(inputs))
+	for i, in := range inputs {
+		kernels[i] = newAggKernel(in, est)
+	}
+	it := blocksOf(set)
+	buf := make([]int, blockSize)
+	var docs int64
+	for {
+		n := it.nextBlock(buf)
+		if n == 0 {
+			break
+		}
+		docs += int64(n)
+		for i, k := range kernels {
+			k.prepare(buf[:n])
+			k.accumulateBlock(aggs[i], n)
+		}
+	}
+	return docs
+}
+
+// ---- group-by fast paths ----
+
+// grouper resolves each doc of a block to its GroupEntry.
+type grouper interface {
+	groups(docs []int, out []*GroupEntry)
+	// result returns the accumulated groups keyed by GroupKey, the wire
+	// format shared with the scalar path.
+	result() map[string]*GroupEntry
+}
+
+func newGroupEntry(values []any, exprs []pql.Expression) *GroupEntry {
+	aggs := make([]*AggState, len(exprs))
+	for i, e := range exprs {
+		aggs[i] = NewAggState(e.Func)
+	}
+	return &GroupEntry{Values: values, Aggs: aggs}
+}
+
+// bitsNeeded returns how many bits a dict id in [0, card) needs.
+func bitsNeeded(card int) int {
+	if card <= 1 {
+		return 0
+	}
+	return bits.Len(uint(card - 1))
+}
+
+const denseGroupMaxCard = 1 << 16
+
+func newGrouper(cols []segment.ColumnReader, exprs []pql.Expression) grouper {
+	if len(cols) == 1 && cols[0].Cardinality() <= denseGroupMaxCard {
+		return &denseGrouper{col: cols[0], exprs: exprs, entries: make([]*GroupEntry, cols[0].Cardinality())}
+	}
+	shifts := make([]uint, len(cols))
+	total := 0
+	for i, c := range cols {
+		shifts[i] = uint(total)
+		total += bitsNeeded(c.Cardinality())
+	}
+	if total <= 64 {
+		return &packedGrouper{cols: cols, shifts: shifts, exprs: exprs,
+			m: map[uint64]*GroupEntry{}, ids: make([][]uint32, len(cols))}
+	}
+	return &stringGrouper{cols: cols, exprs: exprs, m: map[string]*GroupEntry{},
+		ids: make([][]uint32, len(cols)), values: make([]any, len(cols))}
+}
+
+// denseGrouper indexes groups by dict id directly: single group column with
+// a dictionary small enough for a flat array. No hashing, no key strings.
+type denseGrouper struct {
+	col     segment.ColumnReader
+	exprs   []pql.Expression
+	entries []*GroupEntry
+	ids     []uint32
+}
+
+func (g *denseGrouper) groups(docs []int, out []*GroupEntry) {
+	if cap(g.ids) < len(docs) {
+		g.ids = make([]uint32, blockSize)
+	}
+	ids := g.ids[:len(docs)]
+	g.col.DictIDs(docs, ids)
+	for i, id := range ids {
+		e := g.entries[id]
+		if e == nil {
+			e = newGroupEntry([]any{g.col.Value(int(id))}, g.exprs)
+			g.entries[id] = e
+		}
+		out[i] = e
+	}
+}
+
+func (g *denseGrouper) result() map[string]*GroupEntry {
+	m := make(map[string]*GroupEntry)
+	for _, e := range g.entries {
+		if e != nil {
+			m[GroupKey(e.Values)] = e
+		}
+	}
+	return m
+}
+
+// packedGrouper packs per-column dict ids into one uint64 map key when the
+// combined widths fit, replacing per-doc fmt.Sprint string keys.
+type packedGrouper struct {
+	cols   []segment.ColumnReader
+	shifts []uint
+	exprs  []pql.Expression
+	m      map[uint64]*GroupEntry
+	ids    [][]uint32
+}
+
+func (g *packedGrouper) groups(docs []int, out []*GroupEntry) {
+	for c := range g.cols {
+		if cap(g.ids[c]) < len(docs) {
+			g.ids[c] = make([]uint32, blockSize)
+		}
+		g.ids[c] = g.ids[c][:len(docs)]
+		g.cols[c].DictIDs(docs, g.ids[c])
+	}
+	for i := range docs {
+		var key uint64
+		for c := range g.cols {
+			key |= uint64(g.ids[c][i]) << g.shifts[c]
+		}
+		e := g.m[key]
+		if e == nil {
+			values := make([]any, len(g.cols))
+			for c := range g.cols {
+				values[c] = g.cols[c].Value(int(g.ids[c][i]))
+			}
+			e = newGroupEntry(values, g.exprs)
+			g.m[key] = e
+		}
+		out[i] = e
+	}
+}
+
+func (g *packedGrouper) result() map[string]*GroupEntry {
+	m := make(map[string]*GroupEntry, len(g.m))
+	for _, e := range g.m {
+		key := GroupKey(e.Values)
+		if prev, ok := m[key]; ok {
+			// Distinct dict tuples can render to one GroupKey only when
+			// a string value contains the key separator; merge to match
+			// the scalar map.
+			for i := range prev.Aggs {
+				prev.Aggs[i].Merge(e.Aggs[i])
+			}
+			continue
+		}
+		m[key] = e
+	}
+	return m
+}
+
+// stringGrouper is the fallback: the scalar path's string keys, but group
+// column dict ids still decode in batches.
+type stringGrouper struct {
+	cols   []segment.ColumnReader
+	exprs  []pql.Expression
+	m      map[string]*GroupEntry
+	ids    [][]uint32
+	values []any
+}
+
+func (g *stringGrouper) groups(docs []int, out []*GroupEntry) {
+	for c := range g.cols {
+		if cap(g.ids[c]) < len(docs) {
+			g.ids[c] = make([]uint32, blockSize)
+		}
+		g.ids[c] = g.ids[c][:len(docs)]
+		g.cols[c].DictIDs(docs, g.ids[c])
+	}
+	for i := range docs {
+		for c := range g.cols {
+			g.values[c] = g.cols[c].Value(int(g.ids[c][i]))
+		}
+		key := GroupKey(g.values)
+		e := g.m[key]
+		if e == nil {
+			e = newGroupEntry(append([]any(nil), g.values...), g.exprs)
+			g.m[key] = e
+		}
+		out[i] = e
+	}
+}
+
+func (g *stringGrouper) result() map[string]*GroupEntry { return g.m }
+
+// runGroupByBlocks is the vectorized group-by loop.
+func runGroupByBlocks(set docIDSet, inputs []aggInput, groupCols []segment.ColumnReader, exprs []pql.Expression) (map[string]*GroupEntry, int64) {
+	est := set.estimate()
+	kernels := make([]*aggKernel, len(inputs))
+	for i, in := range inputs {
+		kernels[i] = newAggKernel(in, est)
+	}
+	g := newGrouper(groupCols, exprs)
+	it := blocksOf(set)
+	buf := make([]int, blockSize)
+	entries := make([]*GroupEntry, blockSize)
+	var docs int64
+	for {
+		n := it.nextBlock(buf)
+		if n == 0 {
+			break
+		}
+		docs += int64(n)
+		g.groups(buf[:n], entries[:n])
+		for i, k := range kernels {
+			k.prepare(buf[:n])
+			k.accumulateGroups(entries, i, n)
+		}
+	}
+	return g.result(), docs
+}
+
+// ---- selection ----
+
+// runSelectionBlocks is the vectorized selection loop. Rows of each block
+// share one []any arena, allocated fresh per block (retained rows alias it,
+// so it is never reused) and filled column-major so each column decodes in
+// one batch. Without ORDER BY the block demand is capped at the rows still
+// needed; with the exact-fill nextBlock contract this walks precisely the
+// docs the scalar early-exit walks, keeping Stats identical.
+func runSelectionBlocks(out *Intermediate, q *pql.Query, set docIDSet, readers []segment.ColumnReader, keep int, needAll bool) int64 {
+	it := blocksOf(set)
+	width := len(readers)
+	buf := make([]int, blockSize)
+	var ids []uint32
+	var longs []int64
+	var doubles []float64
+	var mvBuf []int
+	var docs int64
+	for {
+		want := blockSize
+		if !needAll {
+			want = keep - len(out.Rows)
+			if want < 1 {
+				want = 1
+			}
+			if want > blockSize {
+				want = blockSize
+			}
+		}
+		n := it.nextBlock(buf[:want])
+		if n == 0 {
+			break
+		}
+		docs += int64(n)
+		block := buf[:n]
+		arena := make([]any, n*width)
+		for c, col := range readers {
+			f := col.Spec()
+			switch {
+			case f.Kind == segment.Metric && f.Type.Integral():
+				if cap(longs) < n {
+					longs = make([]int64, blockSize)
+				}
+				vs := longs[:n]
+				col.Longs(block, vs)
+				for i, v := range vs {
+					arena[i*width+c] = v
+				}
+			case f.Kind == segment.Metric:
+				if cap(doubles) < n {
+					doubles = make([]float64, blockSize)
+				}
+				vs := doubles[:n]
+				col.Doubles(block, vs)
+				for i, v := range vs {
+					arena[i*width+c] = v
+				}
+			case f.SingleValue:
+				if cap(ids) < n {
+					ids = make([]uint32, blockSize)
+				}
+				vs := ids[:n]
+				col.DictIDs(block, vs)
+				for i, id := range vs {
+					arena[i*width+c] = col.Value(int(id))
+				}
+			default:
+				for i, doc := range block {
+					mvBuf = col.DictIDsMV(doc, mvBuf[:0])
+					vals := make([]any, len(mvBuf))
+					for j, id := range mvBuf {
+						vals[j] = col.Value(id)
+					}
+					arena[i*width+c] = vals
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			out.Rows = append(out.Rows, arena[i*width:(i+1)*width:(i+1)*width])
+		}
+		if !needAll && len(out.Rows) >= keep {
+			break
+		}
+		if needAll && len(out.Rows) > 4*keep {
+			tmp := &Intermediate{Kind: KindSelection, SelectCols: out.SelectCols, Rows: out.Rows}
+			pruneQ := *q
+			pruneQ.Offset, pruneQ.Limit = 0, keep
+			out.Rows = tmp.Finalize(&pruneQ).Rows
+		}
+	}
+	return docs
+}

@@ -1,0 +1,153 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pinot/internal/bitmap"
+	"pinot/internal/segment"
+)
+
+// drainDocs walks a docIDSet through the block interface, the way the
+// vectorized executors consume it.
+func drainDocs(s docIDSet, buf []int) int {
+	it := blocksOf(s)
+	total := 0
+	for {
+		n := it.nextBlock(buf)
+		if n == 0 {
+			return total
+		}
+		total += n
+	}
+}
+
+func benchBitmaps(numDocs int, density float64, k int) []*bitmap.Bitmap {
+	r := rand.New(rand.NewSource(31))
+	bms := make([]*bitmap.Bitmap, k)
+	for i := range bms {
+		bms[i] = bitmap.New()
+		for d := 0; d < numDocs; d++ {
+			if r.Float64() < density {
+				bms[i].Add(uint32(d))
+			}
+		}
+	}
+	return bms
+}
+
+// BenchmarkBitmapAndCollapse vs BenchmarkBitmapAndLeapfrog: intersecting
+// comparably-sized bitmaps with container-level AndAll vs the scalar
+// advance-to-max leapfrog over per-bitmap iterators.
+func BenchmarkBitmapAndCollapse(b *testing.B) {
+	bms := benchBitmaps(1<<20, 0.3, 3)
+	buf := make([]int, blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := []docIDSet{
+			&bitmapDocIDSet{bm: bms[0]}, &bitmapDocIDSet{bm: bms[1]}, &bitmapDocIDSet{bm: bms[2]},
+		}
+		collapsed := collapseBitmapChildren(sets, true)
+		if len(collapsed) != 1 {
+			b.Fatalf("expected collapse, got %d children", len(collapsed))
+		}
+		drainDocs(collapsed[0], buf)
+	}
+}
+
+func BenchmarkBitmapAndLeapfrog(b *testing.B) {
+	bms := benchBitmaps(1<<20, 0.3, 3)
+	buf := make([]int, blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &andDocIDSet{children: []docIDSet{
+			&bitmapDocIDSet{bm: bms[0]}, &bitmapDocIDSet{bm: bms[1]}, &bitmapDocIDSet{bm: bms[2]},
+		}}
+		drainDocs(s, buf)
+	}
+}
+
+func BenchmarkBitmapOrCollapse(b *testing.B) {
+	bms := benchBitmaps(1<<20, 0.05, 4)
+	buf := make([]int, blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := []docIDSet{
+			&bitmapDocIDSet{bm: bms[0]}, &bitmapDocIDSet{bm: bms[1]},
+			&bitmapDocIDSet{bm: bms[2]}, &bitmapDocIDSet{bm: bms[3]},
+		}
+		collapsed := collapseBitmapChildren(sets, false)
+		drainDocs(collapsed[0], buf)
+	}
+}
+
+func BenchmarkBitmapOrMerge(b *testing.B) {
+	bms := benchBitmaps(1<<20, 0.05, 4)
+	buf := make([]int, blockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &orDocIDSet{children: []docIDSet{
+			&bitmapDocIDSet{bm: bms[0]}, &bitmapDocIDSet{bm: bms[1]},
+			&bitmapDocIDSet{bm: bms[2]}, &bitmapDocIDSet{bm: bms[3]},
+		}}
+		drainDocs(s, buf)
+	}
+}
+
+func benchSegments(b *testing.B) []IndexedSegment {
+	seg := buildRows(b, testRows(200000, 5), segment.IndexConfig{}, "bench_vec")
+	return []IndexedSegment{{Seg: seg}}
+}
+
+func benchRun(b *testing.B, q string, opt Options) {
+	segs := benchSegments(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ctx, q, segs, nil, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scan aggregation over a raw double metric: the typed block kernels vs the
+// boxed row-at-a-time loop.
+func BenchmarkScanAggVec(b *testing.B) {
+	benchRun(b, "SELECT sum(revenue), max(revenue) FROM events WHERE clicks > 10", Options{})
+}
+
+func BenchmarkScanAggScalar(b *testing.B) {
+	benchRun(b, "SELECT sum(revenue), max(revenue) FROM events WHERE clicks > 10", Options{DisableVectorization: true})
+}
+
+// Single low-cardinality group-by: dense array-indexed grouper vs the scalar
+// string-keyed map.
+func BenchmarkGroupByDenseVec(b *testing.B) {
+	benchRun(b, "SELECT sum(clicks) FROM events GROUP BY country TOP 10", Options{})
+}
+
+func BenchmarkGroupByMapScalar(b *testing.B) {
+	benchRun(b, "SELECT sum(clicks) FROM events GROUP BY country TOP 10", Options{DisableVectorization: true})
+}
+
+// Multi-column group-by: packed uint64 composite keys vs Sprint string keys.
+func BenchmarkGroupByPackedVec(b *testing.B) {
+	benchRun(b, "SELECT sum(clicks) FROM events GROUP BY country, browser, memberId TOP 20", Options{})
+}
+
+func BenchmarkGroupByPackedScalar(b *testing.B) {
+	benchRun(b, "SELECT sum(clicks) FROM events GROUP BY country, browser, memberId TOP 20", Options{DisableVectorization: true})
+}
+
+// sanity check so a bad density/cardinality choice can't silently turn the
+// collapse benchmarks into measuring the uncollapsed path.
+func TestCollapseBenchShapesCollapse(t *testing.T) {
+	bms := benchBitmaps(1<<16, 0.3, 3)
+	sets := []docIDSet{
+		&bitmapDocIDSet{bm: bms[0]}, &bitmapDocIDSet{bm: bms[1]}, &bitmapDocIDSet{bm: bms[2]},
+	}
+	if got := collapseBitmapChildren(sets, true); len(got) != 1 {
+		t.Fatalf("AND collapse produced %d children, want 1", len(got))
+	}
+}

@@ -53,6 +53,75 @@ func (p *packedInts) get(i int) uint32 {
 	return uint32(v & (1<<p.width - 1))
 }
 
+// getBlock unpacks the len(dst) values starting at position start into dst.
+// Unlike per-value get, the cursor walks the word array sequentially, so the
+// word index, shift, and spill bookkeeping are amortized across the block.
+// Byte-aligned widths take a direct-extraction path; widths that divide 64
+// never spill a word boundary and skip the spill checks entirely.
+func (p *packedInts) getBlock(start int, dst []uint32) {
+	if len(dst) == 0 {
+		return
+	}
+	switch p.width {
+	case 8:
+		for i := range dst {
+			pos := start + i
+			dst[i] = uint32(p.words[pos>>3]>>((pos&7)<<3)) & 0xFF
+		}
+		return
+	case 16:
+		for i := range dst {
+			pos := start + i
+			dst[i] = uint32(p.words[pos>>2]>>((pos&3)<<4)) & 0xFFFF
+		}
+		return
+	case 32:
+		for i := range dst {
+			pos := start + i
+			dst[i] = uint32(p.words[pos>>1] >> ((pos & 1) << 5))
+		}
+		return
+	}
+	w := uint(p.width)
+	mask := uint64(1)<<w - 1
+	bitPos := uint64(start) * uint64(w)
+	wi := int(bitPos >> 6)
+	off := uint(bitPos & 63)
+	if 64%w == 0 {
+		// Width divides the word size: no value spans a boundary.
+		word := p.words[wi] >> off
+		rem := (64 - off) / w
+		for i := range dst {
+			if rem == 0 {
+				wi++
+				word = p.words[wi]
+				rem = 64 / w
+			}
+			dst[i] = uint32(word & mask)
+			word >>= w
+			rem--
+		}
+		return
+	}
+	word := p.words[wi] >> off
+	avail := 64 - off
+	for i := range dst {
+		if avail >= w {
+			dst[i] = uint32(word & mask)
+			word >>= w
+			avail -= w
+			continue
+		}
+		v := word
+		wi++
+		next := p.words[wi]
+		v |= next << avail
+		dst[i] = uint32(v & mask)
+		word = next >> (w - avail)
+		avail = 64 - (w - avail)
+	}
+}
+
 func (p *packedInts) writeTo(w io.Writer) error {
 	hdr := []any{uint8(p.width), uint64(p.n)}
 	for _, h := range hdr {
@@ -103,6 +172,10 @@ func newSVForwardIndex(ids []int, cardinality int) *SVForwardIndex {
 
 // Get returns the dict id at a document position.
 func (f *SVForwardIndex) Get(doc int) int { return int(f.packed.get(doc)) }
+
+// GetBlock fills dst with the dict ids at positions [start, start+len(dst)),
+// amortizing the bit arithmetic of Get across the block.
+func (f *SVForwardIndex) GetBlock(start int, dst []uint32) { f.packed.getBlock(start, dst) }
 
 // NumDocs returns the number of documents.
 func (f *SVForwardIndex) NumDocs() int { return f.packed.n }
@@ -227,10 +300,20 @@ type MetricColumn interface {
 	NumDocs() int
 	Long(doc int) int64
 	Double(doc int) float64
+	// Longs and Doubles fill dst with the values at the given ascending
+	// doc positions, the block-at-a-time counterparts of Long and Double.
+	Longs(docs []int, dst []int64)
+	Doubles(docs []int, dst []float64)
 	MinLong() int64
 	MaxLong() int64
 	MinDouble() float64
 	MaxDouble() float64
+}
+
+// docsContiguous reports whether an ascending, duplicate-free doc list is a
+// gap-free run, enabling sequential block reads.
+func docsContiguous(docs []int) bool {
+	return len(docs) > 0 && docs[len(docs)-1]-docs[0] == len(docs)-1
 }
 
 type longMetricColumn struct {
@@ -258,6 +341,20 @@ func (c *longMetricColumn) Type() DataType         { return TypeLong }
 func (c *longMetricColumn) NumDocs() int           { return len(c.values) }
 func (c *longMetricColumn) Long(doc int) int64     { return c.values[doc] }
 func (c *longMetricColumn) Double(doc int) float64 { return float64(c.values[doc]) }
+func (c *longMetricColumn) Longs(docs []int, dst []int64) {
+	if docsContiguous(docs) {
+		copy(dst, c.values[docs[0]:docs[0]+len(docs)])
+		return
+	}
+	for i, d := range docs {
+		dst[i] = c.values[d]
+	}
+}
+func (c *longMetricColumn) Doubles(docs []int, dst []float64) {
+	for i, d := range docs {
+		dst[i] = float64(c.values[d])
+	}
+}
 func (c *longMetricColumn) MinLong() int64         { return c.min }
 func (c *longMetricColumn) MaxLong() int64         { return c.max }
 func (c *longMetricColumn) MinDouble() float64     { return float64(c.min) }
@@ -288,6 +385,20 @@ func (c *doubleMetricColumn) Type() DataType         { return TypeDouble }
 func (c *doubleMetricColumn) NumDocs() int           { return len(c.values) }
 func (c *doubleMetricColumn) Long(doc int) int64     { return int64(c.values[doc]) }
 func (c *doubleMetricColumn) Double(doc int) float64 { return c.values[doc] }
+func (c *doubleMetricColumn) Longs(docs []int, dst []int64) {
+	for i, d := range docs {
+		dst[i] = int64(c.values[d])
+	}
+}
+func (c *doubleMetricColumn) Doubles(docs []int, dst []float64) {
+	if docsContiguous(docs) {
+		copy(dst, c.values[docs[0]:docs[0]+len(docs)])
+		return
+	}
+	for i, d := range docs {
+		dst[i] = c.values[d]
+	}
+}
 func (c *doubleMetricColumn) MinLong() int64         { return int64(c.min) }
 func (c *doubleMetricColumn) MaxLong() int64         { return int64(c.max) }
 func (c *doubleMetricColumn) MinDouble() float64     { return c.min }

@@ -1,0 +1,100 @@
+package segment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPackedGetBlock cross-checks the width-specialized batch unpack against
+// the scalar get() for aligned widths, word-divisor widths and widths whose
+// values spill across word boundaries, at every block offset alignment.
+func TestPackedGetBlock(t *testing.T) {
+	widths := []uint8{1, 2, 4, 7, 8, 13, 16, 20, 24, 32}
+	r := rand.New(rand.NewSource(42))
+	for _, w := range widths {
+		t.Run(fmt.Sprintf("width=%d", w), func(t *testing.T) {
+			const n = 3000
+			p := newPackedInts(n, w)
+			var mask uint32 = 0xFFFFFFFF
+			if w < 32 {
+				mask = (1 << w) - 1
+			}
+			want := make([]uint32, n)
+			for i := 0; i < n; i++ {
+				want[i] = r.Uint32() & mask
+				p.set(i, want[i])
+			}
+			dst := make([]uint32, n)
+			for _, span := range []struct{ start, size int }{
+				{0, n}, {1, n - 1}, {7, 1024}, {63, 65}, {64, 64},
+				{n - 1, 1}, {1531, 999}, {0, 1}, {0, 0},
+			} {
+				p.getBlock(span.start, dst[:span.size])
+				for i := 0; i < span.size; i++ {
+					if dst[i] != want[span.start+i] {
+						t.Fatalf("getBlock(%d, len %d)[%d] = %d, want %d",
+							span.start, span.size, i, dst[i], want[span.start+i])
+					}
+				}
+			}
+			// Random spans to hit odd start/length alignments.
+			for k := 0; k < 200; k++ {
+				start := r.Intn(n)
+				size := 1 + r.Intn(n-start)
+				p.getBlock(start, dst[:size])
+				for i := 0; i < size; i++ {
+					if dst[i] != want[start+i] {
+						t.Fatalf("getBlock(%d, len %d)[%d] = %d, want %d",
+							start, size, i, dst[i], want[start+i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func benchPacked(b *testing.B, w uint8, block bool) {
+	const n = 1 << 16
+	p := newPackedInts(n, w)
+	r := rand.New(rand.NewSource(7))
+	var mask uint32 = 0xFFFFFFFF
+	if w < 32 {
+		mask = (1 << w) - 1
+	}
+	for i := 0; i < n; i++ {
+		p.set(i, r.Uint32()&mask)
+	}
+	dst := make([]uint32, 1024)
+	var sink uint32
+	b.SetBytes(n * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if block {
+			for start := 0; start < n; start += len(dst) {
+				p.getBlock(start, dst)
+				sink += dst[0]
+			}
+		} else {
+			for d := 0; d < n; d++ {
+				sink += p.get(d)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkPackedGetBlock vs BenchmarkPackedGet measures the batch bit-unpack
+// kernels against per-value extraction for each specialization class:
+// byte-aligned (8/16/32), word-divisor (4), and spilling (7/13/20).
+func BenchmarkPackedGetBlock(b *testing.B) {
+	for _, w := range []uint8{4, 7, 8, 13, 16, 20, 32} {
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) { benchPacked(b, w, true) })
+	}
+}
+
+func BenchmarkPackedGet(b *testing.B) {
+	for _, w := range []uint8{4, 7, 8, 13, 16, 20, 32} {
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) { benchPacked(b, w, false) })
+	}
+}

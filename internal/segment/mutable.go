@@ -291,6 +291,33 @@ func (c *mutableColumn) Double(doc int) float64 {
 	}
 	return c.doubles[doc]
 }
+func (c *mutableColumn) DictIDs(docs []int, dst []uint32) {
+	for i, d := range docs {
+		dst[i] = uint32(c.ids[d])
+	}
+}
+func (c *mutableColumn) Longs(docs []int, dst []int64) {
+	if c.spec.Type.Integral() {
+		for i, d := range docs {
+			dst[i] = c.longs[d]
+		}
+		return
+	}
+	for i, d := range docs {
+		dst[i] = int64(c.doubles[d])
+	}
+}
+func (c *mutableColumn) Doubles(docs []int, dst []float64) {
+	if c.spec.Type.Integral() {
+		for i, d := range docs {
+			dst[i] = float64(c.longs[d])
+		}
+		return
+	}
+	for i, d := range docs {
+		dst[i] = c.doubles[d]
+	}
+}
 func (c *mutableColumn) MinValue() any {
 	c.seg.mu.RLock()
 	defer c.seg.mu.RUnlock()

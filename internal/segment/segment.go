@@ -51,6 +51,16 @@ type ColumnReader interface {
 	Long(doc int) int64
 	// Double returns the raw metric value at a document as float64.
 	Double(doc int) float64
+	// DictIDs fills dst with the dict ids at the given ascending doc
+	// positions, the block-at-a-time counterpart of DictID. len(dst) must
+	// equal len(docs).
+	DictIDs(docs []int, dst []uint32)
+	// Longs fills dst with the raw metric values at the given ascending doc
+	// positions. len(dst) must equal len(docs).
+	Longs(docs []int, dst []int64)
+	// Doubles fills dst with the raw metric values at the given ascending
+	// doc positions. len(dst) must equal len(docs).
+	Doubles(docs []int, dst []float64)
 	// MinValue and MaxValue return column statistics.
 	MinValue() any
 	MaxValue() any
@@ -137,6 +147,24 @@ func (c *Column) Long(doc int) int64 { return c.metric.Long(doc) }
 
 // Double returns the raw metric value as float64.
 func (c *Column) Double(doc int) float64 { return c.metric.Double(doc) }
+
+// DictIDs fills dst with the dict ids at the given ascending doc positions.
+// Contiguous runs hit the packed bulk-unpack kernel.
+func (c *Column) DictIDs(docs []int, dst []uint32) {
+	if docsContiguous(docs) {
+		c.fwd.GetBlock(docs[0], dst[:len(docs)])
+		return
+	}
+	for i, d := range docs {
+		dst[i] = uint32(c.fwd.Get(d))
+	}
+}
+
+// Longs fills dst with the raw metric values at the given doc positions.
+func (c *Column) Longs(docs []int, dst []int64) { c.metric.Longs(docs, dst) }
+
+// Doubles fills dst with the raw metric values at the given doc positions.
+func (c *Column) Doubles(docs []int, dst []float64) { c.metric.Doubles(docs, dst) }
 
 // MinValue returns the smallest value in the column.
 func (c *Column) MinValue() any {
@@ -439,6 +467,23 @@ func (c *defaultColumn) Double(doc int) float64 {
 		return v
 	}
 	return float64(c.value.(int64))
+}
+func (c *defaultColumn) DictIDs(docs []int, dst []uint32) {
+	for i := range docs {
+		dst[i] = 0
+	}
+}
+func (c *defaultColumn) Longs(docs []int, dst []int64) {
+	v := c.Long(0)
+	for i := range docs {
+		dst[i] = v
+	}
+}
+func (c *defaultColumn) Doubles(docs []int, dst []float64) {
+	v := c.Double(0)
+	for i := range docs {
+		dst[i] = v
+	}
 }
 func (c *defaultColumn) MinValue() any { return c.value }
 func (c *defaultColumn) MaxValue() any { return c.value }
