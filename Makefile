@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench-smoke bench-json fuzz clean
+.PHONY: all build vet test race verify fmt-check bench-smoke bench-check bench-json fuzz clean
 
 all: verify
 
@@ -16,12 +16,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verify: what CI and the roadmap require to stay green. The bench
-# smoke run only proves benchmarks still compile and execute, not timings.
-verify: build vet race bench-smoke
+# Tier-1 verify: what CI and the roadmap require to stay green. bench-check
+# proves benchmarks still compile, execute, and that none of the committed
+# baseline's benchmarks silently disappeared; it never compares timings.
+verify: build vet race fmt-check bench-check
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+bench-check:
+	$(GO) test -run NONE -bench . -benchtime 1x ./... > .bench-run.txt
+	$(GO) run ./cmd/benchcheck BENCH_baseline.json < .bench-run.txt
+	@rm -f .bench-run.txt
 
 # Regenerate the committed benchmark baseline for the vectorized-execution
 # kernels (A/B pairs plus the micro kernels they are built from).

@@ -4,7 +4,20 @@ set -eux
 
 go build ./...
 go vet ./...
+
+# Formatting is enforced: an unformatted tree fails CI.
+fmt_out="$(gofmt -l .)"
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
+
 go test -race ./...
-# Benchmark smoke: one iteration each, so benchmarks keep compiling and
-# running on every PR without turning CI into a perf run.
-go test -run NONE -bench . -benchtime 1x ./...
+
+# Benchmark check (make bench-check): one iteration each, so benchmarks keep
+# compiling and running on every PR without turning CI into a perf run, plus
+# a guard that no benchmark named in BENCH_baseline.json has disappeared.
+go test -run NONE -bench . -benchtime 1x ./... > .bench-run.txt
+go run ./cmd/benchcheck BENCH_baseline.json < .bench-run.txt
+rm -f .bench-run.txt

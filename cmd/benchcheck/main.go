@@ -1,0 +1,103 @@
+// Command benchcheck guards the committed benchmark baseline: it reads
+// BENCH_baseline.json and a `go test -bench` text run on stdin, and fails if
+// any baseline benchmark name no longer appears in the run — a silently
+// deleted or renamed benchmark is a hole in the performance story, not a
+// cleanup. It compares names only, never timings, so it is safe for CI.
+//
+// Usage: go test -run NONE -bench . -benchtime 1x ./... | benchcheck BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type baseline struct {
+	Benchmarks []struct {
+		Name string `json:"name"`
+	} `json:"benchmarks"`
+}
+
+// canonical strips the -N GOMAXPROCS suffix go test appends to benchmark
+// names, so a baseline captured at one parallelism matches a run at another.
+func canonical(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		allDigits := i+1 < len(name)
+		for _, r := range name[i+1:] {
+			if r < '0' || r > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_baseline.json < bench-output.txt")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: parse %s: %v\n", os.Args[1], err)
+		os.Exit(2)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s lists no benchmarks\n", os.Args[1])
+		os.Exit(2)
+	}
+
+	ran := map[string]bool{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			continue
+		}
+		ran[canonical(f[0])] = true
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var missing []string
+	seen := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		name := canonical(b.Name)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !ran[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintf(os.Stderr, "benchcheck: %d baseline benchmark(s) missing from this run:\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: all %d baseline benchmarks present (%d ran)\n", len(seen), len(ran))
+}

@@ -11,6 +11,7 @@ import (
 	"pinot/internal/controller"
 	"pinot/internal/helix"
 	"pinot/internal/pql"
+	"pinot/internal/qctx"
 	"pinot/internal/query"
 	"pinot/internal/stream"
 	"pinot/internal/table"
@@ -340,18 +341,28 @@ type Response struct {
 }
 
 // Execute parses PQL, performs hybrid rewriting, scatters the query and
-// gathers the merged result (paper 3.3.3).
+// gathers the merged result (paper 3.3.3). The query's whole lifecycle runs
+// against one QueryContext: parsing and routing are charged against the
+// deadline budget before the fan-out, each server call carries the budget
+// still remaining at send time, and the per-phase ledger is returned to the
+// client as the response trace.
 func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response, error) {
-	start := time.Now()
+	qc := qctx.New("", b.cfg.QueryTimeout)
+	ctx = qctx.With(ctx, qc)
+	start := qc.StartTime()
+	stop := qc.Clock(qctx.PhaseParse)
 	q, err := pql.Parse(pqlText)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	stopRoute := qc.Clock(qctx.PhaseRoute)
 	offline := table.ResourceName(q.Table, table.Offline)
 	realtime := table.ResourceName(q.Table, table.Realtime)
 	offCfg, hasOffline := b.tableConfig(offline)
 	rtCfg, hasRealtime := b.tableConfig(realtime)
 	if !hasOffline && !hasRealtime {
+		stopRoute()
 		return nil, fmt.Errorf("broker: unknown table %q", q.Table)
 	}
 
@@ -383,6 +394,7 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	default:
 		subs = append(subs, subquery{realtime, rtCfg, q})
 	}
+	stopRoute()
 
 	ctx, cancel := context.WithTimeout(ctx, b.cfg.QueryTimeout)
 	defer cancel()
@@ -392,7 +404,7 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	var srvExcs []ServerException
 	queried, responded := 0, 0
 	for _, sub := range subs {
-		out, err := b.scatterGather(ctx, sub.resource, sub.cfg, sub.q, tenant)
+		out, err := b.scatterGather(ctx, qc, sub.resource, sub.cfg, sub.q, tenant)
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +417,10 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 			continue
 		}
 		if out.result != nil {
-			if err := merged.Merge(out.result); err != nil {
+			stopMerge := qc.Clock(qctx.PhaseMerge)
+			err := merged.Merge(out.result)
+			stopMerge()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -425,10 +440,14 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 		// (paper 3.3.3 step 7) rather than failing the query.
 		merged = query.EmptyIntermediate(q)
 	}
+	stop = qc.Clock(qctx.PhaseReduce)
 	final := merged.Finalize(q)
+	stop()
 	final.Exceptions = exceptions
 	final.Partial = len(exceptions) > 0 || responded < queried
 	final.TimeMillis = time.Since(start).Milliseconds()
+	final.QueryID = qc.ID()
+	final.Trace = qc.TraceSnapshot()
 	return &Response{
 		Result:           final,
 		ServersQueried:   queried,
@@ -461,10 +480,12 @@ type groupResult struct {
 // carved from the query budget; failed groups are retried against alternate
 // replicas of their segments, and stragglers optionally race a hedged
 // duplicate (paper 3.3.3 steps 3-7).
-func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.Config, q *pql.Query, tenant string) (gatherResult, error) {
+func (b *Broker) scatterGather(ctx context.Context, qc *qctx.QueryContext, resource string, cfg *table.Config, q *pql.Query, tenant string) (gatherResult, error) {
 	var out gatherResult
+	stopRoute := qc.Clock(qctx.PhaseRoute)
 	rs, err := b.routingFor(resource)
 	if err != nil {
+		stopRoute()
 		return out, err
 	}
 	var rt RoutingTable
@@ -473,6 +494,7 @@ func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.
 	b.rndMu.Unlock()
 	if rt == nil {
 		// Resource exists but has no queryable segments yet.
+		stopRoute()
 		return out, nil
 	}
 	// Partition-aware pruning (paper 4.4): a single-partition query only
@@ -486,18 +508,26 @@ func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.
 			})
 		}
 	}
+	stopRoute()
 
+	// The gather loop charges streaming merges to the merge phase and the
+	// rest of its wall clock to scatter, keeping the two disjoint so the
+	// ledger still sums to at most the elapsed wall clock.
+	scatterStart := time.Now()
+	var mergeDur time.Duration
 	pqlText := q.String()
 	results := make(chan groupResult, len(rt))
 	for instance, segs := range rt {
 		go func(instance string, segs []string) {
-			results <- b.queryGroup(ctx, rs, resource, pqlText, tenant, q, instance, segs)
+			results <- b.queryGroup(ctx, qc, rs, resource, pqlText, tenant, q, instance, segs)
 		}(instance, segs)
 	}
 	out.queried = len(rt)
 	for i := 0; i < len(rt); i++ {
 		gr := <-results
 		if gr.err != nil {
+			qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
+			qc.Charge(qctx.PhaseMerge, mergeDur)
 			return out, gr.err
 		}
 		if gr.responded {
@@ -512,17 +542,24 @@ func (b *Broker) scatterGather(ctx context.Context, resource string, cfg *table.
 			out.result = gr.result
 			continue
 		}
-		if err := out.result.Merge(gr.result); err != nil {
+		mt := time.Now()
+		err := out.result.Merge(gr.result)
+		mergeDur += time.Since(mt)
+		if err != nil {
+			qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
+			qc.Charge(qctx.PhaseMerge, mergeDur)
 			return out, err
 		}
 	}
+	qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
+	qc.Charge(qctx.PhaseMerge, mergeDur)
 	return out, nil
 }
 
 // queryGroup drives one scatter group to completion: query the primary
 // replica (hedging against a straggler if configured), then retry any failed
 // segments on untried replicas with backoff, up to the retry budget.
-func (b *Broker) queryGroup(ctx context.Context, rs *routingState, resource, pqlText, tenant string, q *pql.Query, primary string, segs []string) groupResult {
+func (b *Broker) queryGroup(ctx context.Context, qc *qctx.QueryContext, rs *routingState, resource, pqlText, tenant string, q *pql.Query, primary string, segs []string) groupResult {
 	var gr groupResult
 	tried := map[string]bool{}
 	assign := RoutingTable{primary: segs}
@@ -545,12 +582,16 @@ func (b *Broker) queryGroup(ctx context.Context, rs *routingState, resource, pql
 		sort.Strings(insts)
 		var failed []string
 		for _, inst := range insts {
-			resp, excs := b.hedgedCall(ctx, rs, resource, pqlText, tenant, q, inst, assign[inst], tried)
+			resp, excs := b.hedgedCall(ctx, qc, rs, resource, pqlText, tenant, q, inst, assign[inst], tried)
 			gr.excs = append(gr.excs, excs...)
 			if resp == nil {
 				failed = append(failed, assign[inst]...)
 				continue
 			}
+			// Fold the server's queue/execute timings into the trace as
+			// the per-phase maximum: servers run concurrently, so the
+			// critical path is what the client can act on.
+			qc.ObserveServer(resp.Trace)
 			gr.respExcs = append(gr.respExcs, resp.Exceptions...)
 			if gr.result == nil {
 				gr.result = resp.Result
@@ -591,7 +632,7 @@ func (b *Broker) queryGroup(ctx context.Context, rs *routingState, resource, pql
 // duplicate request races on an untried replica holding the same segments;
 // the first usable response wins. Responses failing shape validation count
 // as server failures so corruption can never poison the merge.
-func (b *Broker) hedgedCall(ctx context.Context, rs *routingState, resource, pqlText, tenant string, q *pql.Query, instance string, segs []string, tried map[string]bool) (*transport.QueryResponse, []ServerException) {
+func (b *Broker) hedgedCall(ctx context.Context, qc *qctx.QueryContext, rs *routingState, resource, pqlText, tenant string, q *pql.Query, instance string, segs []string, tried map[string]bool) (*transport.QueryResponse, []ServerException) {
 	type callRes struct {
 		inst string
 		resp *transport.QueryResponse
@@ -601,7 +642,7 @@ func (b *Broker) hedgedCall(ctx context.Context, rs *routingState, resource, pql
 	launch := func(inst string) {
 		tried[inst] = true
 		go func() {
-			resp, err := b.callServer(ctx, resource, pqlText, tenant, inst, segs)
+			resp, err := b.callServer(ctx, qc, resource, pqlText, tenant, inst, segs)
 			ch <- callRes{inst, resp, err}
 		}()
 	}
@@ -621,6 +662,17 @@ func (b *Broker) hedgedCall(ctx context.Context, rs *routingState, resource, pql
 	var excs []ServerException
 	for outstanding > 0 {
 		select {
+		case <-ctx.Done():
+			// The query deadline passed while calls are still in flight.
+			// A well-behaved server unwinds on cancellation, but this
+			// gather goroutine must not bet its life on that: abandon
+			// the stragglers (the channel is buffered, so their late
+			// sends cannot block) and report the group failed.
+			excs = append(excs, ServerException{
+				Server: instance,
+				Error:  fmt.Sprintf("abandoned after query deadline: %v", ctx.Err()),
+			})
+			return nil, excs
 		case <-hedgeC:
 			hedgeC = nil
 			if h, ok := hedgeTarget(rs, segs, tried); ok {
@@ -644,8 +696,10 @@ func (b *Broker) hedgedCall(ctx context.Context, rs *routingState, resource, pql
 	return nil, excs
 }
 
-// callServer issues one request to one server under the per-server deadline.
-func (b *Broker) callServer(ctx context.Context, resource, pqlText, tenant, instance string, segs []string) (*transport.QueryResponse, error) {
+// callServer issues one request to one server under the per-server deadline,
+// carrying the query's identity and the deadline budget still unspent at
+// send time (parse, routing and any earlier attempts already charged).
+func (b *Broker) callServer(ctx context.Context, qc *qctx.QueryContext, resource, pqlText, tenant, instance string, segs []string) (*transport.QueryResponse, error) {
 	client, ok := b.registry.ServerClient(instance)
 	if !ok {
 		return nil, fmt.Errorf("no client for %s", instance)
@@ -656,11 +710,22 @@ func (b *Broker) callServer(ctx context.Context, resource, pqlText, tenant, inst
 		cctx, cancel = context.WithTimeout(ctx, b.cfg.PerServerTimeout)
 		defer cancel()
 	}
+	var budgetMillis int64
+	if left, ok := qc.Remaining(); ok {
+		// Round up so a sub-millisecond remainder is not mistaken for
+		// "unset" on the wire.
+		budgetMillis = int64((left + time.Millisecond - 1) / time.Millisecond)
+		if budgetMillis < 1 {
+			budgetMillis = 1
+		}
+	}
 	return client.Execute(cctx, &transport.QueryRequest{
-		Resource: resource,
-		PQL:      pqlText,
-		Segments: segs,
-		Tenant:   tenant,
+		Resource:     resource,
+		PQL:          pqlText,
+		Segments:     segs,
+		Tenant:       tenant,
+		QueryID:      qc.ID(),
+		BudgetMillis: budgetMillis,
 	})
 }
 

@@ -44,6 +44,12 @@ type Fault struct {
 	// Hang blocks calls until their context is cancelled, then returns the
 	// context error — the "server stops answering mid-query" mode.
 	Hang bool
+	// StallFor blocks calls for the full duration, IGNORING context
+	// cancellation, then fails — the "straggler that never learned to
+	// cooperate" mode. Unlike Hang, the goroutine stays occupied past the
+	// query deadline, which is exactly what a broker must tolerate without
+	// leaking its own gather goroutines.
+	StallFor time.Duration
 	// Corrupt lets the call through but mangles the response payload so
 	// it no longer matches the query shape, modelling wire corruption.
 	Corrupt bool
@@ -138,6 +144,7 @@ type action struct {
 	delay   time.Duration
 	fail    bool
 	hang    bool
+	stall   time.Duration
 	corrupt bool
 	err     error
 }
@@ -158,6 +165,8 @@ func (r *Registry) decide(instance string) action {
 	switch {
 	case f.Hang:
 		a.hang = true
+	case f.StallFor > 0:
+		a.stall, a.err = f.StallFor, f.err()
 	case f.FailAll:
 		a.fail, a.err = true, f.err()
 	case f.FailFirst > 0 && st.calls <= f.FailFirst:
@@ -167,7 +176,7 @@ func (r *Registry) decide(instance string) action {
 	case f.Corrupt:
 		a.corrupt = true
 	}
-	if a.fail || a.hang || a.corrupt {
+	if a.fail || a.hang || a.stall > 0 || a.corrupt {
 		st.injected++
 	}
 	return a
@@ -196,6 +205,11 @@ func (c *client) Execute(ctx context.Context, req *transport.QueryRequest) (*tra
 	case a.hang:
 		<-ctx.Done()
 		return nil, ctx.Err()
+	case a.stall > 0:
+		// Deliberately NOT selecting on ctx.Done(): the point is to model a
+		// server that keeps grinding past cancellation.
+		time.Sleep(a.stall)
+		return nil, a.err
 	case a.fail:
 		return nil, a.err
 	}

@@ -109,6 +109,28 @@ func TestHangUntilCancel(t *testing.T) {
 	}
 }
 
+func TestStallForIgnoresCancellation(t *testing.T) {
+	f := &fakeServer{}
+	r := registryWith(f)
+	r.SetFault("server1", Fault{StallFor: 60 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: a cooperative fault would return instantly
+	start := time.Now()
+	_, err := exec(t, r, ctx)
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("stall returned after %v, want >= 60ms despite cancelled ctx", elapsed)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if f.calls != 0 {
+		t.Fatal("stalled call reached the server")
+	}
+	if got := r.Injected("server1"); got != 1 {
+		t.Fatalf("injected = %d", got)
+	}
+}
+
 func TestCorruptRejectedByValidation(t *testing.T) {
 	f := &fakeServer{}
 	r := registryWith(f)

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pinot/internal/chaos"
+	"pinot/internal/qctx"
+	"pinot/internal/transport"
+)
+
+// TestServerEnforcesMinimumTimeout is the regression test for the server-side
+// deadline rule: execution is bounded by the MINIMUM of the server's
+// DefaultTimeout, the request's TimeoutMillis and the broker's wire budget —
+// a large request timeout must never extend past the server default, and a
+// small one must tighten it.
+func TestServerEnforcesMinimumTimeout(t *testing.T) {
+	run := func(t *testing.T, c *Cluster, req *transport.QueryRequest, wantWithin time.Duration) {
+		t.Helper()
+		s := c.Servers[0]
+		s.InjectLatency(2 * time.Second) // a straggler far beyond every timeout
+		defer s.InjectLatency(0)
+		start := time.Now()
+		_, err := s.Execute(context.Background(), req)
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want deadline exceeded", err)
+		}
+		if elapsed > wantWithin {
+			t.Fatalf("server held the query for %v, want under %v", elapsed, wantWithin)
+		}
+	}
+
+	t.Run("request tightens default", func(t *testing.T) {
+		c, err := NewLocal(Options{Servers: 1, BrokerTemplate: chaosBrokerConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		loadOffline(t, c, 1)
+		// Server default is 10s; the request says 50ms; the request wins.
+		run(t, c, &transport.QueryRequest{
+			Resource: "events_OFFLINE", PQL: "SELECT count(*) FROM events", TimeoutMillis: 50,
+		}, time.Second)
+		// The broker's wire budget tightens the same way.
+		run(t, c, &transport.QueryRequest{
+			Resource: "events_OFFLINE", PQL: "SELECT count(*) FROM events", BudgetMillis: 50,
+		}, time.Second)
+	})
+
+	t.Run("default caps an oversized request", func(t *testing.T) {
+		tmpl := Options{Servers: 1, BrokerTemplate: chaosBrokerConfig()}
+		tmpl.ServerTemplate.DefaultTimeout = 75 * time.Millisecond
+		c, err := NewLocal(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		loadOffline(t, c, 1)
+		// The request asks for 30s; the 75ms server default still applies.
+		run(t, c, &transport.QueryRequest{
+			Resource: "events_OFFLINE", PQL: "SELECT count(*) FROM events", TimeoutMillis: 30_000,
+		}, time.Second)
+	})
+}
+
+// TestChaosStragglerAbandonedAtDeadline models the worst-behaved server: one
+// that keeps grinding while IGNORING cancellation. The broker must still
+// answer within its query timeout (abandoning the in-flight call, not joining
+// it) and its gather goroutines must drain back to baseline once the
+// straggler finally gives up — no goroutines held hostage past the deadline.
+func TestChaosStragglerAbandonedAtDeadline(t *testing.T) {
+	const stall = 1 * time.Second
+	cfg := chaosBrokerConfig()
+	cfg.QueryTimeout = 150 * time.Millisecond
+	c, err := NewLocal(Options{Servers: 2, BrokerTemplate: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	loadOffline(t, c, 2)
+
+	// Warm up: the first query lazily creates per-server table managers and
+	// their long-lived config-watch goroutines, which must be part of the
+	// baseline.
+	if _, err := c.Execute(context.Background(), "SELECT count(*) FROM events"); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	// Every replica stalls, so no retry or hedge can save the query: the only
+	// correct outcome is a timely partial response.
+	c.Chaos.SetFault("server1", chaos.Fault{StallFor: stall})
+	c.Chaos.SetFault("server2", chaos.Fault{StallFor: stall})
+
+	start := time.Now()
+	res, err := c.Execute(context.Background(), "SELECT count(*), sum(clicks) FROM events")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("straggler must degrade the query, not fail it: %v", err)
+	}
+	if elapsed >= stall {
+		t.Fatalf("broker waited %v — it joined the straggler instead of abandoning at the %v deadline", elapsed, cfg.QueryTimeout)
+	}
+	if !res.Partial || res.ServersResponded != 0 {
+		t.Fatalf("want empty partial result, got partial=%v responded=%d", res.Partial, res.ServersResponded)
+	}
+	abandoned := false
+	for _, e := range res.ServerExceptions {
+		if strings.Contains(e.Error, "abandoned after query deadline") {
+			abandoned = true
+		}
+	}
+	if !abandoned {
+		t.Fatalf("no abandonment recorded in server exceptions: %+v", res.ServerExceptions)
+	}
+	c.Chaos.Clear("server1")
+	c.Chaos.Clear("server2")
+
+	// Once the stragglers' sleeps expire their goroutines must exit: the
+	// buffered result channels absorb the late sends.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never drained: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterQueryTraceBudgetLedger asserts the client-visible lifecycle
+// surface on the full distributed path: every response carries a query ID,
+// a per-phase trace whose wall-clock ledger sums to no more than the measured
+// elapsed time (queue/execute nest inside scatter and are excluded by
+// WallSum), and per-query scan/memory accounting.
+func TestClusterQueryTraceBudgetLedger(t *testing.T) {
+	opts := Options{Servers: 2, BrokerTemplate: chaosBrokerConfig()}
+	// Tenancy on, so the queue phase is exercised end to end.
+	opts.ServerTemplate.TenantTokens = 100
+	opts.ServerTemplate.TenantRefill = 100
+	c, err := NewLocal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	loadOffline(t, c, 2)
+
+	start := time.Now()
+	res, err := c.Execute(context.Background(), "SELECT count(*), sum(clicks) FROM events WHERE country != 'zz'")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFullCount(t, res)
+	if res.QueryID == "" {
+		t.Fatal("missing query ID")
+	}
+	for _, p := range []qctx.Phase{
+		qctx.PhaseParse, qctx.PhaseRoute, qctx.PhaseScatter,
+		qctx.PhaseQueue, qctx.PhaseExecute, qctx.PhaseMerge, qctx.PhaseReduce,
+	} {
+		if _, ok := res.Trace[p]; !ok {
+			t.Fatalf("trace missing phase %q: %v", p, res.Trace)
+		}
+	}
+	if sum := res.Trace.WallSum(); sum > elapsed {
+		t.Fatalf("trace ledger %v exceeds wall clock %v (trace %v)", sum, elapsed, res.Trace)
+	}
+	if res.Stats.NumDocsScanned != 400 || res.Stats.NumEntriesScanned == 0 {
+		t.Fatalf("scan accounting wrong: %+v", res.Stats)
+	}
+
+	// Group-by memory accounting crosses the wire too.
+	gres, err := c.Execute(context.Background(), "SELECT sum(clicks) FROM events GROUP BY country TOP 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Stats.GroupStateBytes == 0 {
+		t.Fatalf("group-by response missing state accounting: %+v", gres.Stats)
+	}
+	if gres.QueryID == res.QueryID {
+		t.Fatal("query IDs must be per-query")
+	}
+}

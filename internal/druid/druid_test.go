@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"pinot/internal/qctx"
 	"pinot/internal/query"
 	"pinot/internal/segment"
 )
@@ -71,6 +72,29 @@ func TestDruidEngineAnswersMatchPinot(t *testing.T) {
 		if dres.Stats.MetadataOnlySegments != 0 || dres.Stats.StarTreeSegments != 0 {
 			t.Fatalf("%s: druid used pinot-only plans: %+v", q, dres.Stats)
 		}
+	}
+}
+
+// TestDruidResponseCarriesLifecycleFields: the baseline engine goes through
+// the same query lifecycle as Pinot, so its responses carry a query ID, a
+// phase trace and scan accounting too — apples-to-apples observability.
+func TestDruidResponseCarriesLifecycleFields(t *testing.T) {
+	sch, segs := buildSegments(t)
+	eng := NewEngine(sch, segs)
+	res, err := eng.Execute(context.Background(), "SELECT sum(clicks) FROM ev WHERE country = 'us'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryID == "" {
+		t.Fatal("missing query ID")
+	}
+	for _, p := range []qctx.Phase{qctx.PhaseParse, qctx.PhaseExecute, qctx.PhaseReduce} {
+		if _, ok := res.Trace[p]; !ok {
+			t.Fatalf("trace missing phase %q: %v", p, res.Trace)
+		}
+	}
+	if res.Stats.NumDocsScanned == 0 {
+		t.Fatalf("scan accounting missing: %+v", res.Stats)
 	}
 }
 

@@ -34,12 +34,16 @@ type ServerException struct {
 
 // QueryResponse is the broker's JSON reply.
 type QueryResponse struct {
-	Columns          []string          `json:"columns"`
-	Rows             [][]any           `json:"rows"`
-	Stats            query.Stats       `json:"stats"`
-	Partial          bool              `json:"partial,omitempty"`
-	Exceptions       []string          `json:"exceptions,omitempty"`
-	TimeMillis       int64             `json:"timeMillis"`
+	QueryID    string      `json:"queryId,omitempty"`
+	Columns    []string    `json:"columns"`
+	Rows       [][]any     `json:"rows"`
+	Stats      query.Stats `json:"stats"`
+	Partial    bool        `json:"partial,omitempty"`
+	Exceptions []string    `json:"exceptions,omitempty"`
+	TimeMillis int64       `json:"timeMillis"`
+	// TraceMillis is the per-phase wall-clock ledger (parse, route, queue,
+	// scatter, execute, merge, reduce) in milliseconds.
+	TraceMillis      map[string]int64  `json:"traceMillis,omitempty"`
 	ServersQueried   int               `json:"serversQueried"`
 	ServersResponded int               `json:"serversResponded"`
 	ServerExceptions []ServerException `json:"serverExceptions,omitempty"`
@@ -79,6 +83,7 @@ func NewBrokerHandler(b *broker.Broker) http.Handler {
 			return
 		}
 		out := QueryResponse{
+			QueryID:          res.QueryID,
 			Columns:          res.Columns,
 			Rows:             res.Rows,
 			Stats:            res.Stats,
@@ -87,6 +92,12 @@ func NewBrokerHandler(b *broker.Broker) http.Handler {
 			TimeMillis:       res.TimeMillis,
 			ServersQueried:   res.ServersQueried,
 			ServersResponded: res.ServersResponded,
+		}
+		if len(res.Trace) > 0 {
+			out.TraceMillis = make(map[string]int64, len(res.Trace))
+			for p, d := range res.Trace {
+				out.TraceMillis[string(p)] = d.Milliseconds()
+			}
 		}
 		for _, e := range res.ServerExceptions {
 			out.ServerExceptions = append(out.ServerExceptions, ServerException(e))

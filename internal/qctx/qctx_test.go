@@ -1,0 +1,139 @@
+package qctx
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetDecrements(t *testing.T) {
+	qc := New("", 50*time.Millisecond)
+	left, ok := qc.Remaining()
+	if !ok {
+		t.Fatal("budget should be limited")
+	}
+	if left <= 0 || left > 50*time.Millisecond {
+		t.Fatalf("remaining = %v, want (0, 50ms]", left)
+	}
+	time.Sleep(60 * time.Millisecond)
+	left, _ = qc.Remaining()
+	if left != 0 {
+		t.Fatalf("exhausted budget remaining = %v, want 0", left)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	qc := New("", 0)
+	if _, ok := qc.Remaining(); ok {
+		t.Fatal("zero budget should report unlimited")
+	}
+}
+
+func TestTraceChargeAndSnapshot(t *testing.T) {
+	qc := New("q-1", 0)
+	qc.Charge(PhaseParse, time.Millisecond)
+	qc.Charge(PhaseParse, time.Millisecond)
+	qc.Charge(PhaseScatter, 3*time.Millisecond)
+	tr := qc.TraceSnapshot()
+	if tr[PhaseParse] != 2*time.Millisecond {
+		t.Fatalf("parse = %v", tr[PhaseParse])
+	}
+	// The snapshot is a copy: later charges must not leak in.
+	qc.Charge(PhaseMerge, time.Second)
+	if _, ok := tr[PhaseMerge]; ok {
+		t.Fatal("snapshot aliased the live ledger")
+	}
+}
+
+func TestWallSumExcludesNestedPhasesWhenDistributed(t *testing.T) {
+	distributed := Trace{
+		PhaseParse:   1 * time.Millisecond,
+		PhaseScatter: 10 * time.Millisecond,
+		PhaseQueue:   4 * time.Millisecond,
+		PhaseExecute: 9 * time.Millisecond,
+		PhaseReduce:  2 * time.Millisecond,
+	}
+	if got := distributed.WallSum(); got != 13*time.Millisecond {
+		t.Fatalf("distributed WallSum = %v, want 13ms", got)
+	}
+	single := Trace{
+		PhaseParse:   1 * time.Millisecond,
+		PhaseExecute: 9 * time.Millisecond,
+		PhaseReduce:  2 * time.Millisecond,
+	}
+	if got := single.WallSum(); got != 12*time.Millisecond {
+		t.Fatalf("single-node WallSum = %v, want 12ms", got)
+	}
+}
+
+func TestObserveServerFoldsMax(t *testing.T) {
+	qc := New("", 0)
+	qc.ObserveServer(Trace{PhaseExecute: 5 * time.Millisecond, PhaseQueue: time.Millisecond})
+	qc.ObserveServer(Trace{PhaseExecute: 3 * time.Millisecond, PhaseQueue: 2 * time.Millisecond})
+	tr := qc.TraceSnapshot()
+	if tr[PhaseExecute] != 5*time.Millisecond || tr[PhaseQueue] != 2*time.Millisecond {
+		t.Fatalf("folded trace = %v", tr)
+	}
+}
+
+func TestGroupStateCapLatches(t *testing.T) {
+	qc := New("", 0)
+	qc.SetGroupStateLimit(100)
+	qc.SetGroupStateLimit(1) // second limit must not override the first
+	if got := qc.GroupStateLimit(); got != 100 {
+		t.Fatalf("limit = %d, want 100", got)
+	}
+	qc.ChargeGroupState(60)
+	if qc.GroupStateExceeded() {
+		t.Fatal("cap tripped below the limit")
+	}
+	qc.ChargeGroupState(60)
+	if !qc.GroupStateExceeded() {
+		t.Fatal("cap did not trip past the limit")
+	}
+	if got := qc.GroupStateBytes(); got != 120 {
+		t.Fatalf("charged bytes = %d, want 120 (the tripping charge still counts)", got)
+	}
+}
+
+func TestAccountingConcurrent(t *testing.T) {
+	qc := New("", 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				qc.AddScan(1, 2)
+				qc.ChargeGroupState(3)
+				qc.Charge(PhaseExecute, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	u := qc.UsageSnapshot()
+	if u.DocsScanned != 8000 || u.EntriesScanned != 16000 || u.GroupStateBytes != 24000 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if qc.TraceSnapshot()[PhaseExecute] != 8000*time.Nanosecond {
+		t.Fatalf("trace = %v", qc.TraceSnapshot())
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context should carry no query context")
+	}
+	qc := New("q-abc", 0)
+	ctx := With(context.Background(), qc)
+	if From(ctx) != qc {
+		t.Fatal("round trip lost the query context")
+	}
+	if qc.ID() != "q-abc" {
+		t.Fatalf("id = %q", qc.ID())
+	}
+	if New("", 0).ID() == "" {
+		t.Fatal("empty id should be generated")
+	}
+}

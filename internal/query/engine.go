@@ -2,11 +2,15 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"pinot/internal/pql"
+	"pinot/internal/qctx"
 	"pinot/internal/segment"
 )
 
@@ -25,11 +29,20 @@ type Engine struct {
 // Execute runs a parsed query over the given segments and returns the merged
 // (but not finalized) partial result. A context cancellation or deadline
 // produces a best-effort partial result with an exception note, matching the
-// paper's partial-result semantics (3.3.3 step 7).
+// paper's partial-result semantics (3.3.3 step 7): undispatched segments are
+// skipped, and in-flight segments stop cooperatively at the next block
+// boundary — both count (and the cancelled ones are named) in the timeout
+// exception.
 func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schema) (*Intermediate, []string, error) {
 	if len(segs) == 0 {
 		return emptyResult(q), nil, nil
 	}
+	qc := qctx.From(ctx)
+	if qc == nil {
+		qc = qctx.New("", 0)
+		ctx = qctx.With(ctx, qc)
+	}
+	qc.SetGroupStateLimit(e.Options.GroupStateLimitBytes)
 	par := e.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -50,7 +63,7 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := ExecuteSegment(segs[i], q, tableSchema, e.Options)
+				res, err := ExecuteSegment(ctx, segs[i], q, tableSchema, e.Options)
 				results[i] = outcome{res, err}
 			}
 		}()
@@ -68,33 +81,60 @@ dispatch:
 	close(work)
 	wg.Wait()
 
-	var exceptions []string
-	if skipped > 0 {
-		exceptions = append(exceptions, fmt.Sprintf("timeout: %d of %d segments not processed", skipped, len(segs)))
-	}
+	var errExcs []string
+	var cancelled []string
+	groupLimited := false
 	var merged *Intermediate
 	var firstErr error
 	succeeded := 0
-	for _, o := range results {
+	for i, o := range results {
 		if o.res == nil && o.err == nil {
-			continue // skipped by timeout
+			continue // undispatched: the deadline hit before this segment started
 		}
-		if o.err != nil {
+		var ce *cancelledError
+		if errors.As(o.err, &ce) {
+			// Dispatched but stopped mid-scan at a block boundary: no
+			// usable partial from this segment, and it must be counted
+			// as not processed (the pre-cancellation engine reported
+			// these as processed).
+			cancelled = append(cancelled, segs[i].Seg.Name())
+			continue
+		}
+		if errors.Is(o.err, ErrGroupStateLimit) {
+			// The segment stopped at the group-state cap but its groups
+			// so far are valid: merge them and degrade.
+			groupLimited = true
+		} else if o.err != nil {
 			if firstErr == nil {
 				firstErr = o.err
 			}
-			exceptions = append(exceptions, o.err.Error())
+			errExcs = append(errExcs, o.err.Error())
 			continue
 		}
 		succeeded++
+		qc.AddScan(o.res.Stats.NumDocsScanned, o.res.Stats.NumEntriesScanned)
 		if merged == nil {
 			merged = o.res
 			continue
 		}
 		if err := merged.Merge(o.res); err != nil {
-			return nil, exceptions, err
+			return nil, errExcs, err
 		}
 	}
+	var exceptions []string
+	if n := skipped + len(cancelled); n > 0 {
+		msg := fmt.Sprintf("timeout: %d of %d segments not processed", n, len(segs))
+		if len(cancelled) > 0 {
+			msg += fmt.Sprintf(" (%d undispatched, %d cancelled mid-scan: %s)",
+				skipped, len(cancelled), strings.Join(cancelled, ", "))
+		}
+		exceptions = append(exceptions, msg)
+	}
+	if groupLimited {
+		exceptions = append(exceptions, fmt.Sprintf(
+			"resource limit: group-by state exceeded %d bytes, result truncated", qc.GroupStateLimit()))
+	}
+	exceptions = append(exceptions, errExcs...)
 	if succeeded == 0 && firstErr != nil {
 		// Every attempted segment failed outright (bad column, bad
 		// aggregation, ...): that is a query error, not degradation.
@@ -136,20 +176,41 @@ func emptyResult(q *pql.Query) *Intermediate {
 }
 
 // Run parses and executes PQL text against segments, finalizing the result.
-// It is the single-node convenience entry point used by the examples and
-// tests; the distributed path goes through broker and server packages.
+// It is the single-node entry point used by the examples, tests and the
+// Druid baseline; the distributed path goes through broker and server
+// packages. Run mints a QueryContext when the caller did not provide one
+// (budgeted from the context deadline, if any), so every result — including
+// the Druid baseline's — carries a query ID, a phase trace and resource
+// accounting.
 func Run(ctx context.Context, pqlText string, segs []IndexedSegment, tableSchema *segment.Schema, opt Options) (*Result, error) {
+	qc := qctx.From(ctx)
+	if qc == nil {
+		var budget time.Duration
+		if dl, ok := ctx.Deadline(); ok {
+			budget = time.Until(dl)
+		}
+		qc = qctx.New("", budget)
+		ctx = qctx.With(ctx, qc)
+	}
+	stop := qc.Clock(qctx.PhaseParse)
 	q, err := pql.Parse(pqlText)
+	stop()
 	if err != nil {
 		return nil, err
 	}
 	eng := &Engine{Options: opt}
+	stop = qc.Clock(qctx.PhaseExecute)
 	merged, exceptions, err := eng.Execute(ctx, q, segs, tableSchema)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	stop = qc.Clock(qctx.PhaseReduce)
 	res := merged.Finalize(q)
+	stop()
 	res.Exceptions = exceptions
 	res.Partial = len(exceptions) > 0
+	res.QueryID = qc.ID()
+	res.Trace = qc.TraceSnapshot()
 	return res, nil
 }

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"pinot/internal/pql"
@@ -17,8 +19,14 @@ type IndexedSegment struct {
 
 // ExecuteSegment runs a query against one segment, generating the logical
 // and physical plan for this segment's specific indexes (paper 3.3.4: "query
-// plans are generated on a per-segment basis").
-func ExecuteSegment(is IndexedSegment, q *pql.Query, tableSchema *segment.Schema, opt Options) (*Intermediate, error) {
+// plans are generated on a per-segment basis"). The context is checked at
+// block boundaries, so a cancelled query stops within ~blockSize matched
+// docs of ctx.Done().
+func ExecuteSegment(ctx context.Context, is IndexedSegment, q *pql.Query, tableSchema *segment.Schema, opt Options) (*Intermediate, error) {
+	env := newExecEnv(ctx, is.Seg.Name())
+	if err := env.checkpoint(); err != nil {
+		return nil, err
+	}
 	cs := columnSource{seg: is.Seg, schema: tableSchema}
 	if q.IsAggregation() {
 		inputs, err := newAggInputs(cs, q.Select)
@@ -30,18 +38,18 @@ func ExecuteSegment(is IndexedSegment, q *pql.Query, tableSchema *segment.Schema
 			exprs[i] = in.expr
 		}
 		if q.HasGroupBy() {
-			return executeGroupBy(cs, is, q, inputs, exprs, opt)
+			return executeGroupBy(env, cs, is, q, inputs, exprs, opt)
 		}
-		return executeAggregation(cs, is, q, inputs, exprs, opt)
+		return executeAggregation(env, cs, is, q, inputs, exprs, opt)
 	}
-	return executeSelection(cs, is, q, opt)
+	return executeSelection(env, cs, is, q, opt)
 }
 
 func baseStats(seg segment.Reader) Stats {
 	return Stats{NumSegmentsQueried: 1, TotalDocs: int64(seg.NumDocs())}
 }
 
-func executeAggregation(cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, exprs []pql.Expression, opt Options) (*Intermediate, error) {
+func executeAggregation(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, exprs []pql.Expression, opt Options) (*Intermediate, error) {
 	out := NewAggIntermediate(exprs)
 	out.Stats = baseStats(is.Seg)
 
@@ -86,13 +94,22 @@ func executeAggregation(cs columnSource, is IndexedSegment, q *pql.Query, inputs
 	if opt.DisableVectorization {
 		it := set.iterator()
 		for doc := it.Next(); doc >= 0; doc = it.Next() {
+			if docs%blockSize == 0 {
+				if err := env.checkpoint(); err != nil {
+					return nil, err
+				}
+			}
 			docs++
 			for i, in := range inputs {
 				in.accumulate(out.Aggs[i], doc)
 			}
 		}
 	} else {
-		docs = runAggBlocks(set, inputs, out.Aggs)
+		var err error
+		docs, err = runAggBlocks(env, set, inputs, out.Aggs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out.Stats.NumDocsScanned = docs
 	out.Stats.NumEntriesScanned += docs * int64(len(inputs))
@@ -102,7 +119,7 @@ func executeAggregation(cs columnSource, is IndexedSegment, q *pql.Query, inputs
 	return out, nil
 }
 
-func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, exprs []pql.Expression, opt Options) (*Intermediate, error) {
+func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Query, inputs []aggInput, exprs []pql.Expression, opt Options) (*Intermediate, error) {
 	out := &Intermediate{Kind: KindGroupBy, AggExprs: exprs, GroupCols: q.GroupBy, Groups: map[string]*GroupEntry{}}
 	out.Stats = baseStats(is.Seg)
 
@@ -121,6 +138,7 @@ func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []a
 		groupCols[i] = col
 	}
 
+	charger := &groupCharger{qc: env.qc, nAggs: len(exprs)}
 	entryFor := func(values []any) *GroupEntry {
 		key := GroupKey(values)
 		g, ok := out.Groups[key]
@@ -131,6 +149,7 @@ func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []a
 			}
 			g = &GroupEntry{Values: append([]any(nil), values...), Aggs: aggs}
 			out.Groups[key] = g
+			charger.charge(key, len(values))
 		}
 		return g
 	}
@@ -158,6 +177,7 @@ func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []a
 		out.Stats.StarTreeSegments = 1
 		out.Stats.StarTreeRecordsScanned = int64(scanned)
 		out.Stats.StarTreeRawDocs = int64(plan.tree.NumRawDocs())
+		out.Stats.GroupStateBytes = charger.bytes
 		return out, nil
 	}
 
@@ -165,11 +185,23 @@ func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []a
 	if err != nil {
 		return nil, err
 	}
+	// On a tripped group-state cap the segment's partial groups are still
+	// merged — the query degrades instead of growing unbounded state.
+	var limitErr error
 	var docs int64
 	if opt.DisableVectorization {
 		it := set.iterator()
 		values := make([]any, len(groupCols))
 		for doc := it.Next(); doc >= 0; doc = it.Next() {
+			if docs%blockSize == 0 {
+				if err := env.checkpoint(); err != nil {
+					return nil, err
+				}
+				if env.groupLimitTripped() {
+					limitErr = ErrGroupStateLimit
+					break
+				}
+			}
 			docs++
 			for i, col := range groupCols {
 				values[i] = col.Value(col.DictID(doc))
@@ -180,17 +212,25 @@ func executeGroupBy(cs columnSource, is IndexedSegment, q *pql.Query, inputs []a
 			}
 		}
 	} else {
-		out.Groups, docs = runGroupByBlocks(set, inputs, groupCols, exprs)
+		var err error
+		out.Groups, docs, err = runGroupByBlocks(env, set, inputs, groupCols, exprs, charger)
+		switch {
+		case errors.Is(err, ErrGroupStateLimit):
+			limitErr = err
+		case err != nil:
+			return nil, err
+		}
 	}
 	out.Stats.NumDocsScanned = docs
 	out.Stats.NumEntriesScanned += docs * int64(len(inputs)+len(groupCols))
 	if docs > 0 {
 		out.Stats.NumSegmentsMatched = 1
 	}
-	return out, nil
+	out.Stats.GroupStateBytes = charger.bytes
+	return out, limitErr
 }
 
-func executeSelection(cs columnSource, is IndexedSegment, q *pql.Query, opt Options) (*Intermediate, error) {
+func executeSelection(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Query, opt Options) (*Intermediate, error) {
 	// Expand '*' to the schema's column order.
 	var cols []string
 	if len(q.Select) == 1 && q.Select[0].Column == "*" {
@@ -245,7 +285,11 @@ func executeSelection(cs columnSource, is IndexedSegment, q *pql.Query, opt Opti
 	needAll := len(q.OrderBy) > 0
 	var docs int64
 	if !opt.DisableVectorization {
-		docs = runSelectionBlocks(out, q, set, readers, keep, needAll)
+		var err error
+		docs, err = runSelectionBlocks(env, out, q, set, readers, keep, needAll)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		it := set.iterator()
 		var buf []int
@@ -268,6 +312,11 @@ func executeSelection(cs columnSource, is IndexedSegment, q *pql.Query, opt Opti
 			}
 		}
 		for doc := it.Next(); doc >= 0; doc = it.Next() {
+			if docs%blockSize == 0 {
+				if err := env.checkpoint(); err != nil {
+					return nil, err
+				}
+			}
 			docs++
 			row := make([]any, len(readers))
 			for i, col := range readers {

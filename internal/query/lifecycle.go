@@ -1,0 +1,91 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pinot/internal/qctx"
+)
+
+// ErrGroupStateLimit marks a segment execution stopped by the per-query
+// group-by state cap. The segment's partial result is still valid and is
+// merged; the engine reports the degradation as an exception instead of
+// letting group state grow without bound.
+var ErrGroupStateLimit = errors.New("query: group-by state limit exceeded")
+
+// cancelledError marks a segment execution stopped mid-scan by a
+// cooperative cancellation checkpoint. The engine names these segments in
+// its timeout exception — they were dispatched but not processed.
+type cancelledError struct {
+	segment string
+	cause   error
+}
+
+func (e *cancelledError) Error() string {
+	return fmt.Sprintf("query: segment %s cancelled mid-scan: %v", e.segment, e.cause)
+}
+
+func (e *cancelledError) Unwrap() error { return e.cause }
+
+// execEnv is the per-segment execution environment: the context checked at
+// cancellation checkpoints and the query-wide resource accounting. Segment
+// operators call checkpoint at block boundaries (~blockSize matched docs),
+// so an in-flight segment stops within one block of ctx.Done().
+type execEnv struct {
+	ctx context.Context
+	qc  *qctx.QueryContext
+	seg string
+}
+
+func newExecEnv(ctx context.Context, seg string) *execEnv {
+	qc := qctx.From(ctx)
+	if qc == nil {
+		qc = qctx.New("", 0)
+	}
+	return &execEnv{ctx: ctx, qc: qc, seg: seg}
+}
+
+// checkpoint returns a cancellation error when the query's context has
+// ended. Both execution modes call it on the same block cadence, so the
+// scan stops after identical work in vectorized and scalar execution.
+func (e *execEnv) checkpoint() error {
+	if err := e.ctx.Err(); err != nil {
+		return &cancelledError{segment: e.seg, cause: err}
+	}
+	return nil
+}
+
+// groupLimitTripped reports whether the query-wide group-by state cap has
+// latched; polled at the same block boundaries as checkpoint.
+func (e *execEnv) groupLimitTripped() bool { return e.qc.GroupStateExceeded() }
+
+// Per-entry size estimate constants for group-by state: the GroupEntry
+// struct with its values slice, plus one AggState per aggregation. The
+// estimate is deterministic — a function of key length and arity only — so
+// vectorized and scalar execution charge identical byte counts.
+const (
+	groupEntryBaseBytes = 64
+	groupValueBytes     = 48
+	groupAggStateBytes  = 112
+)
+
+func groupEntryBytes(keyLen, nValues, nAggs int) int64 {
+	return int64(groupEntryBaseBytes + keyLen + groupValueBytes*nValues + groupAggStateBytes*nAggs)
+}
+
+// groupCharger accounts the group-by state a segment executor allocates:
+// locally for the segment's Stats and against the query-wide cap in the
+// QueryContext. One charger serves one segment executor (single goroutine);
+// the QueryContext aggregates across segments.
+type groupCharger struct {
+	qc    *qctx.QueryContext
+	nAggs int
+	bytes int64
+}
+
+func (g *groupCharger) charge(key string, nValues int) {
+	n := groupEntryBytes(len(key), nValues, g.nAggs)
+	g.bytes += n
+	g.qc.ChargeGroupState(n)
+}

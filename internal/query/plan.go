@@ -32,6 +32,11 @@ type Options struct {
 	// AND/OR collapse. Results and Stats are identical in both modes; the
 	// flag exists for differential testing and A/B benchmarks.
 	DisableVectorization bool
+	// GroupStateLimitBytes caps the estimated group-by state of one query
+	// across all its segments on this node. Past the cap the query
+	// degrades to a partial result with an exception instead of growing
+	// unbounded state (OOM protection). Zero means uncapped.
+	GroupStateLimitBytes int64
 }
 
 func (o Options) scanCutoff() float64 {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"pinot/internal/pql"
+	"pinot/internal/qctx"
 	"pinot/internal/segment"
 )
 
@@ -21,6 +22,11 @@ type Stats struct {
 	StarTreeRecordsScanned int64
 	StarTreeRawDocs        int64
 	MetadataOnlySegments   int
+	// GroupStateBytes is the estimated group-by state allocated for the
+	// query (deterministic per-entry estimate, identical in vectorized
+	// and scalar modes); the per-query cap in Options.GroupStateLimitBytes
+	// is enforced against the qctx aggregate of this counter.
+	GroupStateBytes int64
 }
 
 // Merge folds another stats block into s.
@@ -34,6 +40,7 @@ func (s *Stats) Merge(o Stats) {
 	s.StarTreeRecordsScanned += o.StarTreeRecordsScanned
 	s.StarTreeRawDocs += o.StarTreeRawDocs
 	s.MetadataOnlySegments += o.MetadataOnlySegments
+	s.GroupStateBytes += o.GroupStateBytes
 }
 
 // ResultKind distinguishes the three response shapes.
@@ -179,6 +186,11 @@ type Result struct {
 	Exceptions []string
 	// TimeMillis is filled by brokers with end-to-end latency.
 	TimeMillis int64
+	// QueryID correlates this response with server-side logs and traces.
+	QueryID string
+	// Trace is the per-phase time ledger accumulated in the QueryContext
+	// across the layers the query crossed.
+	Trace qctx.Trace
 }
 
 // Finalize converts a merged intermediate into the client-visible result.

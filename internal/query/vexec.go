@@ -247,8 +247,10 @@ func accumNumericBlock(s *AggState, vs []float64) {
 	s.Seen = true
 }
 
-// runAggBlocks is the vectorized no-group-by aggregation loop.
-func runAggBlocks(set docIDSet, inputs []aggInput, aggs []*AggState) int64 {
+// runAggBlocks is the vectorized no-group-by aggregation loop. The
+// cancellation checkpoint runs once per block, matching the scalar path's
+// every-blockSize-docs cadence.
+func runAggBlocks(env *execEnv, set docIDSet, inputs []aggInput, aggs []*AggState) (int64, error) {
 	est := set.estimate()
 	kernels := make([]*aggKernel, len(inputs))
 	for i, in := range inputs {
@@ -258,6 +260,9 @@ func runAggBlocks(set docIDSet, inputs []aggInput, aggs []*AggState) int64 {
 	buf := make([]int, blockSize)
 	var docs int64
 	for {
+		if err := env.checkpoint(); err != nil {
+			return docs, err
+		}
 		n := it.nextBlock(buf)
 		if n == 0 {
 			break
@@ -268,7 +273,7 @@ func runAggBlocks(set docIDSet, inputs []aggInput, aggs []*AggState) int64 {
 			k.accumulateBlock(aggs[i], n)
 		}
 	}
-	return docs
+	return docs, nil
 }
 
 // ---- group-by fast paths ----
@@ -299,9 +304,10 @@ func bitsNeeded(card int) int {
 
 const denseGroupMaxCard = 1 << 16
 
-func newGrouper(cols []segment.ColumnReader, exprs []pql.Expression) grouper {
+func newGrouper(cols []segment.ColumnReader, exprs []pql.Expression, charger *groupCharger) grouper {
 	if len(cols) == 1 && cols[0].Cardinality() <= denseGroupMaxCard {
-		return &denseGrouper{col: cols[0], exprs: exprs, entries: make([]*GroupEntry, cols[0].Cardinality())}
+		return &denseGrouper{col: cols[0], exprs: exprs, charger: charger,
+			entries: make([]*GroupEntry, cols[0].Cardinality())}
 	}
 	shifts := make([]uint, len(cols))
 	total := 0
@@ -310,10 +316,10 @@ func newGrouper(cols []segment.ColumnReader, exprs []pql.Expression) grouper {
 		total += bitsNeeded(c.Cardinality())
 	}
 	if total <= 64 {
-		return &packedGrouper{cols: cols, shifts: shifts, exprs: exprs,
+		return &packedGrouper{cols: cols, shifts: shifts, exprs: exprs, charger: charger,
 			m: map[uint64]*GroupEntry{}, ids: make([][]uint32, len(cols))}
 	}
-	return &stringGrouper{cols: cols, exprs: exprs, m: map[string]*GroupEntry{},
+	return &stringGrouper{cols: cols, exprs: exprs, charger: charger, m: map[string]*GroupEntry{},
 		ids: make([][]uint32, len(cols)), values: make([]any, len(cols))}
 }
 
@@ -322,6 +328,7 @@ func newGrouper(cols []segment.ColumnReader, exprs []pql.Expression) grouper {
 type denseGrouper struct {
 	col     segment.ColumnReader
 	exprs   []pql.Expression
+	charger *groupCharger
 	entries []*GroupEntry
 	ids     []uint32
 }
@@ -337,6 +344,7 @@ func (g *denseGrouper) groups(docs []int, out []*GroupEntry) {
 		if e == nil {
 			e = newGroupEntry([]any{g.col.Value(int(id))}, g.exprs)
 			g.entries[id] = e
+			g.charger.charge(GroupKey(e.Values), len(e.Values))
 		}
 		out[i] = e
 	}
@@ -355,11 +363,12 @@ func (g *denseGrouper) result() map[string]*GroupEntry {
 // packedGrouper packs per-column dict ids into one uint64 map key when the
 // combined widths fit, replacing per-doc fmt.Sprint string keys.
 type packedGrouper struct {
-	cols   []segment.ColumnReader
-	shifts []uint
-	exprs  []pql.Expression
-	m      map[uint64]*GroupEntry
-	ids    [][]uint32
+	cols    []segment.ColumnReader
+	shifts  []uint
+	exprs   []pql.Expression
+	charger *groupCharger
+	m       map[uint64]*GroupEntry
+	ids     [][]uint32
 }
 
 func (g *packedGrouper) groups(docs []int, out []*GroupEntry) {
@@ -383,6 +392,7 @@ func (g *packedGrouper) groups(docs []int, out []*GroupEntry) {
 			}
 			e = newGroupEntry(values, g.exprs)
 			g.m[key] = e
+			g.charger.charge(GroupKey(values), len(values))
 		}
 		out[i] = e
 	}
@@ -409,11 +419,12 @@ func (g *packedGrouper) result() map[string]*GroupEntry {
 // stringGrouper is the fallback: the scalar path's string keys, but group
 // column dict ids still decode in batches.
 type stringGrouper struct {
-	cols   []segment.ColumnReader
-	exprs  []pql.Expression
-	m      map[string]*GroupEntry
-	ids    [][]uint32
-	values []any
+	cols    []segment.ColumnReader
+	exprs   []pql.Expression
+	charger *groupCharger
+	m       map[string]*GroupEntry
+	ids     [][]uint32
+	values  []any
 }
 
 func (g *stringGrouper) groups(docs []int, out []*GroupEntry) {
@@ -433,6 +444,7 @@ func (g *stringGrouper) groups(docs []int, out []*GroupEntry) {
 		if e == nil {
 			e = newGroupEntry(append([]any(nil), g.values...), g.exprs)
 			g.m[key] = e
+			g.charger.charge(key, len(g.values))
 		}
 		out[i] = e
 	}
@@ -440,19 +452,28 @@ func (g *stringGrouper) groups(docs []int, out []*GroupEntry) {
 
 func (g *stringGrouper) result() map[string]*GroupEntry { return g.m }
 
-// runGroupByBlocks is the vectorized group-by loop.
-func runGroupByBlocks(set docIDSet, inputs []aggInput, groupCols []segment.ColumnReader, exprs []pql.Expression) (map[string]*GroupEntry, int64) {
+// runGroupByBlocks is the vectorized group-by loop. Cancellation and the
+// group-state cap are polled once per block, the same cadence as the scalar
+// path; a tripped cap returns the groups built so far with
+// ErrGroupStateLimit so the query degrades to a partial result.
+func runGroupByBlocks(env *execEnv, set docIDSet, inputs []aggInput, groupCols []segment.ColumnReader, exprs []pql.Expression, charger *groupCharger) (map[string]*GroupEntry, int64, error) {
 	est := set.estimate()
 	kernels := make([]*aggKernel, len(inputs))
 	for i, in := range inputs {
 		kernels[i] = newAggKernel(in, est)
 	}
-	g := newGrouper(groupCols, exprs)
+	g := newGrouper(groupCols, exprs, charger)
 	it := blocksOf(set)
 	buf := make([]int, blockSize)
 	entries := make([]*GroupEntry, blockSize)
 	var docs int64
 	for {
+		if err := env.checkpoint(); err != nil {
+			return nil, docs, err
+		}
+		if env.groupLimitTripped() {
+			return g.result(), docs, ErrGroupStateLimit
+		}
 		n := it.nextBlock(buf)
 		if n == 0 {
 			break
@@ -464,7 +485,7 @@ func runGroupByBlocks(set docIDSet, inputs []aggInput, groupCols []segment.Colum
 			k.accumulateGroups(entries, i, n)
 		}
 	}
-	return g.result(), docs
+	return g.result(), docs, nil
 }
 
 // ---- selection ----
@@ -475,7 +496,7 @@ func runGroupByBlocks(set docIDSet, inputs []aggInput, groupCols []segment.Colum
 // one batch. Without ORDER BY the block demand is capped at the rows still
 // needed; with the exact-fill nextBlock contract this walks precisely the
 // docs the scalar early-exit walks, keeping Stats identical.
-func runSelectionBlocks(out *Intermediate, q *pql.Query, set docIDSet, readers []segment.ColumnReader, keep int, needAll bool) int64 {
+func runSelectionBlocks(env *execEnv, out *Intermediate, q *pql.Query, set docIDSet, readers []segment.ColumnReader, keep int, needAll bool) (int64, error) {
 	it := blocksOf(set)
 	width := len(readers)
 	buf := make([]int, blockSize)
@@ -485,6 +506,9 @@ func runSelectionBlocks(out *Intermediate, q *pql.Query, set docIDSet, readers [
 	var mvBuf []int
 	var docs int64
 	for {
+		if err := env.checkpoint(); err != nil {
+			return docs, err
+		}
 		want := blockSize
 		if !needAll {
 			want = keep - len(out.Rows)
@@ -556,5 +580,5 @@ func runSelectionBlocks(out *Intermediate, q *pql.Query, set docIDSet, readers [
 			out.Rows = tmp.Finalize(&pruneQ).Rows
 		}
 	}
-	return docs
+	return docs, nil
 }

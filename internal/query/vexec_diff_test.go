@@ -42,6 +42,10 @@ func runBothModes(t *testing.T, label, q string, segs []query.IndexedSegment, sc
 	if vec.Stats != scal.Stats {
 		t.Fatalf("%s: %q: stats diverge:\nvec:    %+v\nscalar: %+v", label, q, vec.Stats, scal.Stats)
 	}
+	// The query ID and phase timings are volatile per run; everything else
+	// must be byte-identical.
+	vec.QueryID, vec.Trace = "", nil
+	scal.QueryID, scal.Trace = "", nil
 	vj, err := json.Marshal(vec)
 	if err != nil {
 		t.Fatalf("%s: %q: marshal vec: %v", label, q, err)

@@ -355,10 +355,10 @@ func (c *longMetricColumn) Doubles(docs []int, dst []float64) {
 		dst[i] = float64(c.values[d])
 	}
 }
-func (c *longMetricColumn) MinLong() int64         { return c.min }
-func (c *longMetricColumn) MaxLong() int64         { return c.max }
-func (c *longMetricColumn) MinDouble() float64     { return float64(c.min) }
-func (c *longMetricColumn) MaxDouble() float64     { return float64(c.max) }
+func (c *longMetricColumn) MinLong() int64     { return c.min }
+func (c *longMetricColumn) MaxLong() int64     { return c.max }
+func (c *longMetricColumn) MinDouble() float64 { return float64(c.min) }
+func (c *longMetricColumn) MaxDouble() float64 { return float64(c.max) }
 
 type doubleMetricColumn struct {
 	values   []float64
@@ -399,10 +399,10 @@ func (c *doubleMetricColumn) Doubles(docs []int, dst []float64) {
 		dst[i] = c.values[d]
 	}
 }
-func (c *doubleMetricColumn) MinLong() int64         { return int64(c.min) }
-func (c *doubleMetricColumn) MaxLong() int64         { return int64(c.max) }
-func (c *doubleMetricColumn) MinDouble() float64     { return c.min }
-func (c *doubleMetricColumn) MaxDouble() float64     { return c.max }
+func (c *doubleMetricColumn) MinLong() int64     { return int64(c.min) }
+func (c *doubleMetricColumn) MaxLong() int64     { return int64(c.max) }
+func (c *doubleMetricColumn) MinDouble() float64 { return c.min }
+func (c *doubleMetricColumn) MaxDouble() float64 { return c.max }
 
 func writeMetricColumn(w io.Writer, m MetricColumn) error {
 	if err := binary.Write(w, binary.LittleEndian, uint8(m.Type())); err != nil {

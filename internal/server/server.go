@@ -16,6 +16,7 @@ import (
 	"pinot/internal/helix"
 	"pinot/internal/objstore"
 	"pinot/internal/pql"
+	"pinot/internal/qctx"
 	"pinot/internal/query"
 	"pinot/internal/segment"
 	"pinot/internal/startree"
@@ -270,10 +271,23 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*tra
 		t.applyAutoIndexes(hot)
 	}
 	segs := t.segmentsFor(req.Segments)
+	// Deadline budget: the server enforces the minimum of its own default,
+	// the request's explicit timeout, and the broker's remaining budget
+	// from the wire — never more than any of them. An inbound context
+	// deadline (in-process transport) is folded in by WithTimeout, which
+	// keeps the earlier of the two.
 	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	if d := time.Duration(req.TimeoutMillis) * time.Millisecond; req.TimeoutMillis > 0 && d < timeout {
+		timeout = d
 	}
+	if d := time.Duration(req.BudgetMillis) * time.Millisecond; req.BudgetMillis > 0 && d < timeout {
+		timeout = d
+	}
+	// The server mints its own QueryContext (a real deployment crosses a
+	// network hop here), seeded with the query's wire identity and the
+	// budget this hop will enforce.
+	qc := qctx.New(req.QueryID, timeout)
+	ctx = qctx.With(ctx, qc)
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
@@ -286,7 +300,9 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*tra
 	}
 	var resp *transport.QueryResponse
 	run := func() error {
+		stop := qc.Clock(qctx.PhaseExecute)
 		merged, exceptions, err := s.engine.Execute(ctx, q, segs, t.cfg.Load().Schema)
+		stop()
 		if err != nil {
 			return err
 		}
@@ -298,13 +314,16 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*tra
 		if tenant == "" {
 			tenant = "default"
 		}
-		err = s.sched.Execute(ctx, tenant, run)
+		var wait time.Duration
+		wait, err = s.sched.Execute(ctx, tenant, run)
+		qc.Charge(qctx.PhaseQueue, wait)
 	} else {
 		err = run()
 	}
 	if err != nil {
 		return nil, err
 	}
+	resp.Trace = qc.TraceSnapshot()
 	return resp, nil
 }
 

@@ -135,14 +135,19 @@ func (s *Scheduler) Bucket(tenant string) *TokenBucket {
 }
 
 // Execute runs fn under the tenant's budget: it waits for a positive
-// balance, runs fn, and charges its wall-clock execution time.
-func (s *Scheduler) Execute(ctx context.Context, tenant string, fn func() error) error {
+// balance, runs fn, and charges its wall-clock execution time. It returns
+// how long the query waited in the scheduler queue before starting, so the
+// caller can charge the wait against the query's deadline budget and
+// surface it in the trace.
+func (s *Scheduler) Execute(ctx context.Context, tenant string, fn func() error) (time.Duration, error) {
 	b := s.Bucket(tenant)
+	t0 := s.clock()
 	if err := b.Wait(ctx); err != nil {
-		return err
+		return s.clock().Sub(t0), err
 	}
+	wait := s.clock().Sub(t0)
 	start := s.clock()
 	err := fn()
 	b.Charge(s.clock().Sub(start).Seconds())
-	return err
+	return wait, err
 }

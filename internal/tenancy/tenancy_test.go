@@ -95,7 +95,8 @@ func TestSchedulerIsolatesTenants(t *testing.T) {
 	// A well-behaved tenant is unaffected.
 	done := make(chan error, 1)
 	go func() {
-		done <- s.Execute(context.Background(), "light", func() error { return nil })
+		_, err := s.Execute(context.Background(), "light", func() error { return nil })
+		done <- err
 	}()
 	select {
 	case err := <-done:
@@ -108,7 +109,7 @@ func TestSchedulerIsolatesTenants(t *testing.T) {
 	// The heavy tenant has to wait.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if err := s.Execute(ctx, "heavy", func() error { return nil }); err == nil {
+	if _, err := s.Execute(ctx, "heavy", func() error { return nil }); err == nil {
 		t.Fatal("heavy tenant ran despite empty bucket")
 	}
 }
@@ -116,10 +117,13 @@ func TestSchedulerIsolatesTenants(t *testing.T) {
 func TestSchedulerChargesExecutionTime(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(0, 0)}
 	s := NewScheduler(10, 1, clock.Now)
-	err := s.Execute(context.Background(), "t", func() error {
+	wait, err := s.Execute(context.Background(), "t", func() error {
 		clock.Advance(3 * time.Second) // query "runs" 3 seconds
 		return nil
 	})
+	if wait != 0 {
+		t.Fatalf("full bucket should not queue, waited %v", wait)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"pinot/internal/qctx"
 	"pinot/internal/query"
 )
 
@@ -25,12 +26,21 @@ type QueryRequest struct {
 	Tenant string
 	// TimeoutMillis bounds server-side execution (0 = server default).
 	TimeoutMillis int64
+	// QueryID correlates this request with the broker-side query.
+	QueryID string
+	// BudgetMillis is the broker's remaining deadline budget at send time
+	// (planning and routing already charged). The server enforces the
+	// minimum of this, TimeoutMillis and its own default (0 = unset).
+	BudgetMillis int64
 }
 
 // QueryResponse carries a server's partial result.
 type QueryResponse struct {
 	Result     *query.Intermediate
 	Exceptions []string
+	// Trace carries the server-side phase timings (queue wait, engine
+	// execute) back to the broker for the client-visible trace.
+	Trace qctx.Trace
 }
 
 // ServerClient executes queries on one server instance.
