@@ -21,6 +21,13 @@ race:
 # baseline's benchmarks silently disappeared; it never compares timings.
 verify: build vet race fmt-check bench-check
 
+# Headline A/B benchmarks the baseline must carry: the multi-level segment
+# pruning pairs and the pooled gob-encode pair.
+BENCH_REQUIRED = \
+	BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
+	BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
+	BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh
+
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
@@ -29,13 +36,14 @@ bench-smoke:
 
 bench-check:
 	$(GO) test -run NONE -bench . -benchtime 1x ./... > .bench-run.txt
-	$(GO) run ./cmd/benchcheck BENCH_baseline.json < .bench-run.txt
+	$(GO) run ./cmd/benchcheck BENCH_baseline.json $(BENCH_REQUIRED) < .bench-run.txt
 	@rm -f .bench-run.txt
 
 # Regenerate the committed benchmark baseline for the vectorized-execution
-# kernels (A/B pairs plus the micro kernels they are built from).
+# kernels (A/B pairs plus the micro kernels they are built from), the
+# segment-pruning pairs, and the transport encode pool pair.
 bench-json:
-	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
 # Short fuzz pass over the transport decoder.
 fuzz:

@@ -13,11 +13,19 @@ if [ -n "$fmt_out" ]; then
     exit 1
 fi
 
+# Segment pruning is on by default, so the race run — including the chaos
+# suite in internal/cluster — exercises retries, hedging, and partial results
+# with broker- and server-side pruning live.
 go test -race ./...
 
 # Benchmark check (make bench-check): one iteration each, so benchmarks keep
 # compiling and running on every PR without turning CI into a perf run, plus
-# a guard that no benchmark named in BENCH_baseline.json has disappeared.
+# a guard that no benchmark named in BENCH_baseline.json has disappeared and
+# that the headline A/B pairs (pruning, encode pool) stay in the baseline.
 go test -run NONE -bench . -benchtime 1x ./... > .bench-run.txt
-go run ./cmd/benchcheck BENCH_baseline.json < .bench-run.txt
+go run ./cmd/benchcheck BENCH_baseline.json \
+    BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
+    BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
+    BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
+    < .bench-run.txt
 rm -f .bench-run.txt

@@ -4,7 +4,13 @@
 // deleted or renamed benchmark is a hole in the performance story, not a
 // cleanup. It compares names only, never timings, so it is safe for CI.
 //
-// Usage: go test -run NONE -bench . -benchtime 1x ./... | benchcheck BENCH_baseline.json
+// Any arguments after the baseline path are required benchmark names: each
+// must appear in BOTH the baseline and the run, so headline results (e.g.
+// the segment-pruning A/B pairs) cannot be dropped from the baseline itself
+// without CI noticing.
+//
+//	Usage: go test -run NONE -bench . -benchtime 1x ./... | \
+//		benchcheck BENCH_baseline.json [RequiredBenchmarkName...]
 package main
 
 import (
@@ -41,10 +47,11 @@ func canonical(name string) string {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_baseline.json < bench-output.txt")
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_baseline.json [RequiredBenchmarkName...] < bench-output.txt")
 		os.Exit(2)
 	}
+	required := os.Args[2:]
 	raw, err := os.ReadFile(os.Args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
@@ -99,5 +106,24 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: all %d baseline benchmarks present (%d ran)\n", len(seen), len(ran))
+
+	var unmet []string
+	for _, want := range required {
+		name := canonical(want)
+		switch {
+		case !seen[name]:
+			unmet = append(unmet, name+" (not in baseline)")
+		case !ran[name]:
+			unmet = append(unmet, name+" (not in run)")
+		}
+	}
+	if len(unmet) > 0 {
+		sort.Strings(unmet)
+		fmt.Fprintf(os.Stderr, "benchcheck: %d required benchmark(s) unmet:\n", len(unmet))
+		for _, m := range unmet {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: all %d baseline benchmarks present, %d required names satisfied (%d ran)\n", len(seen), len(required), len(ran))
 }

@@ -33,6 +33,10 @@ type Config struct {
 	// PartitionAware routes single-partition queries only to servers
 	// holding the relevant partition's segments (paper Figure 16).
 	PartitionAware bool
+	// DisablePruning turns off broker-side segment pruning (time-range and
+	// partition metadata) and its Stats accounting. Server-side pruning is
+	// governed separately by the servers' plan options.
+	DisablePruning bool
 	// QueryTimeout bounds end-to-end query execution.
 	QueryTimeout time.Duration
 	// MaxRetries bounds how many times a failed scatter group is retried
@@ -250,7 +254,7 @@ func (b *Broker) routingFor(resource string) (*routingState, error) {
 			}
 		}
 	}
-	rs = &routingState{segments: si, segPartition: map[string]int{}}
+	rs = &routingState{segments: si, segPartition: map[string]int{}, segMeta: map[string]*table.SegmentMeta{}}
 	b.rndMu.Lock()
 	switch b.cfg.Strategy {
 	case StrategyLargeCluster:
@@ -268,12 +272,12 @@ func (b *Broker) routingFor(resource string) (*routingState, error) {
 	if len(rs.tables) == 0 && len(si) > 0 {
 		return nil, fmt.Errorf("broker: could not build routing table for %s", resource)
 	}
-	// Partition map for partition-aware routing.
-	if b.cfg.PartitionAware {
-		if metas, err := controller.ReadSegmentMetas(b.sess, b.cfg.Cluster, resource); err == nil {
-			for _, m := range metas {
-				rs.segPartition[m.Name] = m.Partition
-			}
+	// Segment metadata cache: partition map for partition-aware routing,
+	// time ranges and doc counts for broker-side pruning.
+	if metas, err := controller.ReadSegmentMetas(b.sess, b.cfg.Cluster, resource); err == nil {
+		for _, m := range metas {
+			rs.segPartition[m.Name] = m.Partition
+			rs.segMeta[m.Name] = m
 		}
 	}
 	b.mu.Lock()
@@ -402,6 +406,7 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	var merged *query.Intermediate
 	var exceptions []string
 	var srvExcs []ServerException
+	var prunedStats query.Stats
 	queried, responded := 0, 0
 	for _, sub := range subs {
 		out, err := b.scatterGather(ctx, qc, sub.resource, sub.cfg, sub.q, tenant)
@@ -410,6 +415,7 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 		}
 		queried += out.queried
 		responded += out.responded
+		prunedStats.Merge(out.pruned)
 		exceptions = append(exceptions, out.respExcs...)
 		srvExcs = append(srvExcs, out.srvExcs...)
 		if merged == nil {
@@ -433,13 +439,15 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 		}
 	}
 	if merged == nil {
-		if len(exceptions) == 0 && responded == queried {
+		if len(exceptions) == 0 && responded == queried && prunedStats.SegmentsPrunedByBroker == 0 {
 			return nil, fmt.Errorf("broker: no servers produced results")
 		}
-		// Every server failed: degrade to an empty partial result
-		// (paper 3.3.3 step 7) rather than failing the query.
+		// Every server failed — or every segment was pruned before the
+		// scatter: degrade to an empty (for pruning: complete and exact)
+		// result rather than failing the query.
 		merged = query.EmptyIntermediate(q)
 	}
+	merged.Stats.Merge(prunedStats)
 	stop = qc.Clock(qctx.PhaseReduce)
 	final := merged.Finalize(q)
 	stop()
@@ -463,6 +471,11 @@ type gatherResult struct {
 	srvExcs   []ServerException // transport/server-level failures
 	queried   int               // scatter groups fanned out
 	responded int               // groups that produced a full result
+	// pruned accounts for segments the broker dropped before the scatter:
+	// SegmentsPrunedByBroker for every drop, plus NumSegmentsQueried and
+	// TotalDocs for time-range drops (those segments would have been
+	// dispatched — and counted — with pruning off, so parity demands it).
+	pruned query.Stats
 }
 
 // groupResult is the outcome of one scatter group (a server and its assigned
@@ -502,10 +515,37 @@ func (b *Broker) scatterGather(ctx context.Context, qc *qctx.QueryContext, resou
 	if b.cfg.PartitionAware && cfg.PartitionColumn != "" && cfg.NumPartitions > 0 {
 		if value, ok := partitionFilterValue(q.Filter, cfg.PartitionColumn); ok {
 			p := stream.PartitionFor([]byte(fmt.Sprint(value)), cfg.NumPartitions)
+			before := rt.SegmentCount()
 			rt = restrict(rt, func(seg string) bool {
 				sp, known := rs.segPartition[seg]
 				return !known || sp == -1 || sp == p
 			})
+			if !b.cfg.DisablePruning {
+				out.pruned.SegmentsPrunedByBroker += before - rt.SegmentCount()
+			}
+		}
+	}
+	// Time-range pruning: segments whose cached ZK time range cannot
+	// overlap the filter's conjunctive time bounds never leave the broker.
+	// Only completed segments are dropped — a consuming segment's max time
+	// is still moving, so its metadata cannot prove non-overlap.
+	if !b.cfg.DisablePruning && q.Filter != nil && cfg.Schema != nil {
+		if timeCol := cfg.Schema.TimeColumn(); timeCol != "" {
+			if lo, hi, ok := query.TimeBounds(q.Filter, timeCol); ok {
+				rt = restrict(rt, func(seg string) bool {
+					m := rs.segMeta[seg]
+					if m == nil || m.Status != table.StatusDone {
+						return true
+					}
+					if m.MaxTime < lo || m.MinTime > hi {
+						out.pruned.SegmentsPrunedByBroker++
+						out.pruned.NumSegmentsQueried++
+						out.pruned.TotalDocs += int64(m.NumDocs)
+						return false
+					}
+					return true
+				})
+			}
 		}
 	}
 	stopRoute()

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"pinot/internal/table"
 )
 
 // Strategy selects how routing tables are generated.
@@ -276,6 +278,10 @@ type routingState struct {
 	segments segmentInstances
 	// partition routing support
 	segPartition map[string]int // segment → partition (-1 unknown)
+	// segMeta caches ZK segment metadata (time range, partition, doc
+	// count) so broker-side pruning never touches segment data. Entries
+	// refresh with the routing state on external-view changes.
+	segMeta map[string]*table.SegmentMeta
 }
 
 // pick returns a random pre-generated routing table (paper 3.3.3 step 2: "a

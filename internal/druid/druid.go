@@ -29,6 +29,9 @@ func Options() query.Options {
 		DisableSorted:        true,
 		DisableStarTree:      true,
 		DisableMetadataPlans: true,
+		// Zone-map pruning is Pinot-side machinery; the baseline always
+		// plans every segment.
+		DisablePruning: true,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"pinot/internal/pql"
 	"pinot/internal/segment"
@@ -271,6 +272,18 @@ func toFloat(v any) float64 {
 		return float64(x)
 	case float64:
 		return x
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case float32:
+		return float64(x)
+	case string:
+		// Persisted column metadata stringifies min/max (fmt.Sprint); a
+		// metadata-backed reader must not silently answer MIN/MAX as 0.
+		if f, err := strconv.ParseFloat(x, 64); err == nil {
+			return f
+		}
 	}
 	return 0
 }

@@ -37,6 +37,24 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 	if len(segs) == 0 {
 		return emptyResult(q), nil, nil
 	}
+	// Server-side pruning: drop segments whose metadata proves the filter
+	// matches nothing, and elide filters proven to match everything. Each
+	// kept segment carries the query it should run (queries[i]).
+	var pruneStats Stats
+	queries := make([]*pql.Query, len(segs))
+	if e.Options.DisablePruning {
+		for i := range queries {
+			queries[i] = q
+		}
+	} else {
+		plan := planPruning(q, segs, tableSchema)
+		segs, queries, pruneStats = plan.keep, plan.queries, plan.stats
+		if len(segs) == 0 {
+			res := emptyResult(q)
+			res.Stats.Merge(pruneStats)
+			return res, nil, nil
+		}
+	}
 	qc := qctx.From(ctx)
 	if qc == nil {
 		qc = qctx.New("", 0)
@@ -63,7 +81,7 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := ExecuteSegment(ctx, segs[i], q, tableSchema, e.Options)
+				res, err := ExecuteSegment(ctx, segs[i], queries[i], tableSchema, e.Options)
 				results[i] = outcome{res, err}
 			}
 		}()
@@ -146,6 +164,7 @@ dispatch:
 		// semantics.
 		merged = emptyResult(q)
 	}
+	merged.Stats.Merge(pruneStats)
 	return merged, exceptions, nil
 }
 

@@ -32,6 +32,11 @@ type Options struct {
 	// AND/OR collapse. Results and Stats are identical in both modes; the
 	// flag exists for differential testing and A/B benchmarks.
 	DisableVectorization bool
+	// DisablePruning turns off zone-map / bloom / time-range segment
+	// pruning and the provably-matches-all filter elision that feeds the
+	// metadata-only plans. Rows are identical either way; the flag exists
+	// for differential testing and to keep the Druid baseline pruning-free.
+	DisablePruning bool
 	// GroupStateLimitBytes caps the estimated group-by state of one query
 	// across all its segments on this node. Past the cap the query
 	// degrades to a partial result with an exception instead of growing

@@ -22,6 +22,16 @@ type Stats struct {
 	StarTreeRecordsScanned int64
 	StarTreeRawDocs        int64
 	MetadataOnlySegments   int
+	// Segment pruning accounting. Every candidate segment lands in exactly
+	// one bucket, so at the engine SegmentsPrunedByServer +
+	// SegmentsPrunedByValue + SegmentsMatched equals the candidate count,
+	// and at the broker SegmentsPrunedByBroker joins the identity. Pruned
+	// segments still count in NumSegmentsQueried and TotalDocs — pruning
+	// changes how a segment was answered, not whether it was considered.
+	SegmentsPrunedByBroker int // dropped by broker routing (time range / partition metadata)
+	SegmentsPrunedByServer int // dropped by the server time-range tier
+	SegmentsPrunedByValue  int // dropped by zone-map / bloom-filter evaluation
+	SegmentsMatched        int // survived pruning and were dispatched for execution
 	// GroupStateBytes is the estimated group-by state allocated for the
 	// query (deterministic per-entry estimate, identical in vectorized
 	// and scalar modes); the per-query cap in Options.GroupStateLimitBytes
@@ -40,6 +50,10 @@ func (s *Stats) Merge(o Stats) {
 	s.StarTreeRecordsScanned += o.StarTreeRecordsScanned
 	s.StarTreeRawDocs += o.StarTreeRawDocs
 	s.MetadataOnlySegments += o.MetadataOnlySegments
+	s.SegmentsPrunedByBroker += o.SegmentsPrunedByBroker
+	s.SegmentsPrunedByServer += o.SegmentsPrunedByServer
+	s.SegmentsPrunedByValue += o.SegmentsPrunedByValue
+	s.SegmentsMatched += o.SegmentsMatched
 	s.GroupStateBytes += o.GroupStateBytes
 }
 

@@ -341,6 +341,7 @@ func (b *Builder) Build() (*Segment, error) {
 			BitsPerValue:  c.BitsPerValue(),
 			MinValue:      fmt.Sprint(c.MinValue()),
 			MaxValue:      fmt.Sprint(c.MaxValue()),
+			Zone:          buildZoneMap(c),
 		})
 	}
 	return &Segment{meta: meta, columns: columns}, nil

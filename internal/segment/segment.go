@@ -258,8 +258,14 @@ type ColumnMetadata struct {
 	HasDictionary bool      `json:"hasDictionary"`
 	HasInverted   bool      `json:"hasInverted"`
 	BitsPerValue  int       `json:"bitsPerValue"`
-	MinValue      string    `json:"minValue"`
-	MaxValue      string    `json:"maxValue"`
+	// MinValue and MaxValue are display-oriented renderings; pruning and
+	// metadata-only answers use the typed Zone instead, which survives the
+	// JSON round-trip without losing the value type.
+	MinValue string `json:"minValue"`
+	MaxValue string `json:"maxValue"`
+	// Zone holds the typed min/max plus the optional dictionary bloom
+	// filter used for segment pruning without touching column data.
+	Zone *ZoneMap `json:"zone,omitempty"`
 }
 
 // Metadata describes a segment: identity, schema, document count, time range
@@ -306,6 +312,18 @@ func (s *Segment) Column(name string) ColumnReader {
 
 // column returns the concrete column for internal use.
 func (s *Segment) column(name string) *Column { return s.columns[name] }
+
+// ColumnMeta returns the persisted metadata of a column, or nil if the
+// segment has none. The pruning tiers read zone maps through it so a pruning
+// decision never touches forward indexes or dictionaries.
+func (s *Segment) ColumnMeta(name string) *ColumnMetadata {
+	for i := range s.meta.Columns {
+		if s.meta.Columns[i].Name == name {
+			return &s.meta.Columns[i]
+		}
+	}
+	return nil
+}
 
 // AddInvertedIndex builds an inverted index for a column on demand, the
 // reindex-on-the-fly capability described in paper sections 3.2 and 5.2.

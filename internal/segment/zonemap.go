@@ -1,0 +1,228 @@
+package segment
+
+import (
+	"math"
+)
+
+// maxBloomCardinality bounds the dictionary size for which a bloom filter is
+// built. Above it the filter would cost more metadata than the scans it
+// saves; min/max pruning still applies.
+const maxBloomCardinality = 1 << 16
+
+// bloomBitsPerKey sizes the filter at build time (~1% false positives with
+// the matching hash count below).
+const bloomBitsPerKey = 10
+
+// Bloom is a split-block-free, double-hashed bloom filter over the canonical
+// values of a dictionary. It travels inside segment metadata (JSON encodes
+// Bits as base64), so membership checks never touch column data.
+type Bloom struct {
+	// K is the number of probes per key.
+	K uint32 `json:"k"`
+	// M is the number of bits.
+	M uint64 `json:"m"`
+	// Bits is the backing bitset, little-endian within each byte.
+	Bits []byte `json:"bits"`
+}
+
+// NewBloom sizes a filter for n keys at bloomBitsPerKey bits each.
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	m := uint64(n) * bloomBitsPerKey
+	if m < 64 {
+		m = 64
+	}
+	return &Bloom{K: 7, M: m, Bits: make([]byte, (m+7)/8)}
+}
+
+// Add inserts a canonical value.
+func (b *Bloom) Add(v any) {
+	h1, h2 := bloomHashes(v)
+	for i := uint32(0); i < b.K; i++ {
+		bit := (h1 + uint64(i)*h2) % b.M
+		b.Bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// MayContain reports whether a canonical value may be present. False means
+// definitely absent; true may be a false positive. A nil or corrupt filter
+// answers true, so pruning degrades to min/max only.
+func (b *Bloom) MayContain(v any) bool {
+	if b == nil || b.M == 0 || uint64(len(b.Bits))*8 < b.M {
+		return true
+	}
+	h1, h2 := bloomHashes(v)
+	for i := uint32(0); i < b.K; i++ {
+		bit := (h1 + uint64(i)*h2) % b.M
+		if b.Bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bloomHashes derives the two double-hashing bases from a canonical value.
+// The value is hashed over a type tag plus its raw bytes (FNV-1a), so int64 3
+// and float64 3.0 do not collide by construction.
+func bloomHashes(v any) (uint64, uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	word := func(tag byte, x uint64) {
+		step(tag)
+		for i := 0; i < 8; i++ {
+			step(byte(x >> (8 * i)))
+		}
+	}
+	switch x := v.(type) {
+	case int64:
+		word('i', uint64(x))
+	case float64:
+		word('f', math.Float64bits(x))
+	case bool:
+		step('b')
+		if x {
+			step(1)
+		} else {
+			step(0)
+		}
+	case string:
+		step('s')
+		for i := 0; i < len(x); i++ {
+			step(x[i])
+		}
+	default:
+		step('?')
+	}
+	// Second base via a finalizing mix; force it odd so the probe sequence
+	// cycles through distinct bits.
+	h2 := h
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	return h, h2 | 1
+}
+
+// ZoneMap is a column's typed min/max (plus optional dictionary bloom
+// filter) persisted in segment metadata. It is the unit of segment pruning:
+// loadable without touching column data, and typed so the values survive a
+// metadata round-trip exactly (the display-oriented MinValue/MaxValue
+// strings do not).
+type ZoneMap struct {
+	Type DataType `json:"type"`
+
+	MinLong   int64   `json:"minLong,omitempty"`
+	MaxLong   int64   `json:"maxLong,omitempty"`
+	MinDouble float64 `json:"minDouble,omitempty"`
+	MaxDouble float64 `json:"maxDouble,omitempty"`
+	MinString string  `json:"minString,omitempty"`
+	MaxString string  `json:"maxString,omitempty"`
+	MinBool   bool    `json:"minBool,omitempty"`
+	MaxBool   bool    `json:"maxBool,omitempty"`
+
+	// Bloom, when present, covers every distinct value of the column
+	// (multi-value columns included: every element is inserted).
+	Bloom *Bloom `json:"bloom,omitempty"`
+}
+
+// NewZoneMap builds a zone map from canonical min/max values. It returns nil
+// if either value does not match the declared type, so callers never persist
+// a zone map that could mis-prune.
+func NewZoneMap(t DataType, min, max any) *ZoneMap {
+	z := &ZoneMap{Type: t}
+	switch {
+	case t.Integral():
+		lo, okL := min.(int64)
+		hi, okH := max.(int64)
+		if !okL || !okH {
+			return nil
+		}
+		z.MinLong, z.MaxLong = lo, hi
+	case t.Numeric():
+		lo, okL := min.(float64)
+		hi, okH := max.(float64)
+		if !okL || !okH {
+			return nil
+		}
+		z.MinDouble, z.MaxDouble = lo, hi
+	case t == TypeBoolean:
+		lo, okL := min.(bool)
+		hi, okH := max.(bool)
+		if !okL || !okH {
+			return nil
+		}
+		z.MinBool, z.MaxBool = lo, hi
+	default:
+		lo, okL := min.(string)
+		hi, okH := max.(string)
+		if !okL || !okH {
+			return nil
+		}
+		z.MinString, z.MaxString = lo, hi
+	}
+	return z
+}
+
+// Min returns the canonical minimum value.
+func (z *ZoneMap) Min() any {
+	switch {
+	case z.Type.Integral():
+		return z.MinLong
+	case z.Type.Numeric():
+		return z.MinDouble
+	case z.Type == TypeBoolean:
+		return z.MinBool
+	default:
+		return z.MinString
+	}
+}
+
+// Max returns the canonical maximum value.
+func (z *ZoneMap) Max() any {
+	switch {
+	case z.Type.Integral():
+		return z.MaxLong
+	case z.Type.Numeric():
+		return z.MaxDouble
+	case z.Type == TypeBoolean:
+		return z.MaxBool
+	default:
+		return z.MaxString
+	}
+}
+
+// MayContain reports whether a canonical value may appear in the column:
+// inside [min, max] and, when a bloom filter is present, not definitely
+// absent from it.
+func (z *ZoneMap) MayContain(v any) bool {
+	if CompareValues(v, z.Min()) < 0 || CompareValues(v, z.Max()) > 0 {
+		return false
+	}
+	return z.Bloom.MayContain(v)
+}
+
+// buildZoneMap derives a column's zone map at build time: typed min/max from
+// the column statistics, plus a bloom over the dictionary when the
+// cardinality is worth it.
+func buildZoneMap(c *Column) *ZoneMap {
+	z := NewZoneMap(c.spec.Type, c.MinValue(), c.MaxValue())
+	if z == nil {
+		return nil
+	}
+	if c.dict != nil && c.dict.Len() <= maxBloomCardinality {
+		b := NewBloom(c.dict.Len())
+		for id := 0; id < c.dict.Len(); id++ {
+			b.Add(c.dict.Value(id))
+		}
+		z.Bloom = b
+	}
+	return z
+}

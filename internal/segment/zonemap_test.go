@@ -1,0 +1,190 @@
+package segment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	values := make([]string, 2000)
+	for i := range values {
+		values[i] = fmt.Sprintf("value-%d-%d", i, r.Int63())
+	}
+	b := NewBloom(len(values))
+	for _, v := range values {
+		b.Add(v)
+	}
+	for _, v := range values {
+		if !b.MayContain(v) {
+			t.Fatalf("false negative for %q", v)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(5000)
+	for i := 0; i < 5000; i++ {
+		b.Add(int64(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if b.MayContain(int64(1_000_000 + i)) {
+			fp++
+		}
+	}
+	// 10 bits/key with 7 hashes targets ~1%; allow generous slack.
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestBloomTypeTagsDistinguishValues(t *testing.T) {
+	b := NewBloom(4)
+	b.Add(int64(3))
+	if !b.MayContain(int64(3)) {
+		t.Fatal("false negative on int64")
+	}
+	// float64 3.0 hashes under a different type tag; with only one key in
+	// the filter it must not collide with int64 3.
+	if b.MayContain(float64(3)) {
+		t.Fatal("float64 3.0 collided with int64 3")
+	}
+}
+
+func TestBloomNilAndCorruptAnswerTrue(t *testing.T) {
+	var nilBloom *Bloom
+	if !nilBloom.MayContain("x") {
+		t.Fatal("nil bloom must answer true")
+	}
+	corrupt := &Bloom{K: 7, M: 1024, Bits: make([]byte, 4)} // too short for M
+	if !corrupt.MayContain("x") {
+		t.Fatal("corrupt bloom must answer true")
+	}
+}
+
+func TestZoneMapMayContain(t *testing.T) {
+	z := NewZoneMap(TypeLong, int64(10), int64(20))
+	if z == nil {
+		t.Fatal("nil zone map")
+	}
+	if z.MayContain(int64(9)) || z.MayContain(int64(21)) {
+		t.Fatal("out-of-range value reported possible")
+	}
+	if !z.MayContain(int64(10)) || !z.MayContain(int64(20)) || !z.MayContain(int64(15)) {
+		t.Fatal("in-range value reported absent")
+	}
+	if NewZoneMap(TypeLong, "a", "b") != nil {
+		t.Fatal("type-mismatched zone map must be nil")
+	}
+}
+
+func buildZoneSegment(t *testing.T) *Segment {
+	t.Helper()
+	schema, err := NewSchema("zt", []FieldSpec{
+		{Name: "country", Type: TypeString, Kind: Dimension, SingleValue: true},
+		{Name: "tags", Type: TypeString, Kind: Dimension, SingleValue: false},
+		{Name: "clicks", Type: TypeLong, Kind: Metric, SingleValue: true},
+		{Name: "score", Type: TypeDouble, Kind: Metric, SingleValue: true},
+		{Name: "day", Type: TypeLong, Kind: Time, SingleValue: true, TimeUnit: "DAYS"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder("zt", "zt_0", schema, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		row := Row{
+			fmt.Sprintf("c%d", i%5),
+			[]string{fmt.Sprintf("t%d", i%3), fmt.Sprintf("t%d", i%7)},
+			int64(i * 3),
+			float64(i) / 2,
+			int64(17000 + i%10),
+		}
+		if err := b.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestBuilderPopulatesZoneMaps(t *testing.T) {
+	seg := buildZoneSegment(t)
+	checks := []struct {
+		col      string
+		min, max any
+	}{
+		{"country", "c0", "c4"},
+		{"tags", "t0", "t6"},
+		{"clicks", int64(0), int64(297)},
+		{"score", float64(0), 49.5},
+		{"day", int64(17000), int64(17009)},
+	}
+	for _, c := range checks {
+		cm := seg.ColumnMeta(c.col)
+		if cm == nil || cm.Zone == nil {
+			t.Fatalf("%s: missing zone map", c.col)
+		}
+		if CompareValues(cm.Zone.Min(), c.min) != 0 || CompareValues(cm.Zone.Max(), c.max) != 0 {
+			t.Fatalf("%s: zone [%v, %v], want [%v, %v]", c.col, cm.Zone.Min(), cm.Zone.Max(), c.min, c.max)
+		}
+	}
+	// Dictionary columns carry blooms covering every distinct value
+	// (multi-value included); raw metric columns have no dictionary and
+	// therefore no bloom.
+	if seg.ColumnMeta("country").Zone.Bloom == nil {
+		t.Fatal("country: missing bloom")
+	}
+	tz := seg.ColumnMeta("tags").Zone
+	if tz.Bloom == nil {
+		t.Fatal("tags: missing bloom")
+	}
+	for i := 0; i < 7; i++ {
+		if !tz.Bloom.MayContain(fmt.Sprintf("t%d", i)) {
+			t.Fatalf("tags: t%d missing from bloom", i)
+		}
+	}
+	if seg.ColumnMeta("clicks").Zone.Bloom != nil {
+		t.Fatal("clicks: raw metric must not carry a bloom")
+	}
+}
+
+// TestZoneMapSurvivesRoundTrip is the regression for metadata-backed answers:
+// the typed zone must come back exactly after Marshal→Unmarshal, unlike the
+// display-oriented MinValue/MaxValue strings.
+func TestZoneMapSurvivesRoundTrip(t *testing.T) {
+	seg := buildZoneSegment(t)
+	blob, err := seg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"country", "tags", "clicks", "score", "day"} {
+		orig, back := seg.ColumnMeta(col).Zone, loaded.ColumnMeta(col).Zone
+		if back == nil {
+			t.Fatalf("%s: zone lost in round trip", col)
+		}
+		if orig.Type != back.Type ||
+			CompareValues(orig.Min(), back.Min()) != 0 ||
+			CompareValues(orig.Max(), back.Max()) != 0 {
+			t.Fatalf("%s: zone changed: %+v vs %+v", col, orig, back)
+		}
+		if (orig.Bloom == nil) != (back.Bloom == nil) {
+			t.Fatalf("%s: bloom presence changed", col)
+		}
+		if orig.Bloom != nil && string(orig.Bloom.Bits) != string(back.Bloom.Bits) {
+			t.Fatalf("%s: bloom bits changed", col)
+		}
+	}
+}

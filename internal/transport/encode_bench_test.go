@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"pinot/internal/pql"
+	"pinot/internal/query"
+)
+
+// benchResponse builds a group-by response of realistic size: 200 groups of
+// two aggregation states each, the shape a server sends per scatter leg.
+func benchResponse() *QueryResponse {
+	groups := map[string]*query.GroupEntry{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cat%d\x00%d", i%10, i)
+		count := query.NewAggState(pql.Count)
+		count.AddCount(int64(i * 7))
+		sum := query.NewAggState(pql.Sum)
+		sum.AddNumeric(float64(i) * 1.5)
+		groups[key] = &query.GroupEntry{
+			Values: []any{fmt.Sprintf("cat%d", i%10), int64(i)},
+			Aggs:   []*query.AggState{count, sum},
+		}
+	}
+	return &QueryResponse{
+		Result: &query.Intermediate{
+			Kind:      query.KindGroupBy,
+			GroupCols: []string{"category", "bucket"},
+			Groups:    groups,
+			Stats:     query.Stats{NumDocsScanned: 123456, NumSegmentsQueried: 16, SegmentsMatched: 16},
+		},
+	}
+}
+
+// encodeResponseFresh is the pre-pool implementation, kept as the benchmark
+// baseline.
+func encodeResponseFresh(r *QueryResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func BenchmarkEncodeResponsePooled(b *testing.B) {
+	r := benchResponse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeResponse(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeResponseFresh(b *testing.B) {
+	r := benchResponse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeResponseFresh(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeResponsePoolRoundTrip guards the pool against aliasing: two
+// consecutive encodes must not share backing memory, and the payload must
+// decode back to the original.
+func TestEncodeResponsePoolRoundTrip(t *testing.T) {
+	r := benchResponse()
+	first, err := EncodeResponse(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), first...)
+	if _, err := EncodeResponse(benchResponse()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, snapshot) {
+		t.Fatal("pooled buffer aliased a previously returned payload")
+	}
+	back, err := DecodeResponse(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Result.Groups) != len(r.Result.Groups) {
+		t.Fatalf("round trip lost groups: %d vs %d", len(back.Result.Groups), len(r.Result.Groups))
+	}
+	if back.Result.Stats != r.Result.Stats {
+		t.Fatalf("round trip changed stats: %+v vs %+v", back.Result.Stats, r.Result.Stats)
+	}
+}

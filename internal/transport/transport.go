@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"pinot/internal/qctx"
 	"pinot/internal/query"
@@ -120,13 +121,33 @@ func init() {
 	gob.Register([]any{})
 }
 
-// EncodeResponse gob-encodes a query response for the HTTP data plane.
+// encodeBufPool recycles the scratch buffers of EncodeResponse. Every query
+// response crosses this function once per server, so a fresh bytes.Buffer
+// per call means one large allocation (plus growth copies) on the hot data
+// plane. Buffers that grew past maxPooledBuf are dropped instead of pooled
+// so one huge selection response cannot pin its backing array forever.
+var encodeBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+const maxPooledBuf = 1 << 20
+
+// EncodeResponse gob-encodes a query response for the HTTP data plane. The
+// returned slice is freshly allocated and owned by the caller; the scratch
+// buffer goes back to the pool.
 func EncodeResponse(r *QueryResponse) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(r); err != nil {
+		encodeBufPool.Put(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encodeBufPool.Put(buf)
+	}
+	return out, nil
 }
 
 // DecodeResponse reverses EncodeResponse. Payloads arrive off the network,

@@ -1,0 +1,114 @@
+// Multi-level segment pruning benchmarks (DESIGN.md "Segment pruning").
+// The fixture spreads disjoint day ranges, category sets, and bucket ranges
+// across many segments so a selective filter overlaps exactly one of them;
+// the On/Off pairs measure the same query with zone-map pruning live versus
+// Options.DisablePruning planning every segment.
+package pinot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pinot/internal/query"
+	"pinot/internal/segment"
+)
+
+const (
+	pruneBenchSegments = 64
+	pruneBenchRows     = 2000
+)
+
+var (
+	pruneBenchOnce   sync.Once
+	pruneBenchSegs   []query.IndexedSegment
+	pruneBenchSchema *segment.Schema
+	pruneBenchErr    error
+)
+
+// pruneBenchFixture builds 64 immutable segments; segment i covers days
+// [17000+10i, 17000+10i+9], categories cat(4i)..cat(4i+3), and buckets
+// [100i, 100i+99], so time, bloom, and range predicates each isolate one.
+func pruneBenchFixture(b *testing.B) ([]query.IndexedSegment, *segment.Schema) {
+	b.Helper()
+	pruneBenchOnce.Do(func() {
+		schema, err := segment.NewSchema("prunetbl", []segment.FieldSpec{
+			{Name: "category", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: true},
+			{Name: "bucket", Type: segment.TypeLong, Kind: segment.Dimension, SingleValue: true},
+			{Name: "hits", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+			{Name: "day", Type: segment.TypeLong, Kind: segment.Time, SingleValue: true, TimeUnit: "DAYS"},
+		})
+		if err != nil {
+			pruneBenchErr = err
+			return
+		}
+		pruneBenchSchema = schema
+		for i := 0; i < pruneBenchSegments; i++ {
+			sb, err := segment.NewBuilder("prunetbl", fmt.Sprintf("prunetbl_%d", i), schema, segment.IndexConfig{})
+			if err != nil {
+				pruneBenchErr = err
+				return
+			}
+			for r := 0; r < pruneBenchRows; r++ {
+				row := segment.Row{
+					fmt.Sprintf("cat%d", 4*i+r%4),
+					int64(100*i + r%100),
+					int64(r),
+					int64(17000 + 10*i + r%10),
+				}
+				if err := sb.Add(row); err != nil {
+					pruneBenchErr = err
+					return
+				}
+			}
+			seg, err := sb.Build()
+			if err != nil {
+				pruneBenchErr = err
+				return
+			}
+			pruneBenchSegs = append(pruneBenchSegs, query.IndexedSegment{Seg: seg})
+		}
+	})
+	if pruneBenchErr != nil {
+		b.Fatal(pruneBenchErr)
+	}
+	return pruneBenchSegs, pruneBenchSchema
+}
+
+func benchPruneQuery(b *testing.B, q string, opts query.Options) {
+	b.Helper()
+	segs, schema := pruneBenchFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Run(ctx, q, segs, schema, opts); err != nil {
+			b.Fatalf("%s: %v", q, err)
+		}
+	}
+}
+
+// Selective time range: overlaps only segment 0, and only part of it, so the
+// surviving segment still executes the filter (no metadata short-circuit).
+const pruneTimeRangeQ = "SELECT count(*), sum(hits) FROM prunetbl WHERE day BETWEEN 17003 AND 17007"
+
+func BenchmarkPruneTimeRangeOn(b *testing.B) {
+	benchPruneQuery(b, pruneTimeRangeQ, query.Options{})
+}
+
+func BenchmarkPruneTimeRangeOff(b *testing.B) {
+	benchPruneQuery(b, pruneTimeRangeQ, query.Options{DisablePruning: true})
+}
+
+// Point lookup on a dictionary value: cat130 lives only in segment 32, but
+// its string falls inside the lexical [min, max] of several other segments —
+// only the dictionary bloom filter rules those out.
+const pruneBloomEqQ = "SELECT count(*), max(hits) FROM prunetbl WHERE category = 'cat130'"
+
+func BenchmarkPruneBloomEqOn(b *testing.B) {
+	benchPruneQuery(b, pruneBloomEqQ, query.Options{})
+}
+
+func BenchmarkPruneBloomEqOff(b *testing.B) {
+	benchPruneQuery(b, pruneBloomEqQ, query.Options{DisablePruning: true})
+}
