@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench-smoke bench-check bench-json fuzz clean
+.PHONY: all build vet test race verify fmt-check bench-smoke bench-check bench-json cover fuzz clean
 
 all: verify
 
@@ -19,14 +19,17 @@ race:
 # Tier-1 verify: what CI and the roadmap require to stay green. bench-check
 # proves benchmarks still compile, execute, and that none of the committed
 # baseline's benchmarks silently disappeared; it never compares timings.
-verify: build vet race fmt-check bench-check
+# cover enforces the per-package floors of COVERAGE_baseline.json.
+verify: build vet race fmt-check bench-check cover
 
 # Headline A/B benchmarks the baseline must carry: the multi-level segment
-# pruning pairs and the pooled gob-encode pair.
+# pruning pairs, the pooled gob-encode pair, and the metrics-registry
+# overhead pair.
 BENCH_REQUIRED = \
 	BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
 	BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
-	BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh
+	BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
+	BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -39,11 +42,19 @@ bench-check:
 	$(GO) run ./cmd/benchcheck BENCH_baseline.json $(BENCH_REQUIRED) < .bench-run.txt
 	@rm -f .bench-run.txt
 
+# Coverage gate: every package listed in COVERAGE_baseline.json must stay at
+# or above its floor (cmd/covercheck).
+cover:
+	$(GO) test -count=1 -cover ./... > .cover-run.txt
+	$(GO) run ./cmd/covercheck COVERAGE_baseline.json < .cover-run.txt
+	@rm -f .cover-run.txt
+
 # Regenerate the committed benchmark baseline for the vectorized-execution
 # kernels (A/B pairs plus the micro kernels they are built from), the
-# segment-pruning pairs, and the transport encode pool pair.
+# segment-pruning pairs, the transport encode pool pair, and the
+# metrics-registry overhead pair.
 bench-json:
-	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
 # Short fuzz pass over the transport decoder.
 fuzz:

@@ -21,11 +21,20 @@ go test -race ./...
 # Benchmark check (make bench-check): one iteration each, so benchmarks keep
 # compiling and running on every PR without turning CI into a perf run, plus
 # a guard that no benchmark named in BENCH_baseline.json has disappeared and
-# that the headline A/B pairs (pruning, encode pool) stay in the baseline.
+# that the headline A/B pairs (pruning, encode pool, metrics overhead) stay
+# in the baseline.
 go test -run NONE -bench . -benchtime 1x ./... > .bench-run.txt
 go run ./cmd/benchcheck BENCH_baseline.json \
     BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
     BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
     BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
+    BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
     < .bench-run.txt
 rm -f .bench-run.txt
+
+# Per-package coverage floors (make cover): the checked-in baseline pins a
+# floor slightly below each package's measured coverage so instrumentation
+# and tests cannot silently rot.
+go test -count=1 -cover ./... > .cover-run.txt
+go run ./cmd/covercheck COVERAGE_baseline.json < .cover-run.txt
+rm -f .cover-run.txt

@@ -1,0 +1,112 @@
+// Command covercheck enforces per-package test-coverage floors: it reads
+// COVERAGE_baseline.json and a `go test -cover ./...` text run on stdin, and
+// fails if any listed package's coverage fell below its floor or stopped
+// being reported at all. Floors are set a few points below measured coverage
+// so normal churn passes but a deleted test file or an uninstrumented new
+// subsystem does not.
+//
+// Packages absent from the baseline are ignored (new packages opt in by
+// adding a floor), so the gate never blocks creating code — only eroding the
+// tests of code it already covers.
+//
+//	Usage: go test -cover ./... | covercheck COVERAGE_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	// Floors maps import path -> minimum coverage percentage.
+	Floors map[string]float64 `json:"floors"`
+}
+
+// parseCoverLine extracts (package, percent) from one `go test -cover` line:
+//
+//	ok  	pinot/internal/metrics	0.123s	coverage: 95.2% of statements
+//
+// Lines without a coverage clause ("[no test files]", FAIL, etc.) report
+// ok=false.
+func parseCoverLine(line string) (pkg string, pct float64, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || f[0] != "ok" {
+		return "", 0, false
+	}
+	pkg = f[1]
+	for i, tok := range f {
+		if tok != "coverage:" || i+1 >= len(f) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(f[i+1], "%"), 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return pkg, v, true
+	}
+	return "", 0, false
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: covercheck COVERAGE_baseline.json < cover-output.txt")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: parse %s: %v\n", os.Args[1], err)
+		os.Exit(2)
+	}
+	if len(base.Floors) == 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: %s lists no floors\n", os.Args[1])
+		os.Exit(2)
+	}
+
+	got := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if pkg, pct, ok := parseCoverLine(sc.Text()); ok {
+			got[pkg] = pct
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	pkgs := make([]string, 0, len(base.Floors))
+	for pkg := range base.Floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		floor := base.Floors[pkg]
+		pct, ok := got[pkg]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: no coverage reported (floor %.1f%%)", pkg, floor))
+		case pct < floor:
+			failures = append(failures, fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", pkg, pct, floor))
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) below their coverage floor:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: all %d package floors met\n", len(pkgs))
+}

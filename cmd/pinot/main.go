@@ -26,6 +26,7 @@ import (
 	"pinot/internal/broker"
 	"pinot/internal/cluster"
 	"pinot/internal/httpapi"
+	"pinot/internal/metrics"
 )
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 			Strategy:       broker.Strategy(*strategy),
 			PartitionAware: *partitionAware,
 		},
+		// The binary is one process = one cluster, so the process-wide
+		// default registry (which the transport package also records into)
+		// is the right home for every component's metrics.
+		Metrics: metrics.Default(),
 	})
 	if err != nil {
 		log.Fatalf("cluster start: %v", err)

@@ -10,6 +10,7 @@ import (
 
 	"pinot/internal/controller"
 	"pinot/internal/helix"
+	"pinot/internal/metrics"
 	"pinot/internal/pql"
 	"pinot/internal/qctx"
 	"pinot/internal/query"
@@ -56,6 +57,12 @@ type Config struct {
 	PerServerTimeout time.Duration
 	// Seed fixes the routing RNG for reproducible tests (0 = random).
 	Seed int64
+	// Metrics receives the broker's instrumentation; nil means the
+	// process-wide metrics.Default().
+	Metrics *metrics.Registry
+	// SlowLogSize bounds the slow-query ring served at /debug/queries
+	// (0 = metrics.DefaultSlowLogSize).
+	SlowLogSize int
 }
 
 func (c *Config) withDefaults() {
@@ -103,6 +110,8 @@ type Broker struct {
 	store    *zkmeta.Store
 	sess     *zkmeta.Session
 	registry transport.Registry
+	met      *brokerMetrics
+	slow     *metrics.SlowLog
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
@@ -127,6 +136,8 @@ func New(cfg Config, store *zkmeta.Store, registry transport.Registry) *Broker {
 		cfg:         cfg,
 		store:       store,
 		registry:    registry,
+		met:         newBrokerMetrics(cfg.Metrics),
+		slow:        metrics.NewSlowLog(cfg.SlowLogSize),
 		rnd:         rand.New(rand.NewSource(seed)),
 		routing:     map[string]*routingState{},
 		configs:     map[string]*table.Config{},
@@ -137,6 +148,12 @@ func New(cfg Config, store *zkmeta.Store, registry transport.Registry) *Broker {
 
 // Instance returns the broker's instance name.
 func (b *Broker) Instance() string { return b.cfg.Instance }
+
+// Metrics returns the registry this broker records into.
+func (b *Broker) Metrics() *metrics.Registry { return b.met.reg }
+
+// SlowQueries returns the slow-query log served at /debug/queries.
+func (b *Broker) SlowQueries() *metrics.SlowLog { return b.slow }
 
 // Start joins the cluster as a spectator: it registers its config and
 // subscribes to external-view changes to keep routing tables fresh (paper
@@ -350,7 +367,7 @@ type Response struct {
 // deadline budget before the fan-out, each server call carries the budget
 // still remaining at send time, and the per-phase ledger is returned to the
 // client as the response trace.
-func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response, error) {
+func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (resp *Response, err error) {
 	qc := qctx.New("", b.cfg.QueryTimeout)
 	ctx = qctx.With(ctx, qc)
 	start := qc.StartTime()
@@ -358,6 +375,7 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	q, err := pql.Parse(pqlText)
 	stop()
 	if err != nil {
+		b.met.badRequests.Inc()
 		return nil, err
 	}
 	stopRoute := qc.Clock(qctx.PhaseRoute)
@@ -367,8 +385,17 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	rtCfg, hasRealtime := b.tableConfig(realtime)
 	if !hasOffline && !hasRealtime {
 		stopRoute()
+		b.met.badRequests.Inc()
 		return nil, fmt.Errorf("broker: unknown table %q", q.Table)
 	}
+	b.met.requests.Inc()
+	b.met.queries.With(q.Table).Inc()
+	// Failures past this point have a table to charge them to.
+	defer func() {
+		if err != nil {
+			b.met.failures.With(q.Table).Inc()
+		}
+	}()
 
 	type subquery struct {
 		resource string
@@ -456,6 +483,32 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (*Response
 	final.TimeMillis = time.Since(start).Milliseconds()
 	final.QueryID = qc.ID()
 	final.Trace = qc.TraceSnapshot()
+
+	elapsed := time.Since(start)
+	b.met.latency.With(q.Table).ObserveDuration(elapsed)
+	b.met.fanout.Observe(float64(queried))
+	if n := prunedStats.SegmentsPrunedByBroker; n > 0 {
+		b.met.pruned.With(q.Table).Add(int64(n))
+	}
+	if final.Partial {
+		b.met.partials.With(q.Table).Inc()
+	}
+	for _, e := range srvExcs {
+		b.met.exceptions.With(fmt.Sprintf("%t", e.Recovered)).Inc()
+	}
+	phases := make(map[string]int64, len(final.Trace))
+	for p, d := range final.Trace {
+		phases[string(p)] = metrics.DurationToUs(d)
+	}
+	b.slow.Record(metrics.SlowQuery{
+		QueryID:     final.QueryID,
+		Table:       q.Table,
+		PQL:         pqlText,
+		TimeMillis:  final.TimeMillis,
+		LatencyUs:   metrics.DurationToUs(elapsed),
+		Partial:     final.Partial,
+		PhaseTraces: phases,
+	})
 	return &Response{
 		Result:           final,
 		ServersQueried:   queried,
@@ -606,6 +659,7 @@ func (b *Broker) queryGroup(ctx context.Context, qc *qctx.QueryContext, rs *rout
 	lost := false // segments dropped because no untried replica remained
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			b.met.retries.Inc()
 			timer := time.NewTimer(b.cfg.RetryBackoff)
 			select {
 			case <-ctx.Done():
@@ -716,6 +770,7 @@ func (b *Broker) hedgedCall(ctx context.Context, qc *qctx.QueryContext, rs *rout
 		case <-hedgeC:
 			hedgeC = nil
 			if h, ok := hedgeTarget(rs, segs, tried); ok {
+				b.met.hedges.Inc()
 				launch(h)
 				outstanding++
 			}

@@ -1,0 +1,59 @@
+package broker
+
+import "pinot/internal/metrics"
+
+// brokerMetrics caches instrument handles for the broker's hot paths. All
+// names follow the catalog in DESIGN.md §Observability. Unlabeled handles
+// are resolved once at construction so the per-query cost is atomic adds;
+// per-table families go through Family.With (an RLock map hit) because table
+// sets are dynamic.
+type brokerMetrics struct {
+	reg *metrics.Registry
+
+	// requests counts queries that resolved to a known table — the broker
+	// total the per-table counters must sum to (a scrape-test invariant).
+	requests    *metrics.Instrument
+	badRequests *metrics.Instrument
+
+	queries  *metrics.Family // label: table
+	failures *metrics.Family // label: table
+	partials *metrics.Family // label: table
+	latency  *metrics.Family // label: table (histogram, µs)
+
+	fanout *metrics.Instrument // histogram: scatter groups per query
+	pruned *metrics.Family     // label: table
+
+	retries    *metrics.Instrument
+	hedges     *metrics.Instrument
+	exceptions *metrics.Family // label: recovered ("true"/"false")
+}
+
+func newBrokerMetrics(reg *metrics.Registry) *brokerMetrics {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	m := &brokerMetrics{reg: reg}
+	m.requests = reg.Counter("pinot_broker_requests_total",
+		"Queries accepted for a known table.").With()
+	m.badRequests = reg.Counter("pinot_broker_bad_requests_total",
+		"Queries rejected before routing (parse error or unknown table).").With()
+	m.queries = reg.Counter("pinot_broker_queries_total",
+		"Queries accepted, per table.", "table")
+	m.failures = reg.Counter("pinot_broker_query_failures_total",
+		"Queries that returned an error, per table.", "table")
+	m.partials = reg.Counter("pinot_broker_partial_results_total",
+		"Queries answered with a partial result, per table.", "table")
+	m.latency = reg.Histogram("pinot_broker_query_latency_us",
+		"End-to-end query latency in microseconds, per table.", "table")
+	m.fanout = reg.Histogram("pinot_broker_scatter_fanout",
+		"Scatter groups fanned out per query.").With()
+	m.pruned = reg.Counter("pinot_broker_segments_pruned_total",
+		"Segments dropped by broker-side pruning, per table.", "table")
+	m.retries = reg.Counter("pinot_broker_retries_total",
+		"Scatter-group retry attempts against alternate replicas.").With()
+	m.hedges = reg.Counter("pinot_broker_hedges_total",
+		"Hedged duplicate requests launched against stragglers.").With()
+	m.exceptions = reg.Counter("pinot_broker_server_exceptions_total",
+		"Per-server failures observed during scatter/gather.", "recovered")
+	return m
+}

@@ -153,6 +153,15 @@ func TestChaosReplicaDiesMidScatterRetryRecovers(t *testing.T) {
 	if recovered == 0 {
 		t.Fatalf("no recovered exception for %s: %+v", victim, last.ServerExceptions)
 	}
+	// The recovery is also observable from the outside: the dead replica
+	// forced at least one retry, and the masked failure shows up as a
+	// recovered server exception in the broker's metrics.
+	if got := c.Metrics.Value("pinot_broker_retries_total"); got == 0 {
+		t.Fatal("pinot_broker_retries_total = 0 after a replica died mid-scatter")
+	}
+	if got := c.Metrics.Value("pinot_broker_server_exceptions_total", "true"); got == 0 {
+		t.Fatal(`pinot_broker_server_exceptions_total{recovered="true"} = 0 after recovery`)
+	}
 }
 
 // TestChaosAllReplicasFailExplicitPartial: when every replica of a segment
@@ -190,6 +199,11 @@ func TestChaosAllReplicasFailExplicitPartial(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("exceptions don't surface the injected fault: %v", res.Exceptions)
+	}
+
+	// The degraded response is counted against the table it served.
+	if got := c.Metrics.Value("pinot_broker_partial_results_total", "events"); got == 0 {
+		t.Fatal(`pinot_broker_partial_results_total{table="events"} = 0 after partial result`)
 	}
 
 	// Clearing the faults restores exact results.
@@ -259,6 +273,14 @@ func TestChaosHedgeMasksDelayedReplica(t *testing.T) {
 		}
 		assertFullCount(t, res)
 	})
+	// With retries disabled, only a hedge can have masked the straggler —
+	// the hedge counter is the proof the speculative duplicate fired.
+	if got := c.Metrics.Value("pinot_broker_hedges_total"); got == 0 {
+		t.Fatal("pinot_broker_hedges_total = 0 after a hedge masked a delayed replica")
+	}
+	if got := c.Metrics.Value("pinot_broker_retries_total"); got != 0 {
+		t.Fatalf("pinot_broker_retries_total = %d with retries disabled, want 0", got)
+	}
 }
 
 // TestChaosFailuresThenRecover: a count-based N-failures-then-recover
@@ -323,6 +345,14 @@ func TestChaosCorruptResponseRejectedAndRetried(t *testing.T) {
 	}
 	if !recovered {
 		t.Fatalf("corruption not surfaced as recovered exception: %+v", last.ServerExceptions)
+	}
+	// A corrupt payload is rejected, retried, and recorded: the retry
+	// counter and the recovered-exception counter both move.
+	if got := c.Metrics.Value("pinot_broker_retries_total"); got == 0 {
+		t.Fatal("pinot_broker_retries_total = 0 after a corrupt response forced a retry")
+	}
+	if got := c.Metrics.Value("pinot_broker_server_exceptions_total", "true"); got == 0 {
+		t.Fatal(`pinot_broker_server_exceptions_total{recovered="true"} = 0 after corruption recovery`)
 	}
 }
 

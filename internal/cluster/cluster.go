@@ -15,6 +15,7 @@ import (
 	"pinot/internal/chaos"
 	"pinot/internal/controller"
 	"pinot/internal/helix"
+	"pinot/internal/metrics"
 	"pinot/internal/minion"
 	"pinot/internal/objstore"
 	"pinot/internal/server"
@@ -41,6 +42,10 @@ type Options struct {
 	// ChaosSeed seeds the fault-injection registry wrapped around the
 	// broker→server transport (0 = 1, still deterministic).
 	ChaosSeed int64
+	// Metrics is the registry every component of the cluster records into.
+	// Nil means a fresh registry per cluster, so concurrent test clusters
+	// in one process never share counters.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) withDefaults() {
@@ -70,6 +75,8 @@ type Cluster struct {
 	Minions     []*minion.Minion
 	// Chaos injects deterministic faults into broker→server calls.
 	Chaos *chaos.Registry
+	// Metrics is the cluster-wide registry all components record into.
+	Metrics *metrics.Registry
 
 	adminSess *zkmeta.Session
 }
@@ -77,17 +84,23 @@ type Cluster struct {
 // NewLocal builds and starts a cluster.
 func NewLocal(opts Options) (*Cluster, error) {
 	opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	c := &Cluster{
 		Name:    opts.Name,
 		Store:   zkmeta.NewStore(),
 		Objects: objstore.NewMem(),
 		Streams: stream.NewCluster(),
+		Metrics: reg,
 	}
 
 	for i := 0; i < opts.Controllers; i++ {
 		cfg := opts.ControllerTemplate
 		cfg.Cluster = opts.Name
 		cfg.Instance = fmt.Sprintf("controller%d", i+1)
+		cfg.Metrics = reg
 		ctrl := controller.New(cfg, c.Store, c.Objects, c.Streams)
 		if err := ctrl.Start(); err != nil {
 			c.Shutdown()
@@ -112,6 +125,7 @@ func NewLocal(opts Options) (*Cluster, error) {
 		cfg := opts.ServerTemplate
 		cfg.Cluster = opts.Name
 		cfg.Instance = fmt.Sprintf("server%d", i+1)
+		cfg.Metrics = reg
 		srv := server.New(cfg, c.Store, c.Objects, c.Streams, controllerClients)
 		if err := srv.Start(); err != nil {
 			c.Shutdown()
@@ -136,6 +150,7 @@ func NewLocal(opts Options) (*Cluster, error) {
 		cfg := opts.BrokerTemplate
 		cfg.Cluster = opts.Name
 		cfg.Instance = fmt.Sprintf("broker%d", i+1)
+		cfg.Metrics = reg
 		br := broker.New(cfg, c.Store, registry)
 		if err := br.Start(); err != nil {
 			c.Shutdown()
@@ -152,7 +167,7 @@ func NewLocal(opts Options) (*Cluster, error) {
 		return out
 	}
 	for i := 0; i < opts.Minions; i++ {
-		mn := minion.New(minion.Config{Instance: fmt.Sprintf("minion%d", i+1)}, minionControllers)
+		mn := minion.New(minion.Config{Instance: fmt.Sprintf("minion%d", i+1), Metrics: reg}, minionControllers)
 		mn.Start()
 		c.Minions = append(c.Minions, mn)
 	}

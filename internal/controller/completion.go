@@ -130,15 +130,15 @@ func (f *completionFSM) onPoll(instance string, offset int64, now time.Time) *tr
 // controllers answer NOTLEADER (paper 3.3.6).
 func (c *Controller) SegmentConsumed(ctx context.Context, req *transport.SegmentConsumedRequest) (*transport.SegmentConsumedResponse, error) {
 	if !c.IsLeader() {
-		return &transport.SegmentConsumedResponse{Action: transport.ActionNotLeader}, nil
+		return c.verdict(&transport.SegmentConsumedResponse{Action: transport.ActionNotLeader}), nil
 	}
 	// A segment already committed (e.g. before a controller failover)
 	// answers from durable metadata.
 	if meta, err := ReadSegmentMeta(c.session(), c.cfg.Cluster, req.Resource, req.Segment); err == nil && meta.Status == table.StatusDone {
 		if req.Offset == meta.EndOffset {
-			return &transport.SegmentConsumedResponse{Action: transport.ActionKeep}, nil
+			return c.verdict(&transport.SegmentConsumedResponse{Action: transport.ActionKeep}), nil
 		}
-		return &transport.SegmentConsumedResponse{Action: transport.ActionDiscard}, nil
+		return c.verdict(&transport.SegmentConsumedResponse{Action: transport.ActionDiscard}), nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -149,7 +149,7 @@ func (c *Controller) SegmentConsumed(ctx context.Context, req *transport.Segment
 		fsm = newCompletionFSM(req.Resource, req.Segment, replicas, c.cfg.CompletionWindow)
 		c.completions[key] = fsm
 	}
-	return fsm.onPoll(req.Instance, req.Offset, time.Now()), nil
+	return c.verdict(fsm.onPoll(req.Instance, req.Offset, time.Now())), nil
 }
 
 func (c *Controller) replicaCount(resource, seg string) int {
@@ -200,6 +200,7 @@ func (c *Controller) CommitSegment(ctx context.Context, req *transport.SegmentCo
 	fsm.state = committed
 	fsm.committedOffset = req.Offset
 	c.mu.Unlock()
+	c.met.commits.With(c.cfg.Instance, req.Resource).Inc()
 	return &transport.SegmentCommitResponse{Success: true}, nil
 }
 
@@ -238,6 +239,7 @@ func (c *Controller) finalizeCommit(req *transport.SegmentCommitRequest) error {
 	if _, err := c.session().Set(metaPath, meta.Marshal(), version); err != nil {
 		return err
 	}
+	c.met.segStates.With(c.cfg.Instance, string(table.StatusDone)).Inc()
 
 	// Next consuming segment continues from the committed offset.
 	tableName, partition, seq, err := table.ParseConsumingSegmentName(req.Segment)
@@ -256,6 +258,7 @@ func (c *Controller) finalizeCommit(req *transport.SegmentCommitRequest) error {
 	if err := c.session().Create(c.segmentMetaPath(req.Resource, nextName), nextMeta.Marshal()); err != nil && err != zkmeta.ErrNodeExists {
 		return err
 	}
+	c.met.segStates.With(c.cfg.Instance, string(table.StatusInProgress)).Inc()
 
 	servers, err := c.eligibleServers(cfg)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pinot/internal/helix"
+	"pinot/internal/metrics"
 	"pinot/internal/objstore"
 	"pinot/internal/segment"
 	"pinot/internal/stream"
@@ -35,6 +36,9 @@ type Config struct {
 	CompletionWindow time.Duration
 	// RetentionInterval is the period of the retention manager sweep.
 	RetentionInterval time.Duration
+	// Metrics receives the controller's instrumentation; nil means the
+	// process-wide metrics.Default().
+	Metrics *metrics.Registry
 }
 
 func (c *Config) withDefaults() {
@@ -53,6 +57,7 @@ type Controller struct {
 	objects  objstore.Store
 	streams  *stream.Cluster
 	helixCtl *helix.Controller
+	met      *controllerMetrics
 
 	// conn bundles the metadata session with the helix admin built on it;
 	// both are replaced together when the session expires.
@@ -108,9 +113,13 @@ func New(cfg Config, store *zkmeta.Store, objects objstore.Store, streams *strea
 		store:       store,
 		objects:     objects,
 		streams:     streams,
+		met:         newControllerMetrics(cfg.Metrics, cfg.Instance),
 		completions: map[string]*completionFSM{},
 	}
 }
+
+// Metrics returns the registry this controller records into.
+func (c *Controller) Metrics() *metrics.Registry { return c.met.reg }
 
 // Instance returns the controller's instance name.
 func (c *Controller) Instance() string { return c.cfg.Instance }

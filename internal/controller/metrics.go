@@ -1,0 +1,40 @@
+package controller
+
+import (
+	"pinot/internal/metrics"
+
+	"pinot/internal/transport"
+)
+
+// controllerMetrics caches the controller's instrument handles. The verdict
+// counters are the executable record of the completion protocol: a test can
+// drive a segment through its lifecycle and assert the exact transcript.
+type controllerMetrics struct {
+	reg      *metrics.Registry
+	instance string
+
+	verdicts  *metrics.Family // labels: instance, action
+	commits   *metrics.Family // labels: instance, resource
+	segStates *metrics.Family // labels: instance, status
+}
+
+func newControllerMetrics(reg *metrics.Registry, instance string) *controllerMetrics {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	m := &controllerMetrics{reg: reg, instance: instance}
+	m.verdicts = reg.Counter("pinot_controller_completion_verdicts_total",
+		"Completion-protocol instructions issued, by action.", "instance", "action")
+	m.commits = reg.Counter("pinot_controller_segments_committed_total",
+		"Realtime segments made durable via the commit protocol.", "instance", "resource")
+	m.segStates = reg.Counter("pinot_controller_segment_states_total",
+		"Segment metadata states written by the controller.", "instance", "status")
+	return m
+}
+
+// verdict counts one completion-protocol instruction and passes it through,
+// so every SegmentConsumed return path stays a single expression.
+func (c *Controller) verdict(r *transport.SegmentConsumedResponse) *transport.SegmentConsumedResponse {
+	c.met.verdicts.With(c.cfg.Instance, string(r.Action)).Inc()
+	return r
+}

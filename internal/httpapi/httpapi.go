@@ -15,6 +15,7 @@ import (
 
 	"pinot/internal/broker"
 	"pinot/internal/controller"
+	"pinot/internal/metrics"
 	"pinot/internal/query"
 	"pinot/internal/table"
 )
@@ -105,7 +106,26 @@ func NewBrokerHandler(b *broker.Broker) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /health", health)
+	mux.HandleFunc("GET /metrics", metricsHandler(b.Metrics()))
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"slowest": b.SlowQueries().Slowest()})
+	})
 	return mux
+}
+
+// metricsHandler serves a registry in Prometheus text format, or as JSON
+// when the client asks via ?format=json or an Accept: application/json
+// header.
+func metricsHandler(reg *metrics.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			writeJSON(w, http.StatusOK, map[string]any{"families": reg.Snapshot()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	}
 }
 
 // NewControllerHandler serves table/segment/task administration on a
@@ -113,6 +133,7 @@ func NewBrokerHandler(b *broker.Broker) http.Handler {
 func NewControllerHandler(c *controller.Controller) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", health)
+	mux.HandleFunc("GET /metrics", metricsHandler(c.Metrics()))
 
 	mux.HandleFunc("GET /tables", func(w http.ResponseWriter, r *http.Request) {
 		tables, err := c.Tables()

@@ -8,11 +8,12 @@ package loadgen
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pinot/internal/metrics"
 )
 
 // Target executes one query. Implementations pick the next query from the
@@ -20,96 +21,35 @@ import (
 type Target func(ctx context.Context) error
 
 // Histogram records latencies in logarithmic buckets from 1µs to ~17.9
-// minutes, with ~4.6% relative bucket width.
+// minutes, with ~4.6% relative bucket width. It is a duration-typed view
+// over the shared metrics.Histogram (which this package's bucket scheme was
+// promoted into), so load-generator output and server-side /metrics
+// histograms are directly comparable and mergeable.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets [666]int64
-	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-}
-
-const bucketGrowth = 1.045
-
-func bucketFor(d time.Duration) int {
-	us := float64(d) / float64(time.Microsecond)
-	if us < 1 {
-		return 0
-	}
-	b := int(math.Log(us) / math.Log(bucketGrowth))
-	if b >= 666 {
-		b = 665
-	}
-	return b
-}
-
-func bucketValue(b int) time.Duration {
-	return time.Duration(math.Pow(bucketGrowth, float64(b)+0.5) * float64(time.Microsecond))
+	h metrics.Histogram
 }
 
 // Record adds one latency observation.
-func (h *Histogram) Record(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[bucketFor(d)]++
-	h.count++
-	h.sum += d
-	if h.count == 1 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
-}
+func (h *Histogram) Record(d time.Duration) { h.h.RecordDuration(d) }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.h.Count() }
 
 // Mean returns the average latency.
-func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / time.Duration(h.count)
-}
+func (h *Histogram) Mean() time.Duration { return h.h.MeanDuration() }
 
 // Quantile returns the latency at quantile q in [0, 1].
-func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	target := int64(q * float64(h.count))
-	if target >= h.count {
-		return h.max
-	}
-	var cum int64
-	for b, n := range h.buckets {
-		cum += n
-		if cum > target {
-			return bucketValue(b)
-		}
-	}
-	return h.max
-}
+func (h *Histogram) Quantile(q float64) time.Duration { return h.h.QuantileDuration(q) }
 
 // Buckets returns (midpoint, count) pairs of non-empty buckets — the raw
 // series for latency-distribution plots.
 func (h *Histogram) Buckets() []BucketCount {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var out []BucketCount
-	for b, n := range h.buckets {
-		if n > 0 {
-			out = append(out, BucketCount{Latency: bucketValue(b), Count: n})
+	raw := h.h.Buckets()
+	out := make([]BucketCount, len(raw))
+	for i, b := range raw {
+		out[i] = BucketCount{
+			Latency: time.Duration(b.Value * float64(time.Microsecond)),
+			Count:   b.Count,
 		}
 	}
 	return out

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// referenceHistogram is the pre-promotion implementation, kept verbatim so
+// the regression test below proves the move to internal/metrics changed no
+// reported number: same buckets, same quantile semantics, same extremes.
+type referenceHistogram struct {
+	buckets [666]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const refGrowth = 1.045
+
+func refBucketFor(d time.Duration) int {
+	us := float64(d) / float64(time.Microsecond)
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Log(us) / math.Log(refGrowth))
+	if b >= 666 {
+		b = 665
+	}
+	return b
+}
+
+func refBucketValue(b int) time.Duration {
+	return time.Duration(math.Pow(refGrowth, float64(b)+0.5) * float64(time.Microsecond))
+}
+
+func (h *referenceHistogram) record(d time.Duration) {
+	h.buckets[refBucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *referenceHistogram) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		return h.max
+	}
+	var cum int64
+	for b, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return refBucketValue(b)
+		}
+	}
+	return h.max
+}
+
+func TestQuantilesUnchangedAfterPromotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	h := &Histogram{}
+	ref := &referenceHistogram{}
+	for i := 0; i < 10000; i++ {
+		var d time.Duration
+		switch i % 4 {
+		case 0: // sub-microsecond noise
+			d = time.Duration(rng.Intn(1000)) * time.Nanosecond
+		case 1: // typical query latencies
+			d = time.Duration(rng.Intn(200000)) * time.Microsecond
+		case 2: // long tail
+			d = time.Duration(rng.Intn(120)) * time.Second
+		default: // beyond the top bucket
+			d = time.Duration(1+rng.Intn(48)) * time.Hour
+		}
+		h.Record(d)
+		ref.record(d)
+	}
+	if h.Count() != ref.count {
+		t.Fatalf("count: new=%d ref=%d", h.Count(), ref.count)
+	}
+	for q := 0.0; q < 1.0; q += 0.001 {
+		if got, want := h.Quantile(q), ref.quantile(q); got != want {
+			t.Fatalf("q=%.3f: new=%v ref=%v", q, got, want)
+		}
+	}
+	if got, want := h.Quantile(1.0), ref.quantile(1.0); got != want {
+		t.Fatalf("q=1: new=%v ref=%v (exact max)", got, want)
+	}
+	// Bucket series drives the Figure 12 plots; it must be bit-identical.
+	bs := h.Buckets()
+	var refBs []BucketCount
+	for b, n := range ref.buckets {
+		if n > 0 {
+			refBs = append(refBs, BucketCount{Latency: refBucketValue(b), Count: n})
+		}
+	}
+	if len(bs) != len(refBs) {
+		t.Fatalf("bucket series length: new=%d ref=%d", len(bs), len(refBs))
+	}
+	for i := range bs {
+		if bs[i] != refBs[i] {
+			t.Fatalf("bucket %d: new=%+v ref=%+v", i, bs[i], refBs[i])
+		}
+	}
+}

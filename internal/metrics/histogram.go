@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram records positive observations in logarithmic buckets with ~4.5%
+// relative width. The bucket scheme is the one the load generator has always
+// used for latency distributions — 666 buckets growing by 1.045 per step,
+// spanning [1, ~1.79e12) in the recording unit — promoted here so client and
+// server share one implementation. When the unit is microseconds (the
+// duration helpers below), the range runs from 1µs to ~17.9 minutes.
+//
+// All methods are lock-free and safe for concurrent use: the hot path
+// (Record/Observe) is one bucket increment plus a handful of atomic adds, so
+// it can sit on the query data plane. Two histograms recorded separately
+// merge into exactly the histogram that would have recorded the union of
+// their observations.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicMin
+	max     atomicMax
+}
+
+const (
+	numBuckets   = 666
+	bucketGrowth = 1.045
+)
+
+var invLogGrowth = 1 / math.Log(bucketGrowth)
+
+// bucketFor maps a value to its bucket; values below 1 land in bucket 0.
+func bucketFor(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Log(v) * invLogGrowth)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// bucketValue is the midpoint value represented by a bucket.
+func bucketValue(b int) float64 {
+	return math.Pow(bucketGrowth, float64(b)+0.5)
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.min.Observe(v)
+	h.max.Observe(v)
+}
+
+// RecordDuration adds one latency observation in microseconds, the unit the
+// duration-valued accessors below assume.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min.Load() }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max.Load() }
+
+// Quantile returns the value at quantile q in [0, 1]: the midpoint of the
+// bucket holding the q-th observation, or the exact maximum at the top.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		return h.max.Load()
+	}
+	var cum int64
+	for b := range h.buckets {
+		cum += h.buckets[b].Load()
+		if cum > target {
+			return bucketValue(b)
+		}
+	}
+	return h.max.Load()
+}
+
+// QuantileDuration is Quantile for microsecond-unit histograms, returned as
+// a duration.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Microsecond))
+}
+
+// MeanDuration is Mean for microsecond-unit histograms.
+func (h *Histogram) MeanDuration() time.Duration {
+	return time.Duration(h.Mean() * float64(time.Microsecond))
+}
+
+// Merge folds another histogram into h. Merging histograms recorded
+// separately yields the histogram of the union of their observations.
+func (h *Histogram) Merge(o *Histogram) {
+	for b := range o.buckets {
+		if n := o.buckets[b].Load(); n > 0 {
+			h.buckets[b].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if o.count.Load() > 0 {
+		h.min.Observe(o.min.Load())
+		h.max.Observe(o.max.Load())
+	}
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Value float64
+	Count int64
+}
+
+// Buckets returns (midpoint, count) pairs of non-empty buckets — the raw
+// series for distribution plots.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	for b := range h.buckets {
+		if n := h.buckets[b].Load(); n > 0 {
+			out = append(out, BucketCount{Value: bucketValue(b), Count: n})
+		}
+	}
+	return out
+}
+
+// atomicFloat is a float64 accumulated with CAS.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// atomicMin/atomicMax track extrema of non-negative observations. The bit
+// pattern of a non-negative float64 compares like the float itself, so the
+// extremum is a CAS loop over Float64bits(v)+1 — the +1 reserves 0 as "no
+// observation yet", keeping the zero value usable.
+type atomicMin struct{ bits atomic.Uint64 }
+
+func (m *atomicMin) Observe(v float64) {
+	b := math.Float64bits(v) + 1
+	for {
+		old := m.bits.Load()
+		if old != 0 && old <= b {
+			return
+		}
+		if m.bits.CompareAndSwap(old, b) {
+			return
+		}
+	}
+}
+
+func (m *atomicMin) Load() float64 {
+	b := m.bits.Load()
+	if b == 0 {
+		return 0
+	}
+	return math.Float64frombits(b - 1)
+}
+
+type atomicMax struct{ bits atomic.Uint64 }
+
+func (m *atomicMax) Observe(v float64) {
+	b := math.Float64bits(v) + 1
+	for {
+		old := m.bits.Load()
+		if old >= b {
+			return
+		}
+		if m.bits.CompareAndSwap(old, b) {
+			return
+		}
+	}
+}
+
+func (m *atomicMax) Load() float64 {
+	b := m.bits.Load()
+	if b == 0 {
+		return 0
+	}
+	return math.Float64frombits(b - 1)
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zeroed: count=%d mean=%v q50=%v", h.Count(), h.Mean(), h.Quantile(0.5))
+	}
+	for _, v := range []float64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 100 {
+		t.Fatalf("sum = %v, want 100", h.Sum())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %v, want 25", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("min/max = %v/%v, want 10/40", h.Min(), h.Max())
+	}
+	// Bucket resolution is ~4.5%, so quantiles land within that of truth.
+	if q := h.Quantile(0.5); math.Abs(q-30)/30 > 0.05 {
+		t.Fatalf("q50 = %v, want ~30", q)
+	}
+	// The top quantile returns the exact max, not a bucket midpoint.
+	if q := h.Quantile(1.0); q != 40 {
+		t.Fatalf("q100 = %v, want exact max 40", q)
+	}
+}
+
+// Quantiles must be non-decreasing in q, bounded by [min-ish, max], for any
+// distribution.
+func TestHistogramQuantileMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := &Histogram{}
+		n := 100 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			// Mix of uniform, exponential-ish and constant values.
+			switch i % 3 {
+			case 0:
+				h.Observe(rng.Float64() * 1e6)
+			case 1:
+				h.Observe(math.Exp(rng.Float64() * 20))
+			default:
+				h.Observe(1234)
+			}
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: quantile not monotone: q=%.2f gives %v after %v", trial, q, v, prev)
+			}
+			if v > h.Max() {
+				t.Fatalf("trial %d: q=%.2f gives %v above max %v", trial, q, v, h.Max())
+			}
+			prev = v
+		}
+	}
+}
+
+// merge(h1, h2) must equal the histogram that recorded the union of their
+// observations — bucket-for-bucket, plus count/sum/min/max.
+func TestHistogramMergeEquivalentToUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h1, h2, union := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 0; i < 4000; i++ {
+		v := math.Exp(rng.Float64() * 25)
+		if i%2 == 0 {
+			h1.Observe(v)
+		} else {
+			h2.Observe(v)
+		}
+		union.Observe(v)
+	}
+	merged := &Histogram{}
+	merged.Merge(h1)
+	merged.Merge(h2)
+	if merged.Count() != union.Count() {
+		t.Fatalf("count: merged=%d union=%d", merged.Count(), union.Count())
+	}
+	if math.Abs(merged.Sum()-union.Sum()) > 1e-6*union.Sum() {
+		t.Fatalf("sum: merged=%v union=%v", merged.Sum(), union.Sum())
+	}
+	if merged.Min() != union.Min() || merged.Max() != union.Max() {
+		t.Fatalf("extrema: merged=[%v,%v] union=[%v,%v]",
+			merged.Min(), merged.Max(), union.Min(), union.Max())
+	}
+	mb, ub := merged.Buckets(), union.Buckets()
+	if len(mb) != len(ub) {
+		t.Fatalf("bucket sets differ: %d vs %d non-empty", len(mb), len(ub))
+	}
+	for i := range mb {
+		if mb[i] != ub[i] {
+			t.Fatalf("bucket %d: merged=%+v union=%+v", i, mb[i], ub[i])
+		}
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if m, u := merged.Quantile(q), union.Quantile(q); m != u {
+			t.Fatalf("q=%.2f: merged=%v union=%v", q, m, u)
+		}
+	}
+	// Merging an empty histogram must not disturb extrema.
+	before := merged.Min()
+	merged.Merge(&Histogram{})
+	if merged.Min() != before {
+		t.Fatalf("merging empty histogram changed min: %v -> %v", before, merged.Min())
+	}
+}
+
+// Concurrent recording must lose nothing and keep exact count/sum/extrema.
+// Run under -race this also proves the hot path is data-race free.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := &Histogram{}
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG + i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if h.Count() != total {
+		t.Fatalf("count = %d, want %d", h.Count(), total)
+	}
+	wantSum := float64(total) * float64(total+1) / 2
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Min() != 1 || h.Max() != float64(total) {
+		t.Fatalf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), total)
+	}
+}
+
+func TestHistogramBucketFor(t *testing.T) {
+	// Values below 1 clamp to bucket 0; huge values clamp to the last bucket.
+	if b := bucketFor(0); b != 0 {
+		t.Fatalf("bucketFor(0) = %d", b)
+	}
+	if b := bucketFor(0.5); b != 0 {
+		t.Fatalf("bucketFor(0.5) = %d", b)
+	}
+	if b := bucketFor(math.MaxFloat64); b != numBuckets-1 {
+		t.Fatalf("bucketFor(max) = %d, want %d", b, numBuckets-1)
+	}
+	// bucketValue(bucketFor(v)) stays within one growth factor of v.
+	for _, v := range []float64{1, 2, 17, 999, 1e6, 1e9} {
+		mid := bucketValue(bucketFor(v))
+		if mid < v/bucketGrowth || mid > v*bucketGrowth {
+			t.Fatalf("bucket midpoint %v too far from %v", mid, v)
+		}
+	}
+}
+
+func TestHistogramDurationHelpers(t *testing.T) {
+	h := &Histogram{}
+	h.RecordDuration(2 * time.Millisecond)
+	h.RecordDuration(4 * time.Millisecond)
+	if got := h.MeanDuration(); got < 2900*time.Microsecond || got > 3100*time.Microsecond {
+		t.Fatalf("mean duration = %v, want ~3ms", got)
+	}
+	if got := h.QuantileDuration(1.0); got != 4*time.Millisecond {
+		t.Fatalf("p100 = %v, want 4ms", got)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1.0
+		for pb.Next() {
+			h.Observe(v)
+			v += 17
+			if v > 1e9 {
+				v = 1
+			}
+		}
+	})
+}

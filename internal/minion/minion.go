@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pinot/internal/controller"
+	"pinot/internal/metrics"
 	"pinot/internal/segment"
 	"pinot/internal/startree"
 	"pinot/internal/table"
@@ -30,6 +31,9 @@ type ControllerAPI interface {
 type Config struct {
 	Instance     string
 	PollInterval time.Duration
+	// Metrics receives the minion's instrumentation; nil means the
+	// process-wide metrics.Default().
+	Metrics *metrics.Registry
 }
 
 // Minion polls the lead controller for tasks and executes them.
@@ -43,6 +47,8 @@ type Minion struct {
 	mu        sync.Mutex
 	completed int
 	failed    int
+
+	tasks *metrics.Family // labels: instance, type, result
 }
 
 // New creates a minion. controllers resolves the candidate controllers; the
@@ -51,7 +57,13 @@ func New(cfg Config, controllers func() []ControllerAPI) *Minion {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 20 * time.Millisecond
 	}
-	return &Minion{cfg: cfg, controllers: controllers}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	tasks := reg.Counter("pinot_minion_tasks_total",
+		"Minion tasks executed, by type and result.", "instance", "type", "result")
+	return &Minion{cfg: cfg, controllers: controllers, tasks: tasks}
 }
 
 // Start begins the task-polling loop.
@@ -109,13 +121,16 @@ func (m *Minion) poll() {
 	}
 	err = m.execute(ctrl, task)
 	_ = ctrl.CompleteTask(task.ID, err)
+	result := "ok"
 	m.mu.Lock()
 	if err != nil {
 		m.failed++
+		result = "fail"
 	} else {
 		m.completed++
 	}
 	m.mu.Unlock()
+	m.tasks.With(m.cfg.Instance, string(task.Type), result).Inc()
 }
 
 // execute runs one task: download, rewrite, re-upload.

@@ -24,6 +24,11 @@ type Engine struct {
 	Parallelism int
 	// Options tune physical planning for every query this engine runs.
 	Options Options
+	// OnOutcome, when set, receives each query's segment disposition after
+	// execution: plans run to completion, plans cancelled mid-scan, and
+	// segments never dispatched before the deadline. The server wires this
+	// to its metrics, keeping this package free of the metrics dependency.
+	OnOutcome func(executed, cancelled, skipped int)
 }
 
 // Execute runs a parsed query over the given segments and returns the merged
@@ -138,6 +143,9 @@ dispatch:
 		if err := merged.Merge(o.res); err != nil {
 			return nil, errExcs, err
 		}
+	}
+	if e.OnOutcome != nil {
+		e.OnOutcome(succeeded, len(cancelled), skipped)
 	}
 	var exceptions []string
 	if n := skipped + len(cancelled); n > 0 {

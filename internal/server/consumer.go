@@ -23,6 +23,10 @@ type consumer struct {
 	segName string
 	seg     *segment.MutableSegment
 	cons    *stream.Consumer
+	topic   *stream.Topic
+	// behindSince marks when the consumer last fell behind the partition
+	// head; zero while caught up. Feeds the lag-millis gauge.
+	behindSince time.Time
 	// End criteria (paper 3.3.6): a row count, a wall-clock duration, or
 	// both — whichever is reached first. Time-based flushes make replicas
 	// diverge (local clocks), which the completion protocol reconciles.
@@ -59,6 +63,7 @@ func (t *tableDataManager) startConsuming(segName string) error {
 		segName: segName,
 		seg:     ms,
 		cons:    sc,
+		topic:   topic,
 		endRows: cfg.FlushThresholdRows,
 		endTime: time.Duration(cfg.FlushThresholdMillis) * time.Millisecond,
 		stop:    make(chan struct{}),
@@ -120,8 +125,11 @@ func (c *consumer) run() {
 	defer close(c.done)
 	rows := 0
 	start := time.Now()
+	met := c.tdm.server.met
 	for !c.stopped() {
+		c.updateLag()
 		if c.endRows > 0 && rows >= c.endRows {
+			met.consumerFlushes.With(met.instance, c.tdm.resource, "rows").Inc()
 			c.complete()
 			return
 		}
@@ -129,6 +137,7 @@ func (c *consumer) run() {
 			// Time criterion: replicas hit this at different local
 			// offsets; the completion protocol's CATCHUP/DISCARD
 			// paths reconcile them (paper 3.3.6).
+			met.consumerFlushes.With(met.instance, c.tdm.resource, "time").Inc()
 			c.complete()
 			return
 		}
@@ -152,6 +161,7 @@ func (c *consumer) run() {
 			_ = c.indexMessage(m.Value)
 			rows++
 		}
+		met.consumerRows.With(met.instance, c.tdm.resource).Add(int64(len(msgs)))
 	}
 }
 
@@ -167,6 +177,7 @@ func (c *consumer) indexMessage(value []byte) error {
 
 // consumeTo catches the replica up to the target offset (CATCHUP).
 func (c *consumer) consumeTo(target int64) {
+	met := c.tdm.server.met
 	for c.cons.Offset() < target && !c.stopped() {
 		max := int(target - c.cons.Offset())
 		if max > c.tdm.server.cfg.ConsumeBatch {
@@ -180,6 +191,7 @@ func (c *consumer) consumeTo(target int64) {
 		for _, m := range msgs {
 			_ = c.indexMessage(m.Value)
 		}
+		met.consumerRows.With(met.instance, c.tdm.resource).Add(int64(len(msgs)))
 	}
 }
 

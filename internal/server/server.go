@@ -14,6 +14,7 @@ import (
 
 	"pinot/internal/controller"
 	"pinot/internal/helix"
+	"pinot/internal/metrics"
 	"pinot/internal/objstore"
 	"pinot/internal/pql"
 	"pinot/internal/qctx"
@@ -53,6 +54,9 @@ type Config struct {
 	// filters, inverted indexes are built on the hosted segments. Zero
 	// disables the feature.
 	AutoIndexThreshold int
+	// Metrics receives the server's instrumentation; nil means the
+	// process-wide metrics.Default().
+	Metrics *metrics.Registry
 }
 
 func (c *Config) withDefaults() {
@@ -79,6 +83,7 @@ type Server struct {
 	engine      *query.Engine
 	sched       *tenancy.Scheduler
 	auto        *autoIndexer
+	met         *serverMetrics
 
 	mu     sync.RWMutex
 	tables map[string]*tableDataManager
@@ -113,6 +118,7 @@ func (s *Server) recordCompletionAction(a transport.SegmentConsumedAction) {
 	}
 	s.completionActions[a]++
 	s.completionMu.Unlock()
+	s.met.completion.With(s.cfg.Instance, string(a)).Inc()
 }
 
 // InjectLatency sets a per-query artificial delay (0 clears it). Testing
@@ -131,9 +137,16 @@ func New(cfg Config, store *zkmeta.Store, objects objstore.Store, streams *strea
 		controllers: controllers,
 		tables:      map[string]*tableDataManager{},
 		engine:      &query.Engine{Parallelism: cfg.Parallelism, Options: cfg.PlanOptions},
+		met:         newServerMetrics(cfg.Metrics, cfg.Instance),
+	}
+	s.engine.OnOutcome = func(executed, cancelled, skipped int) {
+		s.met.segExecuted.Add(int64(executed))
+		s.met.segCancelled.Add(int64(cancelled))
+		s.met.segSkipped.Add(int64(skipped))
 	}
 	if cfg.TenantTokens > 0 {
 		s.sched = tenancy.NewScheduler(cfg.TenantTokens, cfg.TenantRefill, nil)
+		s.sched.SetMetrics(s.met.reg)
 	}
 	if cfg.AutoIndexThreshold > 0 {
 		s.auto = newAutoIndexer(cfg.AutoIndexThreshold)
@@ -233,6 +246,7 @@ func (s *Server) tableManager(resource string) (*tableDataManager, error) {
 
 // handleTransition executes Helix state transitions (paper Figures 3 and 4).
 func (s *Server) handleTransition(resource, partition, from, to string) error {
+	s.met.transitions.With(s.cfg.Instance, to).Inc()
 	t, err := s.tableManager(resource)
 	if err != nil {
 		return err
@@ -256,7 +270,13 @@ func (s *Server) handleTransition(resource, partition, from, to string) error {
 
 // Execute runs a query on this server's share of a resource's segments
 // (paper 3.3.3 steps 4–6).
-func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (resp *transport.QueryResponse, err error) {
+	s.met.queries.Inc()
+	defer func() {
+		if err != nil {
+			s.met.failures.Inc()
+		}
+	}()
 	q, err := pql.Parse(req.PQL)
 	if err != nil {
 		return nil, err
@@ -298,7 +318,6 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*tra
 		case <-time.After(d):
 		}
 	}
-	var resp *transport.QueryResponse
 	run := func() error {
 		stop := qc.Clock(qctx.PhaseExecute)
 		merged, exceptions, err := s.engine.Execute(ctx, q, segs, t.cfg.Load().Schema)
@@ -317,12 +336,17 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*tra
 		var wait time.Duration
 		wait, err = s.sched.Execute(ctx, tenant, run)
 		qc.Charge(qctx.PhaseQueue, wait)
+		s.met.queueWait.ObserveDuration(wait)
 	} else {
 		err = run()
 	}
 	if err != nil {
 		return nil, err
 	}
+	usage := qc.UsageSnapshot()
+	s.met.docs.Add(usage.DocsScanned)
+	s.met.entries.Add(usage.EntriesScanned)
+	s.met.groupState.Observe(float64(usage.GroupStateBytes))
 	resp.Trace = qc.TraceSnapshot()
 	return resp, nil
 }

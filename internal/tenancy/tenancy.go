@@ -9,6 +9,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"pinot/internal/metrics"
 )
 
 // Clock abstracts time for tests.
@@ -106,6 +108,26 @@ type Scheduler struct {
 	capacity float64
 	refill   float64
 	clock    Clock
+
+	// Metric families, set via SetMetrics; nil fields mean uninstrumented
+	// (the scheduler predates the registry and stays usable without one).
+	throttles  *metrics.Family // label: tenant — queries that had to wait
+	waitHist   *metrics.Family // label: tenant — queue wait, µs
+	queueDepth *metrics.Family // label: tenant — queries currently waiting
+}
+
+// SetMetrics registers the scheduler's instruments with a registry. Call
+// before serving queries; it is not synchronized against Execute.
+func (s *Scheduler) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	s.throttles = reg.Counter("pinot_tenancy_throttles_total",
+		"Queries delayed by an exhausted token bucket.", "tenant")
+	s.waitHist = reg.Histogram("pinot_tenancy_queue_wait_us",
+		"Token-bucket queue wait in microseconds.", "tenant")
+	s.queueDepth = reg.Gauge("pinot_tenancy_queue_depth",
+		"Queries currently waiting on a token bucket.", "tenant")
 }
 
 // NewScheduler creates a scheduler giving every tenant a bucket of the given
@@ -142,12 +164,26 @@ func (s *Scheduler) Bucket(tenant string) *TokenBucket {
 func (s *Scheduler) Execute(ctx context.Context, tenant string, fn func() error) (time.Duration, error) {
 	b := s.Bucket(tenant)
 	t0 := s.clock()
-	if err := b.Wait(ctx); err != nil {
-		return s.clock().Sub(t0), err
+	throttled := b.waitDelay() > 0
+	if throttled && s.throttles != nil {
+		s.throttles.With(tenant).Inc()
+	}
+	if s.queueDepth != nil {
+		s.queueDepth.With(tenant).Inc()
+	}
+	err := b.Wait(ctx)
+	if s.queueDepth != nil {
+		s.queueDepth.With(tenant).Dec()
 	}
 	wait := s.clock().Sub(t0)
+	if s.waitHist != nil {
+		s.waitHist.With(tenant).ObserveDuration(wait)
+	}
+	if err != nil {
+		return wait, err
+	}
 	start := s.clock()
-	err := fn()
+	err = fn()
 	b.Charge(s.clock().Sub(start).Seconds())
 	return wait, err
 }

@@ -10,10 +10,54 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"pinot/internal/metrics"
 	"pinot/internal/qctx"
 	"pinot/internal/query"
 )
+
+// wireMetrics instruments the encode/decode hot path. EncodeResponse and
+// DecodeResponse are package functions, so the handles live behind a
+// process-global atomic pointer swappable via UseRegistry (tests that need
+// isolation swap in their own registry and restore Default afterwards).
+type wireMetrics struct {
+	encodes      *metrics.Instrument
+	encodeBytes  *metrics.Instrument
+	encodeTimeUs *metrics.Instrument // histogram
+	decodes      *metrics.Instrument
+	decodeFails  *metrics.Instrument
+}
+
+func newWireMetrics(reg *metrics.Registry) *wireMetrics {
+	return &wireMetrics{
+		encodes: reg.Counter("pinot_transport_encodes_total",
+			"Query responses gob-encoded for the wire.").With(),
+		encodeBytes: reg.Counter("pinot_transport_encode_bytes_total",
+			"Bytes of encoded query responses.").With(),
+		encodeTimeUs: reg.Histogram("pinot_transport_encode_time_us",
+			"Response encode time in microseconds.").With(),
+		decodes: reg.Counter("pinot_transport_decodes_total",
+			"Query responses decoded from the wire.").With(),
+		decodeFails: reg.Counter("pinot_transport_decode_failures_total",
+			"Wire payloads rejected by the decoder.").With(),
+	}
+}
+
+var wireMet atomic.Pointer[wireMetrics]
+
+func init() { wireMet.Store(newWireMetrics(metrics.Default())) }
+
+// UseRegistry points the transport's package-level instruments at a registry
+// (metrics.Default() at init). Not synchronized with in-flight calls beyond
+// the atomic swap; intended for process setup and sequential tests.
+func UseRegistry(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	wireMet.Store(newWireMetrics(reg))
+}
 
 // QueryRequest asks a server to execute a query on a subset of a resource's
 // segments (paper 3.3.3 step 3).
@@ -136,6 +180,8 @@ const maxPooledBuf = 1 << 20
 // returned slice is freshly allocated and owned by the caller; the scratch
 // buffer goes back to the pool.
 func EncodeResponse(r *QueryResponse) ([]byte, error) {
+	met := wireMet.Load()
+	start := time.Now()
 	buf := encodeBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(r); err != nil {
@@ -147,6 +193,9 @@ func EncodeResponse(r *QueryResponse) ([]byte, error) {
 	if buf.Cap() <= maxPooledBuf {
 		encodeBufPool.Put(buf)
 	}
+	met.encodes.Inc()
+	met.encodeBytes.Add(int64(len(out)))
+	met.encodeTimeUs.ObserveDuration(time.Since(start))
 	return out, nil
 }
 
@@ -156,15 +205,20 @@ func EncodeResponse(r *QueryResponse) ([]byte, error) {
 // hostile inputs have historically escaped that net (e.g. huge slice
 // allocations), so the guard stays belt-and-braces.
 func DecodeResponse(data []byte) (resp *QueryResponse, err error) {
+	met := wireMet.Load()
 	defer func() {
 		if p := recover(); p != nil {
 			resp = nil
 			err = fmt.Errorf("transport: decode panic: %v", p)
+		}
+		if err != nil {
+			met.decodeFails.Inc()
 		}
 	}()
 	var r QueryResponse
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
 		return nil, fmt.Errorf("transport: decode response: %w", err)
 	}
+	met.decodes.Inc()
 	return &r, nil
 }
