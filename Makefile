@@ -23,13 +23,15 @@ race:
 verify: build vet race fmt-check bench-check cover
 
 # Headline A/B benchmarks the baseline must carry: the multi-level segment
-# pruning pairs, the pooled gob-encode pair, and the metrics-registry
-# overhead pair.
+# pruning pairs, the pooled gob-encode pair, the metrics-registry overhead
+# pair, and the TCP data-plane pair (loopback round trip, streamed-vs-
+# buffered response decode).
 BENCH_REQUIRED = \
 	BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
 	BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
 	BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
-	BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff
+	BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
+	BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -51,14 +53,16 @@ cover:
 
 # Regenerate the committed benchmark baseline for the vectorized-execution
 # kernels (A/B pairs plus the micro kernels they are built from), the
-# segment-pruning pairs, the transport encode pool pair, and the
-# metrics-registry overhead pair.
+# segment-pruning pairs, the transport encode pool pair, the metrics-registry
+# overhead pair, and the TCP data-plane benchmarks.
 bench-json:
-	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
-# Short fuzz pass over the transport decoder.
+# Short fuzz passes over the transport decoders: the buffered whole-response
+# payload and the framed wire protocol.
 fuzz:
-	$(GO) test ./internal/transport -fuzz=FuzzDecodeResponse -fuzztime=10s
+	$(GO) test ./internal/transport -run NONE -fuzz=FuzzDecodeResponse -fuzztime=10s
+	$(GO) test ./internal/transport -run NONE -fuzz=FuzzDecodeFrame -fuzztime=10s
 
 clean:
 	$(GO) clean ./...

@@ -29,8 +29,14 @@ go run ./cmd/benchcheck BENCH_baseline.json \
     BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
     BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
     BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
+    BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
     < .bench-run.txt
 rm -f .bench-run.txt
+
+# Fuzz smoke over the wire-frame decoder: a few seconds of FuzzDecodeFrame on
+# every PR keeps the "any bytes in, never a panic" property honest without a
+# long fuzzing campaign.
+go test ./internal/transport -run NONE -fuzz FuzzDecodeFrame -fuzztime 5s
 
 # Per-package coverage floors (make cover): the checked-in baseline pins a
 # floor slightly below each package's measured coverage so instrumentation

@@ -1,8 +1,19 @@
-// Command pinot runs an all-in-one Pinot cluster in a single process —
-// controllers, servers, brokers and minions over the in-memory substrates —
-// and exposes the controller and broker HTTP APIs.
+// Command pinot runs a Pinot cluster. The default role, "all", keeps the
+// original behavior: a complete single-process cluster — controllers,
+// servers, brokers and minions over the in-memory substrates — exposing the
+// controller and broker HTTP APIs.
 //
 //	pinot -servers 3 -brokers 2 -controller-addr :9000 -broker-addr :8099
+//
+// The other roles split the same components across real OS processes that
+// share cluster state through the controller's TCP metadata endpoint and a
+// filesystem object store, and scatter queries over the framed TCP data
+// plane (offline tables; stream ingestion stays in-process-only):
+//
+//	pinot -role controller -zk-listen :2181 -objstore-dir /tmp/pinot-store
+//	pinot -role server -instance server1 -zk localhost:2181 -objstore-dir /tmp/pinot-store
+//	pinot -role server -instance server2 -zk localhost:2181 -objstore-dir /tmp/pinot-store
+//	pinot -role broker -zk localhost:2181 -broker-addr :8099
 //
 // Then:
 //
@@ -15,44 +26,82 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"pinot/internal/broker"
 	"pinot/internal/cluster"
+	"pinot/internal/controller"
+	"pinot/internal/helix"
 	"pinot/internal/httpapi"
 	"pinot/internal/metrics"
+	"pinot/internal/objstore"
+	"pinot/internal/server"
+	"pinot/internal/stream"
+	"pinot/internal/transport"
+	"pinot/internal/zkmeta"
 )
 
 func main() {
 	var (
+		role           = flag.String("role", "all", "process role: all|controller|server|broker")
 		name           = flag.String("cluster", "pinot", "cluster name")
-		controllers    = flag.Int("controllers", 1, "controller instances")
-		servers        = flag.Int("servers", 2, "server instances")
-		brokers        = flag.Int("brokers", 1, "broker instances")
-		minions        = flag.Int("minions", 1, "minion instances")
+		instance       = flag.String("instance", "", "instance name (server/broker roles; defaults per role)")
+		controllers    = flag.Int("controllers", 1, "controller instances (role=all)")
+		servers        = flag.Int("servers", 2, "server instances (role=all)")
+		brokers        = flag.Int("brokers", 1, "broker instances (role=all)")
+		minions        = flag.Int("minions", 1, "minion instances (role=all)")
 		controllerAddr = flag.String("controller-addr", ":9000", "controller HTTP listen address")
 		brokerAddr     = flag.String("broker-addr", ":8099", "broker HTTP listen address")
 		strategy       = flag.String("routing", "balanced", "broker routing strategy: balanced|largeCluster")
 		partitionAware = flag.Bool("partition-aware", false, "enable partition-aware routing")
 		streamTopics   = flag.String("topics", "", "comma-separated topic:partitions to pre-create, e.g. events:4")
+		zkListen       = flag.String("zk-listen", ":2181", "metadata TCP listen address (role=controller)")
+		zkAddr         = flag.String("zk", "localhost:2181", "metadata TCP endpoint (roles server/broker)")
+		objstoreDir    = flag.String("objstore-dir", "", "shared filesystem object store directory (multi-process roles)")
+		transportAddr  = flag.String("transport-addr", "127.0.0.1:0", "framed-TCP data plane listen address (roles controller/server)")
+		queryDelay     = flag.Duration("debug-query-delay", 0, "artificial per-query latency on this server (testing hook)")
 	)
 	flag.Parse()
 
+	switch *role {
+	case "all":
+		runAll(*name, *controllers, *servers, *brokers, *minions, *controllerAddr, *brokerAddr, *strategy, *partitionAware, *streamTopics)
+	case "controller":
+		runController(*name, *zkListen, *objstoreDir, *controllerAddr, *transportAddr)
+	case "server":
+		runServer(*name, *instance, *zkAddr, *objstoreDir, *transportAddr, *queryDelay)
+	case "broker":
+		runBroker(*name, *instance, *zkAddr, *brokerAddr, *strategy, *partitionAware)
+	default:
+		log.Fatalf("unknown role %q (want all|controller|server|broker)", *role)
+	}
+}
+
+func awaitSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+}
+
+func runAll(name string, controllers, servers, brokers, minions int, controllerAddr, brokerAddr, strategy string, partitionAware bool, streamTopics string) {
 	c, err := cluster.NewLocal(cluster.Options{
-		Name:        *name,
-		Controllers: *controllers,
-		Servers:     *servers,
-		Brokers:     *brokers,
-		Minions:     *minions,
+		Name:        name,
+		Controllers: controllers,
+		Servers:     servers,
+		Brokers:     brokers,
+		Minions:     minions,
 		BrokerTemplate: broker.Config{
-			Strategy:       broker.Strategy(*strategy),
-			PartitionAware: *partitionAware,
+			Strategy:       broker.Strategy(strategy),
+			PartitionAware: partitionAware,
 		},
 		// The binary is one process = one cluster, so the process-wide
 		// default registry (which the transport package also records into)
@@ -64,8 +113,8 @@ func main() {
 	}
 	defer c.Shutdown()
 
-	if *streamTopics != "" {
-		if err := createTopics(c, *streamTopics); err != nil {
+	if streamTopics != "" {
+		if err := createTopics(c, streamTopics); err != nil {
 			log.Fatalf("topics: %v", err)
 		}
 	}
@@ -74,29 +123,170 @@ func main() {
 	if err != nil {
 		log.Fatalf("no leader: %v", err)
 	}
-	ctrlSrv := &http.Server{Addr: *controllerAddr, Handler: httpapi.NewControllerHandler(leader)}
-	brokerSrv := &http.Server{Addr: *brokerAddr, Handler: httpapi.NewBrokerHandler(c.Broker())}
-	go func() {
-		log.Printf("controller API on %s", *controllerAddr)
-		if err := ctrlSrv.ListenAndServe(); err != http.ErrServerClosed {
-			log.Fatalf("controller http: %v", err)
-		}
-	}()
-	go func() {
-		log.Printf("broker API on %s", *brokerAddr)
-		if err := brokerSrv.ListenAndServe(); err != http.ErrServerClosed {
-			log.Fatalf("broker http: %v", err)
-		}
-	}()
+	ctrlSrv := serveHTTP("controller", controllerAddr, httpapi.NewControllerHandler(leader))
+	brokerSrv := serveHTTP("broker", brokerAddr, httpapi.NewBrokerHandler(c.Broker()))
 	log.Printf("cluster %q up: %d controllers, %d servers, %d brokers, %d minions",
-		*name, *controllers, *servers, *brokers, *minions)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Println("shutting down")
+		name, controllers, servers, brokers, minions)
+	awaitSignal()
 	_ = ctrlSrv.Close()
 	_ = brokerSrv.Close()
+}
+
+func serveHTTP(what, addr string, handler http.Handler) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	go func() {
+		log.Printf("%s API on %s", what, addr)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("%s http: %v", what, err)
+		}
+	}()
+	return srv
+}
+
+func mustObjstore(dir string) objstore.Store {
+	if dir == "" {
+		log.Fatal("multi-process roles require -objstore-dir (a directory shared by controller and servers)")
+	}
+	fs, err := objstore.NewFS(dir)
+	if err != nil {
+		log.Fatalf("objstore: %v", err)
+	}
+	return fs
+}
+
+// runController hosts the cluster metadata (an in-process zkmeta store
+// served over TCP for the other processes), the lead controller, its HTTP
+// API and a data-plane listener answering segment-completion frames.
+func runController(name, zkListen, objstoreDir, httpAddr, transportAddr string) {
+	store := zkmeta.NewStore()
+	zkSrv := zkmeta.NewTCPServer(store)
+	zkLis, err := net.Listen("tcp", zkListen)
+	if err != nil {
+		log.Fatalf("zk listen: %v", err)
+	}
+	go zkSrv.Serve(zkLis)
+	defer zkSrv.Close()
+	log.Printf("metadata endpoint on %s", zkLis.Addr())
+
+	ctrl := controller.New(controller.Config{
+		Cluster:  name,
+		Instance: "controller1",
+		Metrics:  metrics.Default(),
+	}, store, mustObjstore(objstoreDir), stream.NewCluster())
+	if err := ctrl.Start(); err != nil {
+		log.Fatalf("controller start: %v", err)
+	}
+	defer ctrl.Stop()
+
+	dataSrv := transport.NewTCPQueryServer(nil)
+	dataSrv.Controller = ctrl
+	dataLis, err := net.Listen("tcp", transportAddr)
+	if err != nil {
+		log.Fatalf("transport listen: %v", err)
+	}
+	go dataSrv.Serve(dataLis)
+	defer dataSrv.Close()
+	log.Printf("completion data plane on %s", dataLis.Addr())
+
+	httpSrv := serveHTTP("controller", httpAddr, httpapi.NewControllerHandler(ctrl))
+	awaitSignal()
+	_ = httpSrv.Close()
+}
+
+// runServer joins the cluster through the remote metadata endpoint, serves
+// the framed query protocol on its advertised address, and loads segments
+// from the shared filesystem object store.
+func runServer(name, instance, zkAddr, objstoreDir, transportAddr string, queryDelay time.Duration) {
+	if instance == "" {
+		instance = fmt.Sprintf("server-%d", os.Getpid())
+	}
+	lis, err := net.Listen("tcp", transportAddr)
+	if err != nil {
+		log.Fatalf("transport listen: %v", err)
+	}
+	remote := zkmeta.NewRemote(zkAddr)
+	srv := server.New(server.Config{
+		Cluster:       name,
+		Instance:      instance,
+		AdvertiseAddr: lis.Addr().String(),
+		Metrics:       metrics.Default(),
+	}, remote, mustObjstore(objstoreDir), stream.NewCluster(), func() []transport.ControllerClient { return nil })
+	if queryDelay > 0 {
+		srv.InjectLatency(queryDelay)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatalf("server start: %v", err)
+	}
+	defer srv.Stop()
+
+	dataSrv := transport.NewTCPQueryServer(srv)
+	go dataSrv.Serve(lis)
+	defer dataSrv.Close()
+	log.Printf("server %s: data plane on %s", instance, lis.Addr())
+	awaitSignal()
+}
+
+// runBroker joins the cluster through the remote metadata endpoint and
+// scatters queries over TCP, resolving server instances to data-plane
+// addresses from their registered instance configs (briefly cached).
+func runBroker(name, instance, zkAddr, httpAddr, strategy string, partitionAware bool) {
+	if instance == "" {
+		instance = fmt.Sprintf("broker-%d", os.Getpid())
+	}
+	remote := zkmeta.NewRemote(zkAddr)
+	pool := transport.NewPool()
+	defer pool.Close()
+	registry := transport.NewTCPRegistry(newAddrResolver(remote, name, 2*time.Second), pool)
+	br := broker.New(broker.Config{
+		Cluster:        name,
+		Instance:       instance,
+		Strategy:       broker.Strategy(strategy),
+		PartitionAware: partitionAware,
+		Metrics:        metrics.Default(),
+	}, remote, registry)
+	if err := br.Start(); err != nil {
+		log.Fatalf("broker start: %v", err)
+	}
+	defer br.Stop()
+	httpSrv := serveHTTP("broker", httpAddr, httpapi.NewBrokerHandler(br))
+	log.Printf("broker %s up", instance)
+	awaitSignal()
+	_ = httpSrv.Close()
+}
+
+// newAddrResolver resolves instance names to advertised data-plane
+// addresses via the metadata store, caching hits briefly so each scattered
+// query does not re-read instance configs.
+func newAddrResolver(endpoint zkmeta.Endpoint, cluster string, ttl time.Duration) func(string) (string, bool) {
+	type entry struct {
+		addr    string
+		ok      bool
+		expires time.Time
+	}
+	var (
+		mu    sync.Mutex
+		sess  = endpoint.NewClient()
+		admin = helix.NewAdmin(sess, cluster)
+		cache = map[string]entry{}
+	)
+	return func(instance string) (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if e, ok := cache[instance]; ok && time.Now().Before(e.expires) {
+			return e.addr, e.ok
+		}
+		if sess.Expired() {
+			// Lazy reconnect: the metadata connection died (or never came
+			// up); try a fresh session on each miss until one sticks.
+			sess = endpoint.NewClient()
+			admin = helix.NewAdmin(sess, cluster)
+			cache = map[string]entry{}
+		}
+		cfg, err := admin.InstanceConfigOf(instance)
+		e := entry{addr: cfg.Addr, ok: err == nil && cfg.Addr != "", expires: time.Now().Add(ttl)}
+		cache[instance] = e
+		return e.addr, e.ok
+	}
 }
 
 func createTopics(c *cluster.Cluster, spec string) error {

@@ -107,8 +107,8 @@ func (c *Config) retries() int {
 // Broker routes queries to servers and merges their partial results.
 type Broker struct {
 	cfg      Config
-	store    *zkmeta.Store
-	sess     *zkmeta.Session
+	store    zkmeta.Endpoint
+	sess     zkmeta.Client
 	registry transport.Registry
 	met      *brokerMetrics
 	slow     *metrics.SlowLog
@@ -126,7 +126,7 @@ type Broker struct {
 
 // New creates a broker. The registry resolves server instances to query
 // clients.
-func New(cfg Config, store *zkmeta.Store, registry transport.Registry) *Broker {
+func New(cfg Config, store zkmeta.Endpoint, registry transport.Registry) *Broker {
 	cfg.withDefaults()
 	seed := cfg.Seed
 	if seed == 0 {
@@ -159,7 +159,7 @@ func (b *Broker) SlowQueries() *metrics.SlowLog { return b.slow }
 // subscribes to external-view changes to keep routing tables fresh (paper
 // 3.3.2).
 func (b *Broker) Start() error {
-	b.sess = b.store.NewSession()
+	b.sess = b.store.NewClient()
 	admin := helix.NewAdmin(b.sess, b.cfg.Cluster)
 	if err := admin.CreateCluster(); err != nil {
 		return err

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho serves connections that echo every byte back.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(conn, conn)
+				conn.Close()
+			}()
+		}
+	}()
+	return lis.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestProxyTransparent(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	msg := []byte("hello through the proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	if p.Faulted() != 0 {
+		t.Fatalf("transparent proxy counted %d faults", p.Faulted())
+	}
+}
+
+func TestProxyRejectConnections(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.SetFault(ProxyFault{RejectConnections: true})
+	conn := dialProxy(t, p)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded through rejecting proxy")
+	}
+	if p.Faulted() == 0 {
+		t.Fatal("no fault counted")
+	}
+}
+
+func TestProxyResetMidStream(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.SetFault(ProxyFault{ResetAfterResponseBytes: 5})
+	conn := dialProxy(t, p)
+	if _, err := conn.Write(bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := io.ReadFull(conn, make([]byte, 100))
+	if err == nil {
+		t.Fatal("read all 100 bytes through a reset")
+	}
+	if n > 5 {
+		t.Fatalf("got %d bytes, reset was at 5", n)
+	}
+	if p.Faulted() == 0 {
+		t.Fatal("no fault counted")
+	}
+}
+
+func TestProxyHalfOpenHang(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.SetFault(ProxyFault{HangAfterResponseBytes: 3})
+	conn := dialProxy(t, p)
+	if _, err := conn.Write([]byte("0123456789")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, 3)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read prefix: %v", err)
+	}
+	// The rest never arrives and the connection never closes: only the
+	// deadline gets us out.
+	conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read got data past the hang point")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("want timeout (half-open), got %v", err)
+	}
+}
+
+func TestProxySlowDrip(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.SetFault(ProxyFault{DripDelay: 10 * time.Millisecond, DripChunk: 2})
+	conn := dialProxy(t, p)
+	msg := []byte("0123456789")
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("drip corrupted data: %q", got)
+	}
+	// 10 bytes in 2-byte chunks = 4 inter-chunk delays minimum.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("drip too fast: %v", elapsed)
+	}
+}
+
+func TestProxyCorruptByte(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	p.SetFault(ProxyFault{CorruptResponseByte: 4})
+	conn := dialProxy(t, p)
+	msg := []byte("abcdefgh")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	want := append([]byte(nil), msg...)
+	want[3] ^= 0x40
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q (bit flipped at byte 4)", got, want)
+	}
+}

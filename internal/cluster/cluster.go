@@ -9,6 +9,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"pinot/internal/broker"
@@ -42,6 +43,11 @@ type Options struct {
 	// ChaosSeed seeds the fault-injection registry wrapped around the
 	// broker→server transport (0 = 1, still deterministic).
 	ChaosSeed int64
+	// Transport selects the broker→server data plane: "" or "mem" for
+	// direct in-memory calls (the default), "tcp" for the framed TCP
+	// protocol over loopback listeners. Either way the chaos registry
+	// wraps the base transport.
+	Transport string
 	// Metrics is the registry every component of the cluster records into.
 	// Nil means a fresh registry per cluster, so concurrent test clusters
 	// in one process never share counters.
@@ -79,6 +85,10 @@ type Cluster struct {
 	Metrics *metrics.Registry
 
 	adminSess *zkmeta.Session
+
+	tcpServers []*transport.TCPQueryServer
+	tcpAddrs   map[string]string
+	tcpPool    *transport.Pool
 }
 
 // NewLocal builds and starts a cluster.
@@ -142,6 +152,14 @@ func NewLocal(opts Options) (*Cluster, error) {
 		}
 		return nil, false
 	})
+	if opts.Transport == "tcp" {
+		tcpReg, err := c.StartTCPTransport()
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		base = transport.RegistryFunc(tcpReg.ServerClient)
+	}
 	// All broker traffic flows through the chaos registry; with no faults
 	// configured it is a transparent passthrough.
 	c.Chaos = chaos.NewRegistry(base, opts.ChaosSeed)
@@ -176,6 +194,36 @@ func NewLocal(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// StartTCPTransport starts a framed-TCP listener for every server on a
+// loopback port and returns a registry that dials them through a shared
+// connection pool. Idempotent: a second call returns a registry over the
+// same listeners. NewLocal calls it when Options.Transport is "tcp";
+// tests that want both transports side by side call it directly.
+func (c *Cluster) StartTCPTransport() (transport.Registry, error) {
+	if c.tcpAddrs == nil {
+		c.tcpAddrs = map[string]string{}
+		c.tcpPool = transport.NewPool()
+		for _, s := range c.Servers {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			ts := transport.NewTCPQueryServer(s)
+			go ts.Serve(lis)
+			c.tcpServers = append(c.tcpServers, ts)
+			c.tcpAddrs[s.Instance()] = lis.Addr().String()
+		}
+	}
+	return transport.NewTCPRegistry(c.TCPAddr, c.tcpPool), nil
+}
+
+// TCPAddr resolves a server instance to its loopback data-plane address
+// (after StartTCPTransport).
+func (c *Cluster) TCPAddr(instance string) (string, bool) {
+	addr, ok := c.tcpAddrs[instance]
+	return addr, ok
+}
+
 // Shutdown stops every component.
 func (c *Cluster) Shutdown() {
 	for _, m := range c.Minions {
@@ -189,6 +237,12 @@ func (c *Cluster) Shutdown() {
 	}
 	for _, ctrl := range c.Controllers {
 		ctrl.Stop()
+	}
+	for _, ts := range c.tcpServers {
+		ts.Close()
+	}
+	if c.tcpPool != nil {
+		c.tcpPool.Close()
 	}
 	if c.adminSess != nil {
 		c.adminSess.Close()

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"pinot/internal/broker"
+	"pinot/internal/metrics"
+)
+
+// differentialQueries builds the mixed corpus: plain aggregations, group-bys
+// (with and without TOP), ordered selections, and filters that prune to
+// empty — each against both the offline and the realtime table.
+func differentialQueries() []string {
+	tables := []string{"events", "rtevents"}
+	aggs := []string{
+		"count(*)", "sum(clicks)", "min(clicks)", "max(clicks)", "avg(clicks)",
+		"count(*), sum(clicks), min(day), max(day)",
+	}
+	filters := []string{
+		"",
+		"WHERE country = 'us'",
+		"WHERE country IN ('de', 'fr')",
+		"WHERE memberId = 7",
+		"WHERE clicks >= 100 AND clicks < 150",
+		"WHERE day BETWEEN 101 AND 103",
+		"WHERE NOT country = 'us'",
+		"WHERE day > 9000",      // pruned to empty by zone maps
+		"WHERE memberId = 4242", // matches nothing anywhere
+	}
+	var qs []string
+	for _, tb := range tables {
+		for _, agg := range aggs {
+			for _, f := range filters {
+				qs = append(qs, strings.TrimSpace(fmt.Sprintf("SELECT %s FROM %s %s", agg, tb, f)))
+			}
+		}
+	}
+	groupAggs := []string{"count(*)", "sum(clicks)", "max(clicks)"}
+	groupCols := []string{"country", "memberId", "day"}
+	groupFilters := []string{"", "WHERE country IN ('us', 'de')", "WHERE clicks < 120", "WHERE day > 9000"}
+	for _, tb := range tables {
+		for _, agg := range groupAggs {
+			for _, col := range groupCols {
+				for _, f := range groupFilters {
+					qs = append(qs, strings.TrimSpace(fmt.Sprintf("SELECT %s FROM %s %s GROUP BY %s", agg, tb, f, col)))
+				}
+			}
+		}
+	}
+	selections := []string{
+		"SELECT memberId, clicks FROM %s WHERE country = 'us' ORDER BY clicks LIMIT 20",
+		"SELECT country, clicks FROM %s WHERE memberId = 3 ORDER BY clicks DESC LIMIT 10",
+		"SELECT clicks FROM %s WHERE clicks BETWEEN 42 AND 90 ORDER BY clicks",
+		"SELECT memberId, clicks FROM %s WHERE day > 9000 ORDER BY clicks LIMIT 5",
+		"SELECT clicks, day FROM %s WHERE country = 'fr' ORDER BY clicks DESC LIMIT 7, 13",
+		"SELECT country, memberId, clicks FROM %s ORDER BY clicks LIMIT 25",
+	}
+	for _, tb := range tables {
+		for _, s := range selections {
+			qs = append(qs, fmt.Sprintf(s, tb))
+		}
+		qs = append(qs,
+			"SELECT count(*) FROM "+tb+" GROUP BY country TOP 2",
+			"SELECT sum(clicks) FROM "+tb+" GROUP BY memberId TOP 5",
+			"SELECT count(*) FROM "+tb+" WHERE clicks >= 10 GROUP BY day TOP 3",
+			"SELECT max(clicks) FROM "+tb+" GROUP BY country TOP 1",
+		)
+	}
+	return qs
+}
+
+// canonicalResponse renders the deterministic part of a response — columns,
+// rows, stats, partial flag, exceptions — to a comparable string. Row order
+// is semantics when the query has an ORDER BY (clicks is a unique key in
+// this corpus, so ordered results are fully deterministic); without one the
+// rows are a set and are canonicalized by sorting.
+func canonicalResponse(pqlText string, res *broker.Response) string {
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = fmt.Sprintf("%#v", r)
+	}
+	if !strings.Contains(pqlText, "ORDER BY") && !strings.Contains(pqlText, "GROUP BY") {
+		sort.Strings(rows)
+	}
+	return fmt.Sprintf("cols=%#v rows=%v stats=%+v partial=%v exceptions=%#v",
+		res.Columns, rows, res.Stats, res.Partial, res.Exceptions)
+}
+
+// TestDifferentialMemVsTCP runs the full mixed corpus through two brokers on
+// one cluster — one scattering over direct in-memory calls, one over the
+// framed TCP data plane — and requires identical responses, stats included.
+// The streamed wire path must be indistinguishable from the buffered one.
+func TestDifferentialMemVsTCP(t *testing.T) {
+	c, err := NewLocal(Options{Servers: 2, BrokerTemplate: broker.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	loadOffline(t, c, 2)
+
+	// Realtime table: flush a few segments and leave consuming tails, so the
+	// corpus crosses committed and in-memory realtime data.
+	if _, err := c.Streams.CreateTopic("events", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(realtimeConfig(t, 2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForConsuming("rtevents_REALTIME", 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	produceEvents(t, c, "events", 0, 200)
+	if err := c.WaitForOnline("rtevents_REALTIME", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	tcpReg, err := c.StartTCPTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpBr := broker.New(broker.Config{
+		Cluster:  c.Name,
+		Instance: "broker-tcp",
+		Seed:     7,
+		Metrics:  metrics.NewRegistry(),
+	}, c.Store, tcpReg)
+	if err := tcpBr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer tcpBr.Stop()
+
+	// Both brokers may route to different replicas, so wait until every
+	// realtime replica has consumed everything: both paths must agree on the
+	// full count before determinism is even possible.
+	settle := func(br *broker.Broker, what string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			res, err := br.Execute(context.Background(), "SELECT count(*) FROM rtevents", "")
+			if err == nil && !res.Partial && res.Rows[0][0].(int64) == 200 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s broker never saw all 200 realtime rows (last: %v, %v)", what, res, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	settle(c.Broker(), "mem")
+	settle(tcpBr, "tcp")
+
+	queries := differentialQueries()
+	if len(queries) < 200 {
+		t.Fatalf("corpus has %d queries, want >= 200", len(queries))
+	}
+	mismatches := 0
+	for _, pqlText := range queries {
+		memRes, err := c.Broker().Execute(context.Background(), pqlText, "")
+		if err != nil {
+			t.Fatalf("mem broker failed %q: %v", pqlText, err)
+		}
+		tcpRes, err := tcpBr.Execute(context.Background(), pqlText, "")
+		if err != nil {
+			t.Fatalf("tcp broker failed %q: %v", pqlText, err)
+		}
+		for _, res := range []*broker.Response{memRes, tcpRes} {
+			if res.Partial || res.ServersResponded != res.ServersQueried {
+				t.Fatalf("degraded response for %q: partial=%v %d/%d %v",
+					pqlText, res.Partial, res.ServersResponded, res.ServersQueried, res.Exceptions)
+			}
+		}
+		if m, tc := canonicalResponse(pqlText, memRes), canonicalResponse(pqlText, tcpRes); m != tc {
+			mismatches++
+			t.Errorf("transport divergence on %q:\n  mem: %s\n  tcp: %s", pqlText, m, tc)
+			if mismatches >= 5 {
+				t.Fatal("too many divergences, aborting")
+			}
+		}
+	}
+
+	// Sanity-check the corpus exercised what it claims: at least one query
+	// pruned everything and still matched across transports.
+	res, err := tcpBr.Execute(context.Background(), "SELECT count(*) FROM events WHERE day > 9000", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 0 {
+		t.Fatalf("pruned-to-empty count = %d", got)
+	}
+	if res.Stats.NumDocsScanned != 0 {
+		t.Fatalf("pruned-to-empty scanned %d docs", res.Stats.NumDocsScanned)
+	}
+}

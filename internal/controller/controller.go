@@ -53,7 +53,7 @@ func (c *Config) withDefaults() {
 // Controller is one controller instance.
 type Controller struct {
 	cfg      Config
-	store    *zkmeta.Store
+	store    zkmeta.Endpoint
 	objects  objstore.Store
 	streams  *stream.Cluster
 	helixCtl *helix.Controller
@@ -72,18 +72,18 @@ type Controller struct {
 }
 
 type zkConn struct {
-	sess  *zkmeta.Session
+	sess  zkmeta.Client
 	admin *helix.Admin
 }
 
-func (c *Controller) session() *zkmeta.Session { return c.conn.Load().sess }
+func (c *Controller) session() zkmeta.Client   { return c.conn.Load().sess }
 func (c *Controller) helixAdmin() *helix.Admin { return c.conn.Load().admin }
 
 // connect opens a metadata session (replacing any expired one) and arms the
 // expiry hook so the controller reconnects like a real Zookeeper client:
 // durable metadata survives, only in-flight operations fail.
 func (c *Controller) connect() {
-	sess := c.store.NewSession()
+	sess := c.store.NewClient()
 	sess.OnExpire(func() {
 		if c.closed.Load() {
 			return
@@ -106,7 +106,7 @@ func (c *Controller) ExpireSession() {
 }
 
 // New creates a controller instance attached to the shared substrates.
-func New(cfg Config, store *zkmeta.Store, objects objstore.Store, streams *stream.Cluster) *Controller {
+func New(cfg Config, store zkmeta.Endpoint, objects objstore.Store, streams *stream.Cluster) *Controller {
 	cfg.withDefaults()
 	return &Controller{
 		cfg:         cfg,
@@ -611,7 +611,7 @@ func valueKey(v any) []byte {
 
 // ReadTableConfig loads a table config from the property store; shared with
 // servers and brokers.
-func ReadTableConfig(sess *zkmeta.Session, cluster, resource string) (*table.Config, error) {
+func ReadTableConfig(sess zkmeta.Client, cluster, resource string) (*table.Config, error) {
 	data, _, err := sess.Get(helix.PropertyStorePath(cluster, "CONFIGS", "TABLE", resource))
 	if err != nil {
 		return nil, err
@@ -620,7 +620,7 @@ func ReadTableConfig(sess *zkmeta.Session, cluster, resource string) (*table.Con
 }
 
 // ReadSegmentMetas loads all segment metadata of a resource.
-func ReadSegmentMetas(sess *zkmeta.Session, cluster, resource string) ([]*table.SegmentMeta, error) {
+func ReadSegmentMetas(sess zkmeta.Client, cluster, resource string) ([]*table.SegmentMeta, error) {
 	base := helix.PropertyStorePath(cluster, "SEGMENTS", resource)
 	names, err := sess.Children(base)
 	if err != nil {
@@ -645,7 +645,7 @@ func ReadSegmentMetas(sess *zkmeta.Session, cluster, resource string) ([]*table.
 }
 
 // ReadSegmentMeta loads one segment's metadata.
-func ReadSegmentMeta(sess *zkmeta.Session, cluster, resource, segName string) (*table.SegmentMeta, error) {
+func ReadSegmentMeta(sess zkmeta.Client, cluster, resource, segName string) (*table.SegmentMeta, error) {
 	data, _, err := sess.Get(helix.PropertyStorePath(cluster, "SEGMENTS", resource) + "/" + segName)
 	if err != nil {
 		return nil, err

@@ -18,12 +18,12 @@ import (
 // 3.2: "we run three controller instances in each datacenter with a single
 // master; non-leader controllers are mostly idle").
 type Controller struct {
-	store    *zkmeta.Store
+	store    zkmeta.Endpoint
 	cluster  string
 	instance string
 
 	sessMu sync.Mutex
-	sess   *zkmeta.Session
+	sess   zkmeta.Client
 
 	leader   atomic.Bool
 	stop     chan struct{}
@@ -39,13 +39,13 @@ type Controller struct {
 
 // session returns the current metadata session; it may change when an
 // expired session is replaced.
-func (c *Controller) session() *zkmeta.Session {
+func (c *Controller) session() zkmeta.Client {
 	c.sessMu.Lock()
 	defer c.sessMu.Unlock()
 	return c.sess
 }
 
-func (c *Controller) setSession(s *zkmeta.Session) {
+func (c *Controller) setSession(s zkmeta.Client) {
 	c.sessMu.Lock()
 	c.sess = s
 	c.sessMu.Unlock()
@@ -53,7 +53,7 @@ func (c *Controller) setSession(s *zkmeta.Session) {
 
 // armExpiry makes session expiry step this controller down immediately and
 // schedule a reconnect on the control loop.
-func (c *Controller) armExpiry(sess *zkmeta.Session) {
+func (c *Controller) armExpiry(sess zkmeta.Client) {
 	sess.OnExpire(func() {
 		c.setLeader(false)
 		select {
@@ -68,7 +68,7 @@ func (c *Controller) armExpiry(sess *zkmeta.Session) {
 // session's ephemerals are gone, so another controller may have won in the
 // meantime.
 func (c *Controller) reconnect() {
-	ns := c.store.NewSession()
+	ns := c.store.NewClient()
 	c.setSession(ns)
 	c.armExpiry(ns)
 	c.tryAcquireLeadership()
@@ -80,7 +80,7 @@ func (c *Controller) reconnect() {
 func (c *Controller) ExpireSession() { c.session().Expire() }
 
 // NewController creates a controller instance.
-func NewController(store *zkmeta.Store, cluster, instance string) *Controller {
+func NewController(store zkmeta.Endpoint, cluster, instance string) *Controller {
 	return &Controller{store: store, cluster: cluster, instance: instance, stateWatches: map[string]func(){}}
 }
 
@@ -93,7 +93,7 @@ func (c *Controller) IsLeader() bool { return c.leader.Load() }
 
 // Start begins contending for leadership and, when leader, rebalancing.
 func (c *Controller) Start() error {
-	sess := c.store.NewSession()
+	sess := c.store.NewClient()
 	c.setSession(sess)
 	c.stop = make(chan struct{})
 	c.done = make(chan struct{})
@@ -181,7 +181,7 @@ func (c *Controller) tryAcquireLeadership() {
 }
 
 // Leader returns the instance name of the current cluster leader, if any.
-func Leader(sess *zkmeta.Session, cluster string) (string, bool) {
+func Leader(sess zkmeta.Client, cluster string) (string, bool) {
 	data, _, err := sess.Get(controllerPath(cluster))
 	if err != nil {
 		return "", false

@@ -105,6 +105,10 @@ type Message struct {
 type InstanceConfig struct {
 	Instance string   `json:"instance"`
 	Tags     []string `json:"tags"`
+	// Addr is the instance's data-plane TCP address (host:port), set when
+	// the instance serves the framed query protocol; empty for in-process
+	// clusters. Brokers resolve scatter targets through it.
+	Addr string `json:"addr,omitempty"`
 }
 
 // HasTag reports whether the instance carries a tag.
@@ -141,12 +145,12 @@ func propertyStorePath(cluster string) string {
 
 // Admin performs cluster administration against the store.
 type Admin struct {
-	sess    *zkmeta.Session
+	sess    zkmeta.Client
 	cluster string
 }
 
 // NewAdmin returns an Admin for a cluster.
-func NewAdmin(sess *zkmeta.Session, cluster string) *Admin {
+func NewAdmin(sess zkmeta.Client, cluster string) *Admin {
 	return &Admin{sess: sess, cluster: cluster}
 }
 
@@ -208,6 +212,19 @@ func (a *Admin) Instances() ([]InstanceConfig, error) {
 		out = append(out, cfg)
 	}
 	return out, nil
+}
+
+// InstanceConfigOf reads one instance's registered config.
+func (a *Admin) InstanceConfigOf(instance string) (InstanceConfig, error) {
+	data, _, err := a.sess.Get(configPath(a.cluster, instance))
+	if err != nil {
+		return InstanceConfig{}, err
+	}
+	var cfg InstanceConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return InstanceConfig{}, fmt.Errorf("helix: corrupt instance config %s: %w", instance, err)
+	}
+	return cfg, nil
 }
 
 // LiveInstances returns the instances currently holding a live ephemeral.

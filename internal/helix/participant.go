@@ -17,8 +17,8 @@ type TransitionHandler func(resource, partition, from, to string) error
 // Participant is an instance that executes state transitions: a Pinot
 // server. It holds its own store session so its liveness is independent.
 type Participant struct {
-	store    *zkmeta.Store
-	sess     *zkmeta.Session
+	store    zkmeta.Endpoint
+	sess     zkmeta.Client
 	cluster  string
 	instance string
 	handler  TransitionHandler
@@ -31,7 +31,7 @@ type Participant struct {
 
 // NewParticipant creates a participant for an instance. Start must be called
 // to join the cluster.
-func NewParticipant(store *zkmeta.Store, cluster, instance string, handler TransitionHandler) *Participant {
+func NewParticipant(store zkmeta.Endpoint, cluster, instance string, handler TransitionHandler) *Participant {
 	return &Participant{
 		store:    store,
 		cluster:  cluster,
@@ -47,7 +47,7 @@ func (p *Participant) Instance() string { return p.instance }
 // Start joins the cluster: publishes the live-instance ephemeral, an empty
 // current-state node, and begins processing transition messages.
 func (p *Participant) Start() error {
-	p.sess = p.store.NewSession()
+	p.sess = p.store.NewClient()
 	if err := p.sess.CreateEphemeral(liveInstancePath(p.cluster, p.instance), nil); err != nil {
 		p.sess.Close()
 		return fmt.Errorf("helix: participant %s: %w", p.instance, err)
@@ -186,7 +186,7 @@ func (p *Participant) writeCurrentState() error {
 }
 
 // readCurrentStates loads every instance's current-state map.
-func readCurrentStates(sess *zkmeta.Session, cluster string) (map[string]map[string]map[string]string, error) {
+func readCurrentStates(sess zkmeta.Client, cluster string) (map[string]map[string]map[string]string, error) {
 	out := map[string]map[string]map[string]string{}
 	instances, err := sess.Children(currentStatesPath(cluster))
 	if err != nil {

@@ -255,11 +255,17 @@ func answerFromMetadata(inputs []aggInput, numDocs int) []*AggState {
 		case pql.Count:
 			s.AddCount(int64(numDocs))
 		case pql.Min:
-			s.AddNumeric(toFloat(in.col.MinValue()))
-			s.Count = int64(numDocs)
+			// An empty segment (e.g. a freshly opened consuming segment)
+			// contributes no observation, not a zero.
+			if numDocs > 0 {
+				s.AddNumeric(toFloat(in.col.MinValue()))
+				s.Count = int64(numDocs)
+			}
 		case pql.Max:
-			s.AddNumeric(toFloat(in.col.MaxValue()))
-			s.Count = int64(numDocs)
+			if numDocs > 0 {
+				s.AddNumeric(toFloat(in.col.MaxValue()))
+				s.Count = int64(numDocs)
+			}
 		}
 		out[i] = s
 	}

@@ -39,13 +39,44 @@ type Engine struct {
 // boundary — both count (and the cancelled ones are named) in the timeout
 // exception.
 func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schema) (*Intermediate, []string, error) {
+	var merged *Intermediate
+	trailerStats, exceptions, err := e.ExecuteStream(ctx, q, segs, tableSchema, func(_ int, res *Intermediate) error {
+		if merged == nil {
+			merged = res
+			return nil
+		}
+		return merged.Merge(res)
+	})
+	if err != nil {
+		return nil, exceptions, err
+	}
+	if merged == nil {
+		merged = emptyResult(q)
+	}
+	merged.Stats.Merge(trailerStats)
+	return merged, exceptions, nil
+}
+
+// ExecuteStream is the streaming core of Execute: each per-segment
+// intermediate is handed to emit as soon as it is ready, tagged with a
+// contiguous sequence number starting at zero. Emission is eager but ordered
+// — results stream out in segment-index order via a reorder buffer — so a
+// consumer that merges frames as they arrive produces byte-for-byte the same
+// result as the buffered path (selection merges append rows, so order is
+// semantics). The returned Stats are trailer stats (pruning work not
+// attributable to any emitted segment); the consumer folds them into its
+// merged result. If nothing was produced and the query did not fail, a
+// single empty intermediate of the right shape is emitted so consumers
+// always see at least one frame. An emit error cancels outstanding segment
+// work and is returned as the execution error.
+func (e *Engine) ExecuteStream(ctx context.Context, q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schema, emit func(seq int, res *Intermediate) error) (Stats, []string, error) {
+	var trailer Stats
 	if len(segs) == 0 {
-		return emptyResult(q), nil, nil
+		return trailer, nil, emit(0, emptyResult(q))
 	}
 	// Server-side pruning: drop segments whose metadata proves the filter
 	// matches nothing, and elide filters proven to match everything. Each
 	// kept segment carries the query it should run (queries[i]).
-	var pruneStats Stats
 	queries := make([]*pql.Query, len(segs))
 	if e.Options.DisablePruning {
 		for i := range queries {
@@ -53,11 +84,9 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 		}
 	} else {
 		plan := planPruning(q, segs, tableSchema)
-		segs, queries, pruneStats = plan.keep, plan.queries, plan.stats
+		segs, queries, trailer = plan.keep, plan.queries, plan.stats
 		if len(segs) == 0 {
-			res := emptyResult(q)
-			res.Stats.Merge(pruneStats)
-			return res, nil, nil
+			return trailer, nil, emit(0, emptyResult(q))
 		}
 	}
 	qc := qctx.From(ctx)
@@ -66,6 +95,8 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 		ctx = qctx.With(ctx, qc)
 	}
 	qc.SetGroupStateLimit(e.Options.GroupStateLimitBytes)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	par := e.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -75,10 +106,11 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 	}
 
 	type outcome struct {
-		res *Intermediate
-		err error
+		index int
+		res   *Intermediate
+		err   error
 	}
-	results := make([]outcome, len(segs))
+	outcomes := make(chan outcome, len(segs))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < par; w++ {
@@ -87,65 +119,80 @@ func (e *Engine) Execute(ctx context.Context, q *pql.Query, segs []IndexedSegmen
 			defer wg.Done()
 			for i := range work {
 				res, err := ExecuteSegment(ctx, segs[i], queries[i], tableSchema, e.Options)
-				results[i] = outcome{res, err}
+				outcomes <- outcome{i, res, err}
 			}
 		}()
 	}
-	var skipped int
-dispatch:
-	for i := range segs {
-		select {
-		case work <- i:
-		case <-ctx.Done():
-			skipped = len(segs) - i
-			break dispatch
+	go func() {
+	dispatch:
+		for i := range segs {
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
-	}
-	close(work)
-	wg.Wait()
+		close(work)
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Reorder buffer: outcomes arrive in completion order, but frames go out
+	// in segment-index order the moment their predecessors have resolved.
+	results := make([]outcome, len(segs))
+	arrived := make([]bool, len(segs))
+	next := 0
 
 	var errExcs []string
 	var cancelled []string
 	groupLimited := false
-	var merged *Intermediate
-	var firstErr error
-	succeeded := 0
-	for i, o := range results {
-		if o.res == nil && o.err == nil {
-			continue // undispatched: the deadline hit before this segment started
+	var firstErr, emitErr error
+	succeeded, dispatched, emitted := 0, 0, 0
+	for o := range outcomes {
+		dispatched++
+		results[o.index], arrived[o.index] = o, true
+		if emitErr != nil {
+			continue // draining after a dead consumer; workers are cancelled
 		}
-		var ce *cancelledError
-		if errors.As(o.err, &ce) {
-			// Dispatched but stopped mid-scan at a block boundary: no
-			// usable partial from this segment, and it must be counted
-			// as not processed (the pre-cancellation engine reported
-			// these as processed).
-			cancelled = append(cancelled, segs[i].Seg.Name())
-			continue
-		}
-		if errors.Is(o.err, ErrGroupStateLimit) {
-			// The segment stopped at the group-state cap but its groups
-			// so far are valid: merge them and degrade.
-			groupLimited = true
-		} else if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
+		for next < len(segs) && arrived[next] {
+			o := results[next]
+			next++
+			var ce *cancelledError
+			if errors.As(o.err, &ce) {
+				// Dispatched but stopped mid-scan at a block boundary: no
+				// usable partial from this segment, and it must be counted
+				// as not processed (the pre-cancellation engine reported
+				// these as processed).
+				cancelled = append(cancelled, segs[o.index].Seg.Name())
+				continue
 			}
-			errExcs = append(errExcs, o.err.Error())
-			continue
-		}
-		succeeded++
-		qc.AddScan(o.res.Stats.NumDocsScanned, o.res.Stats.NumEntriesScanned)
-		if merged == nil {
-			merged = o.res
-			continue
-		}
-		if err := merged.Merge(o.res); err != nil {
-			return nil, errExcs, err
+			if errors.Is(o.err, ErrGroupStateLimit) {
+				// The segment stopped at the group-state cap but its groups
+				// so far are valid: emit them and degrade.
+				groupLimited = true
+			} else if o.err != nil {
+				if firstErr == nil {
+					firstErr = o.err
+				}
+				errExcs = append(errExcs, o.err.Error())
+				continue
+			}
+			succeeded++
+			qc.AddScan(o.res.Stats.NumDocsScanned, o.res.Stats.NumEntriesScanned)
+			if err := emit(emitted, o.res); err != nil {
+				emitErr = err
+				cancel()
+				break
+			}
+			emitted++
 		}
 	}
+	skipped := len(segs) - dispatched
 	if e.OnOutcome != nil {
 		e.OnOutcome(succeeded, len(cancelled), skipped)
+	}
+	if emitErr != nil {
+		return trailer, errExcs, emitErr
 	}
 	var exceptions []string
 	if n := skipped + len(cancelled); n > 0 {
@@ -164,16 +211,17 @@ dispatch:
 	if succeeded == 0 && firstErr != nil {
 		// Every attempted segment failed outright (bad column, bad
 		// aggregation, ...): that is a query error, not degradation.
-		return nil, exceptions, firstErr
+		return trailer, exceptions, firstErr
 	}
-	if merged == nil {
+	if emitted == 0 {
 		// Everything was skipped by the deadline: an empty result
 		// marked partial, per the paper's graceful-degradation
 		// semantics.
-		merged = emptyResult(q)
+		if err := emit(0, emptyResult(q)); err != nil {
+			return trailer, exceptions, err
+		}
 	}
-	merged.Stats.Merge(pruneStats)
-	return merged, exceptions, nil
+	return trailer, exceptions, nil
 }
 
 // EmptyIntermediate produces a zero-row intermediate of the right shape for

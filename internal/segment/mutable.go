@@ -337,6 +337,9 @@ func (c *mutableColumn) MaxValue() any {
 
 func (c *mutableColumn) rawMin() any {
 	if c.spec.Type.Integral() {
+		if len(c.longs) == 0 {
+			return int64(0)
+		}
 		min := c.longs[0]
 		for _, v := range c.longs[1:] {
 			if v < min {
@@ -344,6 +347,9 @@ func (c *mutableColumn) rawMin() any {
 			}
 		}
 		return min
+	}
+	if len(c.doubles) == 0 {
+		return float64(0)
 	}
 	min := c.doubles[0]
 	for _, v := range c.doubles[1:] {
@@ -356,6 +362,9 @@ func (c *mutableColumn) rawMin() any {
 
 func (c *mutableColumn) rawMax() any {
 	if c.spec.Type.Integral() {
+		if len(c.longs) == 0 {
+			return int64(0)
+		}
 		max := c.longs[0]
 		for _, v := range c.longs[1:] {
 			if v > max {
@@ -363,6 +372,9 @@ func (c *mutableColumn) rawMax() any {
 			}
 		}
 		return max
+	}
+	if len(c.doubles) == 0 {
+		return float64(0)
 	}
 	max := c.doubles[0]
 	for _, v := range c.doubles[1:] {

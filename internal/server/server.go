@@ -34,6 +34,10 @@ type Config struct {
 	Instance string
 	// Tags beyond the implicit "server" tag (tenant tags).
 	Tags []string
+	// AdvertiseAddr is the data-plane TCP address (host:port) this server
+	// answers the framed query protocol on; registered in the instance
+	// config so brokers can dial it. Empty for in-process clusters.
+	AdvertiseAddr string
 	// Parallelism bounds concurrent per-segment plans per query.
 	Parallelism int
 	// DefaultTimeout bounds query execution when the request has none.
@@ -74,8 +78,8 @@ func (c *Config) withDefaults() {
 // Server is one Pinot server instance.
 type Server struct {
 	cfg         Config
-	store       *zkmeta.Store
-	sess        *zkmeta.Session
+	store       zkmeta.Endpoint
+	sess        zkmeta.Client
 	objects     objstore.Store
 	streams     *stream.Cluster
 	controllers func() []transport.ControllerClient
@@ -127,7 +131,7 @@ func (s *Server) InjectLatency(d time.Duration) { s.simulatedLatency.Store(int64
 
 // New creates a server. controllers resolves the current controller clients
 // for the segment completion protocol (tried in order until one is leader).
-func New(cfg Config, store *zkmeta.Store, objects objstore.Store, streams *stream.Cluster, controllers func() []transport.ControllerClient) *Server {
+func New(cfg Config, store zkmeta.Endpoint, objects objstore.Store, streams *stream.Cluster, controllers func() []transport.ControllerClient) *Server {
 	cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
@@ -160,13 +164,13 @@ func (s *Server) Instance() string { return s.cfg.Instance }
 // Start registers the instance and joins the cluster as a Helix
 // participant.
 func (s *Server) Start() error {
-	s.sess = s.store.NewSession()
+	s.sess = s.store.NewClient()
 	admin := helix.NewAdmin(s.sess, s.cfg.Cluster)
 	if err := admin.CreateCluster(); err != nil {
 		return err
 	}
 	tags := append([]string{"server"}, s.cfg.Tags...)
-	if err := admin.RegisterInstance(helix.InstanceConfig{Instance: s.cfg.Instance, Tags: tags}); err != nil {
+	if err := admin.RegisterInstance(helix.InstanceConfig{Instance: s.cfg.Instance, Tags: tags, Addr: s.cfg.AdvertiseAddr}); err != nil {
 		return err
 	}
 	s.participant = helix.NewParticipant(s.store, s.cfg.Cluster, s.cfg.Instance, s.handleTransition)
@@ -269,8 +273,30 @@ func (s *Server) handleTransition(resource, partition, from, to string) error {
 }
 
 // Execute runs a query on this server's share of a resource's segments
-// (paper 3.3.3 steps 4–6).
-func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (resp *transport.QueryResponse, err error) {
+// (paper 3.3.3 steps 4–6). It is the buffered shape of ExecuteStream: the
+// per-segment intermediates are folded into one response locally, exactly
+// as a remote stream consumer would fold them.
+func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (*transport.QueryResponse, error) {
+	m := transport.NewStreamMerger()
+	trailer, err := s.ExecuteStream(ctx, req, func(seq int, res *query.Intermediate) error {
+		return m.Add(&transport.SegmentFrame{Seq: seq, Result: res})
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := m.Finish(trailer)
+	if err != nil {
+		return nil, err
+	}
+	return &transport.QueryResponse{Result: merged, Exceptions: trailer.Exceptions, Trace: trailer.Trace}, nil
+}
+
+// ExecuteStream is the streaming query path shared by the in-memory and TCP
+// transports (it implements transport.StreamHandler): per-segment
+// intermediates go to emit in sequence order the moment they are ready, and
+// the returned trailer carries the frame count, exceptions, trailer stats
+// and the server-side trace.
+func (s *Server) ExecuteStream(ctx context.Context, req *transport.QueryRequest, emit func(seq int, res *query.Intermediate) error) (trailer *transport.FinalFrame, err error) {
 	s.met.queries.Inc()
 	defer func() {
 		if err != nil {
@@ -318,14 +344,21 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (resp
 		case <-time.After(d):
 		}
 	}
+	trailer = &transport.FinalFrame{}
 	run := func() error {
 		stop := qc.Clock(qctx.PhaseExecute)
-		merged, exceptions, err := s.engine.Execute(ctx, q, segs, t.cfg.Load().Schema)
+		emitted := 0
+		stats, exceptions, err := s.engine.ExecuteStream(ctx, q, segs, t.cfg.Load().Schema, func(seq int, res *query.Intermediate) error {
+			emitted++
+			return emit(seq, res)
+		})
 		stop()
 		if err != nil {
 			return err
 		}
-		resp = &transport.QueryResponse{Result: merged, Exceptions: exceptions}
+		trailer.Frames = emitted
+		trailer.Exceptions = exceptions
+		trailer.Stats = stats
 		return nil
 	}
 	if s.sched != nil {
@@ -347,8 +380,8 @@ func (s *Server) Execute(ctx context.Context, req *transport.QueryRequest) (resp
 	s.met.docs.Add(usage.DocsScanned)
 	s.met.entries.Add(usage.EntriesScanned)
 	s.met.groupState.Observe(float64(usage.GroupStateBytes))
-	resp.Trace = qc.TraceSnapshot()
-	return resp, nil
+	trailer.Trace = qc.TraceSnapshot()
+	return trailer, nil
 }
 
 // HostedSegments returns the names of segments currently queryable for a

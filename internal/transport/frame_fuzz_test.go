@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"testing"
+
+	"pinot/internal/pql"
+	"pinot/internal/query"
+)
+
+// sampleFrames returns one valid encoded frame of every type the data plane
+// sends, as complete wire bytes (header + payload).
+func sampleFrames(t testing.TB) map[string][]byte {
+	t.Helper()
+	mustEncode := func(v any) []byte {
+		p, err := gobEncode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	inter := query.NewAggIntermediate([]pql.Expression{
+		{IsAgg: true, Func: pql.Count, Column: "*"},
+		{IsAgg: true, Func: pql.Sum, Column: "clicks"},
+	})
+	inter.Aggs[0].AddCount(42)
+	inter.Aggs[1].AddNumeric(3.5)
+	return map[string][]byte{
+		"query": AppendFrame(nil, FrameQuery, mustEncode(&QueryRequest{
+			Resource: "events_OFFLINE", PQL: "SELECT count(*) FROM events",
+			Segments: []string{"events_0"}, QueryID: "q1", BudgetMillis: 100,
+		})),
+		"segment": AppendFrame(nil, FrameSegment, mustEncode(&SegmentFrame{Seq: 0, Result: inter})),
+		"final": AppendFrame(nil, FrameFinal, mustEncode(&FinalFrame{
+			Frames: 1, Exceptions: []string{"warn"},
+			Stats: query.Stats{NumDocsScanned: 7, NumSegmentsQueried: 1},
+		})),
+		"error": AppendFrame(nil, FrameError, mustEncode(&ErrorFrame{Message: "boom"})),
+	}
+}
+
+// decodeFrameSafely requires that DecodeFrame and the typed payload decoders
+// never panic and never return (nil, nil) on any input.
+func decodeFrameSafely(t testing.TB, data []byte) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("frame decode panicked on %d bytes: %v", len(data), p)
+		}
+	}()
+	frame, err := DecodeFrame(data)
+	if err != nil {
+		return
+	}
+	if frame == nil {
+		t.Fatalf("nil frame with nil error on %d bytes", len(data))
+	}
+	// A structurally valid frame must still decode (or reject) its payload
+	// without panicking, and the typed decoders must uphold their
+	// invariants on anything they accept.
+	switch frame.Type {
+	case FrameQuery:
+		if req, err := DecodeQueryFrame(frame.Payload); err == nil && req == nil {
+			t.Fatal("nil query request with nil error")
+		}
+	case FrameSegment:
+		if sf, err := DecodeSegmentFrame(frame.Payload); err == nil && (sf == nil || sf.Result == nil) {
+			t.Fatal("accepted segment frame without a result")
+		}
+	case FrameFinal:
+		if ff, err := DecodeFinalFrame(frame.Payload); err == nil && (ff == nil || ff.Frames < 0) {
+			t.Fatal("accepted final frame with negative frame count")
+		}
+	case FrameError:
+		if ef, err := DecodeErrorFrame(frame.Payload); err == nil && ef == nil {
+			t.Fatal("nil error frame with nil error")
+		}
+	}
+}
+
+// TestDecodeFrameNeverPanics drives the frame decoder through every
+// truncation and every single-bit flip of each valid frame type, plus
+// degenerate inputs. Corruption must yield an error or a valid decode —
+// never a panic, never (nil, nil).
+func TestDecodeFrameNeverPanics(t *testing.T) {
+	for name, valid := range sampleFrames(t) {
+		t.Run(name, func(t *testing.T) {
+			for n := 0; n < len(valid); n++ {
+				decodeFrameSafely(t, valid[:n])
+				// Every strict truncation must fail: either the header is
+				// short or the payload is shorter than the header claims.
+				if _, err := DecodeFrame(valid[:n]); err == nil {
+					t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(valid))
+				}
+			}
+			for i := 0; i < len(valid); i++ {
+				for bit := 0; bit < 8; bit++ {
+					mut := make([]byte, len(valid))
+					copy(mut, valid)
+					mut[i] ^= 1 << bit
+					decodeFrameSafely(t, mut)
+				}
+			}
+			// Trailing garbage desynchronizes stream framing: rejected.
+			if _, err := DecodeFrame(append(append([]byte{}, valid...), 0x00)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+		})
+	}
+
+	degenerate := [][]byte{
+		nil,
+		{},
+		{frameMagic},
+		{frameMagic, frameVersion, FrameQuery, 0, 0xff, 0xff, 0xff, 0xff}, // oversized length
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for _, d := range degenerate {
+		decodeFrameSafely(t, d)
+		if _, err := DecodeFrame(d); err == nil {
+			t.Fatalf("degenerate input %v decoded without error", d)
+		}
+	}
+}
+
+// FuzzDecodeFrame lets the fuzzer search for inputs that panic the framing
+// layer or the typed payload decoders, seeded with every valid frame type
+// and its common corruptions. Run in CI as a short smoke
+// (-fuzz FuzzDecodeFrame -fuzztime 5s) and longer by hand.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, valid := range sampleFrames(f) {
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		flipped := make([]byte, len(valid))
+		copy(flipped, valid)
+		flipped[len(flipped)/2] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+	f.Add([]byte{frameMagic, frameVersion, FrameSegment, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeFrameSafely(t, data)
+	})
+}

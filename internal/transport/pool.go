@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pool checks out TCP connections per destination address, keeping a small
+// idle set per host and reaping connections that sit unused. The query
+// protocol is one-outstanding-request-per-connection, so a checkout is
+// exclusive: Get removes the connection from the pool and Put returns it.
+type Pool struct {
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+	// IdleTimeout is how long a connection may sit idle before the reaper
+	// closes it (default 30s).
+	IdleTimeout time.Duration
+	// MaxIdlePerHost caps pooled connections per destination (default 4).
+	MaxIdlePerHost int
+
+	mu     sync.Mutex
+	idle   map[string][]pooledConn
+	dialed map[string]bool // destinations dialed at least once, for reconnect accounting
+	closed bool
+	reaper *time.Ticker
+	stop   chan struct{}
+}
+
+type pooledConn struct {
+	conn  net.Conn
+	since time.Time
+}
+
+// NewPool returns a pool with default tuning and starts its reaper.
+func NewPool() *Pool {
+	p := &Pool{
+		DialTimeout:    5 * time.Second,
+		IdleTimeout:    30 * time.Second,
+		MaxIdlePerHost: 4,
+		idle:           map[string][]pooledConn{},
+		dialed:         map[string]bool{},
+		stop:           make(chan struct{}),
+	}
+	p.reaper = time.NewTicker(time.Second)
+	go p.reapLoop()
+	return p
+}
+
+func (p *Pool) reapLoop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.reaper.C:
+			p.reapIdle(time.Now())
+		}
+	}
+}
+
+func (p *Pool) reapIdle(now time.Time) {
+	met := wireMet.Load()
+	p.mu.Lock()
+	var doomed []net.Conn
+	for addr, conns := range p.idle {
+		keep := conns[:0]
+		for _, pc := range conns {
+			if now.Sub(pc.since) > p.IdleTimeout {
+				doomed = append(doomed, pc.conn)
+			} else {
+				keep = append(keep, pc)
+			}
+		}
+		if len(keep) == 0 {
+			delete(p.idle, addr)
+		} else {
+			p.idle[addr] = keep
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range doomed {
+		c.Close()
+		met.idleClosed.Inc()
+		met.poolIdle.Dec()
+	}
+}
+
+// Get checks out a connection to addr, reusing an idle one when available
+// (newest first, so stale connections age out) or dialing.
+func (p *Pool) Get(ctx context.Context, addr string) (net.Conn, error) {
+	met := wireMet.Load()
+	p.mu.Lock()
+	if conns := p.idle[addr]; len(conns) > 0 {
+		pc := conns[len(conns)-1]
+		p.idle[addr] = conns[:len(conns)-1]
+		p.mu.Unlock()
+		met.poolHits.Inc()
+		met.poolIdle.Dec()
+		return pc.conn, nil
+	}
+	redial := p.dialed[addr]
+	p.dialed[addr] = true
+	p.mu.Unlock()
+
+	met.poolMisses.Inc()
+	timeout := p.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", addr)
+	if err != nil {
+		met.connErrors.Inc()
+		return nil, err
+	}
+	met.dials.Inc()
+	if redial {
+		met.reconnects.Inc()
+	}
+	return conn, nil
+}
+
+// Put returns a healthy connection for reuse. Over-limit or post-Close
+// returns close the connection instead.
+func (p *Pool) Put(addr string, conn net.Conn) {
+	met := wireMet.Load()
+	p.mu.Lock()
+	if p.closed || len(p.idle[addr]) >= p.maxIdle() {
+		p.mu.Unlock()
+		conn.Close()
+		met.idleClosed.Inc()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], pooledConn{conn: conn, since: time.Now()})
+	p.mu.Unlock()
+	met.poolIdle.Inc()
+}
+
+// Discard closes a connection that hit an I/O or protocol error.
+func (p *Pool) Discard(conn net.Conn) {
+	conn.Close()
+	wireMet.Load().connErrors.Inc()
+}
+
+func (p *Pool) maxIdle() int {
+	if p.MaxIdlePerHost <= 0 {
+		return 4
+	}
+	return p.MaxIdlePerHost
+}
+
+// Close stops the reaper and closes every idle connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	var doomed []net.Conn
+	for _, conns := range p.idle {
+		for _, pc := range conns {
+			doomed = append(doomed, pc.conn)
+		}
+	}
+	p.idle = map[string][]pooledConn{}
+	p.mu.Unlock()
+	p.reaper.Stop()
+	close(p.stop)
+	met := wireMet.Load()
+	for _, c := range doomed {
+		c.Close()
+		met.poolIdle.Dec()
+	}
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"pinot/internal/query"
+)
+
+// StreamHandler executes one query, emitting per-segment intermediates in
+// sequence order as they become ready and returning the response trailer.
+// The server package implements it; both the in-memory ServerClient and the
+// TCP data plane drive it, so the two transports share one execution path.
+type StreamHandler interface {
+	ExecuteStream(ctx context.Context, req *QueryRequest, emit func(seq int, res *query.Intermediate) error) (*FinalFrame, error)
+}
+
+// maxReorderBuffer bounds how many out-of-sequence segment frames a merger
+// will hold. The server emits frames in order, so anything beyond a trivial
+// buffer indicates a corrupt or hostile stream.
+const maxReorderBuffer = 1024
+
+// StreamMerger incrementally folds the segment frames of one streamed
+// response into a single intermediate, tolerating out-of-order delivery
+// (frames are buffered until their predecessors arrive) and rejecting
+// duplicate or insane sequence numbers. It is not safe for concurrent use;
+// one response stream has one reader.
+type StreamMerger struct {
+	merged   *query.Intermediate
+	buffered map[int]*query.Intermediate
+	next     int
+	applied  int
+}
+
+// NewStreamMerger returns an empty merger.
+func NewStreamMerger() *StreamMerger {
+	return &StreamMerger{buffered: map[int]*query.Intermediate{}}
+}
+
+// Add folds one segment frame in. Frames may arrive in any order; each
+// sequence number is accepted exactly once.
+func (m *StreamMerger) Add(sf *SegmentFrame) error {
+	if sf.Result == nil {
+		return fmt.Errorf("transport: segment frame %d has no result", sf.Seq)
+	}
+	if sf.Seq < 0 {
+		return fmt.Errorf("transport: negative segment frame seq %d", sf.Seq)
+	}
+	if sf.Seq < m.next {
+		return fmt.Errorf("transport: duplicate segment frame seq %d", sf.Seq)
+	}
+	if _, dup := m.buffered[sf.Seq]; dup {
+		return fmt.Errorf("transport: duplicate segment frame seq %d", sf.Seq)
+	}
+	if sf.Seq != m.next {
+		if len(m.buffered) >= maxReorderBuffer {
+			return fmt.Errorf("transport: segment frame seq %d with %d frames already buffered", sf.Seq, len(m.buffered))
+		}
+		m.buffered[sf.Seq] = sf.Result
+		return nil
+	}
+	res := sf.Result
+	for {
+		if err := m.apply(res); err != nil {
+			return err
+		}
+		m.next++
+		m.applied++
+		var ok bool
+		res, ok = m.buffered[m.next]
+		if !ok {
+			return nil
+		}
+		delete(m.buffered, m.next)
+	}
+}
+
+func (m *StreamMerger) apply(res *query.Intermediate) error {
+	if m.merged == nil {
+		m.merged = res
+		return nil
+	}
+	return m.merged.Merge(res)
+}
+
+// Applied reports how many frames have been folded in so far.
+func (m *StreamMerger) Applied() int { return m.applied }
+
+// Finish validates the trailer against what arrived — the trailer's frame
+// count makes truncation and loss detectable — merges the trailer stats and
+// returns the response.
+func (m *StreamMerger) Finish(ff *FinalFrame) (*query.Intermediate, error) {
+	if len(m.buffered) > 0 {
+		return nil, fmt.Errorf("transport: stream ended with %d frames missing below buffered ones (got %d of %d)",
+			len(m.buffered), m.applied, ff.Frames)
+	}
+	if m.applied != ff.Frames {
+		return nil, fmt.Errorf("transport: stream truncated: %d segment frames arrived, trailer says %d", m.applied, ff.Frames)
+	}
+	if m.merged == nil {
+		return nil, fmt.Errorf("transport: stream carried no result")
+	}
+	m.merged.Stats.Merge(ff.Stats)
+	return m.merged, nil
+}

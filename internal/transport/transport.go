@@ -28,6 +28,19 @@ type wireMetrics struct {
 	encodeTimeUs *metrics.Instrument // histogram
 	decodes      *metrics.Instrument
 	decodeFails  *metrics.Instrument
+
+	// TCP data plane (frame.go, tcp.go, pool.go).
+	framesSent *metrics.Instrument
+	framesRecv *metrics.Instrument
+	bytesSent  *metrics.Instrument
+	bytesRecv  *metrics.Instrument
+	dials      *metrics.Instrument
+	reconnects *metrics.Instrument
+	poolHits   *metrics.Instrument
+	poolMisses *metrics.Instrument
+	poolIdle   *metrics.Instrument // gauge
+	idleClosed *metrics.Instrument
+	connErrors *metrics.Instrument
 }
 
 func newWireMetrics(reg *metrics.Registry) *wireMetrics {
@@ -42,6 +55,28 @@ func newWireMetrics(reg *metrics.Registry) *wireMetrics {
 			"Query responses decoded from the wire.").With(),
 		decodeFails: reg.Counter("pinot_transport_decode_failures_total",
 			"Wire payloads rejected by the decoder.").With(),
+		framesSent: reg.Counter("pinot_transport_frames_sent_total",
+			"TCP frames written to the wire.").With(),
+		framesRecv: reg.Counter("pinot_transport_frames_recv_total",
+			"TCP frames read off the wire.").With(),
+		bytesSent: reg.Counter("pinot_transport_bytes_sent_total",
+			"Bytes of TCP frames written (headers included).").With(),
+		bytesRecv: reg.Counter("pinot_transport_bytes_recv_total",
+			"Bytes of TCP frames read (headers included).").With(),
+		dials: reg.Counter("pinot_transport_dials_total",
+			"TCP connections dialed by the pool.").With(),
+		reconnects: reg.Counter("pinot_transport_reconnects_total",
+			"Dials to a destination that had been dialed before (recovery).").With(),
+		poolHits: reg.Counter("pinot_transport_pool_hits_total",
+			"Connection checkouts served from the idle pool.").With(),
+		poolMisses: reg.Counter("pinot_transport_pool_misses_total",
+			"Connection checkouts that required a dial.").With(),
+		poolIdle: reg.Gauge("pinot_transport_pool_idle_conns",
+			"Idle pooled connections across destinations.").With(),
+		idleClosed: reg.Counter("pinot_transport_pool_idle_closed_total",
+			"Idle connections closed by the reaper or pool limits.").With(),
+		connErrors: reg.Counter("pinot_transport_conn_errors_total",
+			"Connections discarded after an I/O or protocol error.").With(),
 	}
 }
 

@@ -1,0 +1,54 @@
+package zkmeta
+
+// Client is the session-scoped metadata API. *Session implements it against
+// the in-process store; *RemoteSession implements it over the framed TCP
+// protocol of Serve/Dial. Every component of the cluster (helix, controller,
+// broker, server) talks to the metadata substrate exclusively through this
+// interface, so a process can run against a local store or a shared remote
+// endpoint without knowing which.
+type Client interface {
+	// Create adds a persistent node; the parent must exist.
+	Create(path string, data []byte) error
+	// CreateEphemeral adds a node that disappears when the session ends —
+	// for remote sessions, when the TCP connection drops (the kill -9 case).
+	CreateEphemeral(path string, data []byte) error
+	// CreateAll creates the node and any missing ancestors (persistent).
+	CreateAll(path string, data []byte) error
+	// Get returns a node's data and version.
+	Get(path string) ([]byte, int, error)
+	// Set replaces a node's data with an optional version check (-1 = any).
+	Set(path string, data []byte, expectedVersion int) (int, error)
+	// Delete removes a leaf node with an optional version check (-1 = any).
+	Delete(path string, expectedVersion int) error
+	// Exists reports whether a node exists.
+	Exists(path string) bool
+	// Children returns the sorted child names of a node.
+	Children(path string) ([]string, error)
+	// Watch subscribes to created/changed/deleted events for a path.
+	Watch(path string) (<-chan Event, func())
+	// WatchChildren subscribes to child membership changes of a path.
+	WatchChildren(path string) (<-chan Event, func())
+	// OnExpire registers fn to run when the session closes or expires.
+	OnExpire(fn func())
+	// Expired reports whether the session has been closed or expired.
+	Expired() bool
+	// Close ends the session, deleting its ephemeral nodes.
+	Close()
+	// Expire simulates ungraceful session expiry.
+	Expire()
+}
+
+// Endpoint mints metadata sessions: the *Store of an in-process cluster, or
+// a *Remote pointing at a shared TCP endpoint.
+type Endpoint interface {
+	NewClient() Client
+}
+
+// NewClient implements Endpoint over the in-process store.
+func (s *Store) NewClient() Client { return s.NewSession() }
+
+// Compile-time checks that both session kinds satisfy Client.
+var (
+	_ Client   = (*Session)(nil)
+	_ Endpoint = (*Store)(nil)
+)

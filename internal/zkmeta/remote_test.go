@@ -1,0 +1,224 @@
+package zkmeta
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// startRemote serves a fresh store on loopback and returns a Remote endpoint
+// for it.
+func startRemote(t *testing.T) (*Store, *Remote) {
+	t.Helper()
+	store := NewStore()
+	srv := NewTCPServer(store)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(srv.Close)
+	return store, NewRemote(lis.Addr().String())
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRemoteSessionBasicOps(t *testing.T) {
+	_, remote := startRemote(t)
+	c := remote.NewClient()
+	defer c.Close()
+
+	if err := c.Create("/a", []byte("one")); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := c.Create("/a", nil); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("dup create: want ErrNodeExists, got %v", err)
+	}
+	if err := c.Create("/missing/child", nil); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("orphan create: want ErrNoParent, got %v", err)
+	}
+	data, version, err := c.Get("/a")
+	if err != nil || string(data) != "one" || version != 0 {
+		t.Fatalf("get: %q v%d err=%v", data, version, err)
+	}
+	if _, err := c.Set("/a", []byte("two"), 7); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale set: want ErrBadVersion, got %v", err)
+	}
+	v, err := c.Set("/a", []byte("two"), 0)
+	if err != nil || v != 1 {
+		t.Fatalf("set: v%d err=%v", v, err)
+	}
+	if err := c.CreateAll("/x/y/z", []byte("deep")); err != nil {
+		t.Fatalf("createAll: %v", err)
+	}
+	names, err := c.Children("/x")
+	if err != nil || len(names) != 1 || names[0] != "y" {
+		t.Fatalf("children: %v err=%v", names, err)
+	}
+	if !c.Exists("/x/y/z") || c.Exists("/nope") {
+		t.Fatal("exists mismatch")
+	}
+	if err := c.Delete("/x", -1); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("delete non-empty: want ErrNotEmpty, got %v", err)
+	}
+	if err := c.Delete("/x/y/z", -1); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, _, err := c.Get("/x/y/z"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("get deleted: want ErrNoNode, got %v", err)
+	}
+}
+
+func TestRemoteSessionWatches(t *testing.T) {
+	store, remote := startRemote(t)
+	c := remote.NewClient()
+	defer c.Close()
+
+	events, cancel := c.Watch("/w")
+	defer cancel()
+	kids, cancelKids := c.WatchChildren("/")
+	defer cancelKids()
+
+	// Mutate through a direct store session: the remote watcher must see it.
+	other := store.NewSession()
+	defer other.Close()
+	if err := other.Create("/w", []byte("v")); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != EventCreated || ev.Path != "/w" {
+			t.Fatalf("want created /w, got %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no create event")
+	}
+	select {
+	case ev := <-kids:
+		if ev.Type != EventChildrenChanged {
+			t.Fatalf("want childrenChanged, got %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no children event")
+	}
+
+	// After cancel, further mutations must not arrive (channel closes).
+	cancel()
+	if _, err := other.Set("/w", []byte("v2"), -1); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	for ev := range events {
+		if ev.Type == EventDataChanged {
+			t.Fatal("event after cancel")
+		}
+	}
+}
+
+func TestRemoteEphemeralDiesWithConnection(t *testing.T) {
+	store, remote := startRemote(t)
+	c := remote.NewClient()
+	if err := c.CreateEphemeral("/live", []byte("me")); err != nil {
+		t.Fatalf("create ephemeral: %v", err)
+	}
+
+	observer := store.NewSession()
+	defer observer.Close()
+	if !observer.Exists("/live") {
+		t.Fatal("ephemeral not visible")
+	}
+
+	// Drop the connection without a graceful close: the server-side session
+	// must expire and delete the ephemeral (the kill -9 model).
+	c.(*RemoteSession).conn.Close()
+	waitFor(t, "ephemeral removal", func() bool { return !observer.Exists("/live") })
+
+	if !c.Expired() {
+		// The read loop notices the dead conn asynchronously.
+		waitFor(t, "client expiry", c.Expired)
+	}
+	if err := c.Create("/after", nil); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("op after drop: want ErrSessionClosed, got %v", err)
+	}
+}
+
+func TestRemoteOnExpireFires(t *testing.T) {
+	_, remote := startRemote(t)
+	c := remote.NewClient()
+	fired := make(chan struct{})
+	c.OnExpire(func() { close(fired) })
+	c.Close()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnExpire did not fire")
+	}
+	// Registration after expiry is a no-op (matching local sessions): a
+	// reconnect callback must not fire recursively against a dead endpoint.
+	c.OnExpire(func() { t.Error("late OnExpire fired") })
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestRemoteDialFailureYieldsExpiredSession(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	r := NewRemote(addr)
+	r.DialTimeout = 500 * time.Millisecond
+	c := r.NewClient()
+	if !c.Expired() {
+		t.Fatal("want expired session on dial failure")
+	}
+	if err := c.Create("/a", nil); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("want ErrSessionClosed, got %v", err)
+	}
+}
+
+func TestRemoteConcurrentClients(t *testing.T) {
+	_, remote := startRemote(t)
+	const n = 8
+	done := make(chan error, n)
+	root := remote.NewClient()
+	defer root.Close()
+	if err := root.Create("/c", nil); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			c := remote.NewClient()
+			defer c.Close()
+			path := "/c/n" + string(rune('a'+i))
+			for j := 0; j < 50; j++ {
+				if err := c.CreateAll(path+"/x", []byte{byte(j)}); err != nil {
+					done <- err
+					return
+				}
+				if err := c.Delete(path+"/x", -1); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package zkmeta
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// The metadata substrate's TCP protocol: one connection is one session, so
+// ephemeral-node lifetime is tied to connection lifetime exactly the way a
+// Zookeeper session is tied to its client — a kill -9'd process drops its
+// connection and its live-instance ephemerals vanish. Requests and responses
+// are gob streams; server→client messages interleave request responses
+// (correlated by ID) with pushed watch events (correlated by watch ID).
+
+// Wire operation codes.
+const (
+	opCreate uint8 = iota + 1
+	opCreateEphemeral
+	opCreateAll
+	opGet
+	opSet
+	opDelete
+	opExists
+	opChildren
+	opWatch
+	opWatchChildren
+	opUnwatch
+)
+
+// Wire error codes map the package's sentinel errors across the connection
+// so `err == zkmeta.ErrNodeExists`-style checks keep working remotely.
+const (
+	wireOK uint8 = iota
+	wireErrNoNode
+	wireErrNodeExists
+	wireErrBadVersion
+	wireErrNotEmpty
+	wireErrNoParent
+	wireErrSessionClosed
+	wireErrOther
+)
+
+func errToCode(err error) (uint8, string) {
+	switch {
+	case err == nil:
+		return wireOK, ""
+	case errors.Is(err, ErrNoNode):
+		return wireErrNoNode, ""
+	case errors.Is(err, ErrNodeExists):
+		return wireErrNodeExists, ""
+	case errors.Is(err, ErrBadVersion):
+		return wireErrBadVersion, ""
+	case errors.Is(err, ErrNotEmpty):
+		return wireErrNotEmpty, ""
+	case errors.Is(err, ErrNoParent):
+		return wireErrNoParent, ""
+	case errors.Is(err, ErrSessionClosed):
+		return wireErrSessionClosed, ""
+	default:
+		return wireErrOther, err.Error()
+	}
+}
+
+func codeToErr(code uint8, msg string) error {
+	switch code {
+	case wireOK:
+		return nil
+	case wireErrNoNode:
+		return ErrNoNode
+	case wireErrNodeExists:
+		return ErrNodeExists
+	case wireErrBadVersion:
+		return ErrBadVersion
+	case wireErrNotEmpty:
+		return ErrNotEmpty
+	case wireErrNoParent:
+		return ErrNoParent
+	case wireErrSessionClosed:
+		return ErrSessionClosed
+	default:
+		return errors.New("zkmeta: remote: " + msg)
+	}
+}
+
+// wireReq is one client request.
+type wireReq struct {
+	ID      uint64
+	Op      uint8
+	Path    string
+	Data    []byte
+	Version int
+	WatchID uint64
+}
+
+// wireResp answers one request.
+type wireResp struct {
+	ID      uint64
+	Code    uint8
+	Err     string
+	Data    []byte
+	Version int
+	Bool    bool
+	Names   []string
+	WatchID uint64
+}
+
+// wireEvent is a pushed watch notification.
+type wireEvent struct {
+	WatchID uint64
+	Type    EventType
+	Path    string
+}
+
+// wireServerMsg multiplexes responses and events on the server→client gob
+// stream; exactly one field is set.
+type wireServerMsg struct {
+	Resp  *wireResp
+	Event *wireEvent
+}
+
+// TCPServer exposes a Store over TCP. Each accepted connection owns one
+// session; closing the connection closes the session.
+type TCPServer struct {
+	store *Store
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer wraps a store for serving.
+func NewTCPServer(store *Store) *TCPServer {
+	return &TCPServer{store: store, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts sessions on the listener until Close. It blocks; run it in a
+// goroutine.
+func (s *TCPServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("zkmeta: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, drops every live session and waits for connection
+// handlers to exit.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.wg.Wait()
+}
+
+// connWriter serializes the server→client gob stream.
+type connWriter struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	err error
+}
+
+func (w *connWriter) send(msg wireServerMsg) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.enc.Encode(msg)
+	return w.err
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := s.store.NewSession()
+	defer sess.Close()
+	w := &connWriter{enc: gob.NewEncoder(conn)}
+	dec := gob.NewDecoder(conn)
+
+	type watchState struct {
+		cancel func()
+		done   chan struct{}
+	}
+	watches := map[uint64]*watchState{}
+	var watchMu sync.Mutex
+	defer func() {
+		watchMu.Lock()
+		ws := make([]*watchState, 0, len(watches))
+		for _, st := range watches {
+			ws = append(ws, st)
+		}
+		watches = map[uint64]*watchState{}
+		watchMu.Unlock()
+		for _, st := range ws {
+			st.cancel()
+			<-st.done
+		}
+	}()
+
+	for {
+		var req wireReq
+		if err := dec.Decode(&req); err != nil {
+			// EOF / reset / garbage: the session dies with the connection.
+			_ = err
+			if err == io.EOF {
+				return
+			}
+			return
+		}
+		resp := wireResp{ID: req.ID}
+		switch req.Op {
+		case opCreate:
+			resp.Code, resp.Err = errToCode(sess.Create(req.Path, req.Data))
+		case opCreateEphemeral:
+			resp.Code, resp.Err = errToCode(sess.CreateEphemeral(req.Path, req.Data))
+		case opCreateAll:
+			resp.Code, resp.Err = errToCode(sess.CreateAll(req.Path, req.Data))
+		case opGet:
+			data, version, err := sess.Get(req.Path)
+			resp.Data, resp.Version = data, version
+			resp.Code, resp.Err = errToCode(err)
+		case opSet:
+			version, err := sess.Set(req.Path, req.Data, req.Version)
+			resp.Version = version
+			resp.Code, resp.Err = errToCode(err)
+		case opDelete:
+			resp.Code, resp.Err = errToCode(sess.Delete(req.Path, req.Version))
+		case opExists:
+			resp.Bool = sess.Exists(req.Path)
+		case opChildren:
+			names, err := sess.Children(req.Path)
+			resp.Names = names
+			resp.Code, resp.Err = errToCode(err)
+		case opWatch, opWatchChildren:
+			var events <-chan Event
+			var cancel func()
+			if req.Op == opWatch {
+				events, cancel = sess.Watch(req.Path)
+			} else {
+				events, cancel = sess.WatchChildren(req.Path)
+			}
+			id := req.WatchID
+			st := &watchState{cancel: cancel, done: make(chan struct{})}
+			watchMu.Lock()
+			watches[id] = st
+			watchMu.Unlock()
+			go func() {
+				defer close(st.done)
+				for ev := range events {
+					if w.send(wireServerMsg{Event: &wireEvent{WatchID: id, Type: ev.Type, Path: ev.Path}}) != nil {
+						// Writer broken: the read loop will notice the dead
+						// connection and tear the session down; drain so
+						// cancel() can close the channel.
+						for range events {
+						}
+						return
+					}
+				}
+			}()
+			resp.WatchID = id
+		case opUnwatch:
+			watchMu.Lock()
+			st := watches[req.WatchID]
+			delete(watches, req.WatchID)
+			watchMu.Unlock()
+			if st != nil {
+				st.cancel()
+				<-st.done
+			}
+		default:
+			resp.Code, resp.Err = wireErrOther, "unknown op"
+		}
+		if w.send(wireServerMsg{Resp: &resp}) != nil {
+			return
+		}
+	}
+}
