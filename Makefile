@@ -24,14 +24,16 @@ verify: build vet race fmt-check bench-check cover
 
 # Headline A/B benchmarks the baseline must carry: the multi-level segment
 # pruning pairs, the pooled gob-encode pair, the metrics-registry overhead
-# pair, and the TCP data-plane pair (loopback round trip, streamed-vs-
-# buffered response decode).
+# pair, the TCP data-plane pair (loopback round trip, streamed-vs-
+# buffered response decode), and the multi-tier cache pair (result-cache
+# cold vs warm, server aggregate cache under a Zipf workload).
 BENCH_REQUIRED = \
 	BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
 	BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
 	BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
 	BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
-	BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered
+	BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
+	BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -56,7 +58,7 @@ cover:
 # segment-pruning pairs, the transport encode pool pair, the metrics-registry
 # overhead pair, and the TCP data-plane benchmarks.
 bench-json:
-	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered|ResultCacheColdVsWarm|ServerAggCacheZipf' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
 # Short fuzz passes over the transport decoders: the buffered whole-response
 # payload and the framed wire protocol.

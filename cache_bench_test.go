@@ -1,0 +1,134 @@
+// Result-cache A/B benchmark (DESIGN.md "Multi-tier caching"). The fixture
+// is an offline-only table, so a warm broker answers the repeated query
+// entirely from its result cache — no scatter at all — while the cold path
+// re-runs the full broker→server fan-out. The benchmark measures both sides
+// explicitly (invalidating between cold runs) and reports the p50 speedup,
+// failing if the warm path is not at least 10x faster; the b.N loop then
+// times the warm path, which is the steady state a dashboard workload sees.
+package pinot
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pinot/internal/cluster"
+	"pinot/internal/server"
+)
+
+var (
+	cacheBenchOnce sync.Once
+	cacheBenchC    *cluster.Cluster
+	cacheBenchErr  error
+)
+
+func cacheBenchCluster(b *testing.B) *cluster.Cluster {
+	b.Helper()
+	cacheBenchOnce.Do(func() {
+		// The server-side aggregate cache would answer the "cold" runs from
+		// warm per-segment state and flatten the A/B contrast; this
+		// benchmark isolates the broker result-cache tier.
+		c, err := cluster.NewLocal(cluster.Options{
+			Servers:        2,
+			ServerTemplate: server.Config{DisableServerCache: true},
+		})
+		if err != nil {
+			cacheBenchErr = err
+			return
+		}
+		schema, err := NewSchema("cbench", []FieldSpec{
+			{Name: "country", Type: TypeString, Kind: Dimension, SingleValue: true},
+			{Name: "clicks", Type: TypeLong, Kind: Metric, SingleValue: true},
+			{Name: "day", Type: TypeLong, Kind: Time, SingleValue: true, TimeUnit: "DAYS"},
+		})
+		if err != nil {
+			cacheBenchErr = err
+			return
+		}
+		if err := c.AddTable(&TableConfig{Name: "cbench", Type: Offline, Schema: schema, Replicas: 2}); err != nil {
+			cacheBenchErr = err
+			return
+		}
+		countries := []string{"us", "de", "fr", "jp"}
+		// Heavy enough that the cold scatter dominates the per-query fixed
+		// cost (parse, route, merge): 4 segments x 40k rows, each cold run
+		// scanning the 10k matching 'us' rows per segment.
+		for si := 0; si < 4; si++ {
+			rows := make([]Row, 0, 40000)
+			for r := 0; r < 40000; r++ {
+				rows = append(rows, Row{countries[r%4], int64(r), int64(17000 + r%30)})
+			}
+			blob, err := BuildSegmentBlob("cbench", fmt.Sprintf("cbench_%d", si), schema, IndexConfig{}, rows, nil)
+			if err != nil {
+				cacheBenchErr = err
+				return
+			}
+			if err := c.UploadSegment("cbench_OFFLINE", blob); err != nil {
+				cacheBenchErr = err
+				return
+			}
+		}
+		if err := c.WaitForOnline("cbench_OFFLINE", 4, 10*time.Second); err != nil {
+			cacheBenchErr = err
+			return
+		}
+		cacheBenchC = c
+	})
+	if cacheBenchErr != nil {
+		b.Fatal(cacheBenchErr)
+	}
+	return cacheBenchC
+}
+
+const cacheBenchQ = "SELECT count(*), sum(clicks), max(clicks) FROM cbench WHERE country = 'us' GROUP BY day"
+
+func BenchmarkResultCacheColdVsWarm(b *testing.B) {
+	c := cacheBenchCluster(b)
+	cache := c.Broker().ResultCache()
+	if cache == nil {
+		b.Fatal("broker result cache is disabled in this fixture")
+	}
+	ctx := context.Background()
+	exec := func() {
+		if _, err := c.Execute(ctx, cacheBenchQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the routing table, scheduler and allocator caches so the cold
+	// samples measure scatter/merge work, not first-query setup.
+	for i := 0; i < 20; i++ {
+		exec()
+	}
+	// p50 over an odd sample count is robust to scheduler noise at the CI's
+	// -benchtime 1x smoke runs, where this assertion still executes.
+	const samples = 33
+	p50 := func(pre func()) time.Duration {
+		ds := make([]time.Duration, samples)
+		for i := range ds {
+			if pre != nil {
+				pre()
+			}
+			start := time.Now()
+			exec()
+			ds[i] = time.Since(start)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[samples/2]
+	}
+	cold := p50(func() { cache.InvalidateAll() })
+	warm := p50(nil)
+	ratio := float64(cold) / float64(warm)
+	if ratio < 10 {
+		b.Fatalf("warm p50 %v is only %.1fx faster than cold p50 %v, want >= 10x", warm, ratio, cold)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec()
+	}
+	// After ResetTimer (which clears user metrics), attach the measured A/B
+	// ratio to the ns/op line.
+	b.ReportMetric(ratio, "cold/warm-p50")
+}

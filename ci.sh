@@ -21,8 +21,8 @@ go test -race ./...
 # Benchmark check (make bench-check): one iteration each, so benchmarks keep
 # compiling and running on every PR without turning CI into a perf run, plus
 # a guard that no benchmark named in BENCH_baseline.json has disappeared and
-# that the headline A/B pairs (pruning, encode pool, metrics overhead) stay
-# in the baseline.
+# that the headline A/B pairs (pruning, encode pool, metrics overhead,
+# multi-tier caching) stay in the baseline.
 go test -run NONE -bench . -benchtime 1x ./... > .bench-run.txt
 go run ./cmd/benchcheck BENCH_baseline.json \
     BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
@@ -30,6 +30,7 @@ go run ./cmd/benchcheck BENCH_baseline.json \
     BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
     BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
     BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
+    BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf \
     < .bench-run.txt
 rm -f .bench-run.txt
 

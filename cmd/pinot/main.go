@@ -68,18 +68,29 @@ func main() {
 		objstoreDir    = flag.String("objstore-dir", "", "shared filesystem object store directory (multi-process roles)")
 		transportAddr  = flag.String("transport-addr", "127.0.0.1:0", "framed-TCP data plane listen address (roles controller/server)")
 		queryDelay     = flag.Duration("debug-query-delay", 0, "artificial per-query latency on this server (testing hook)")
+
+		disableResultCache = flag.Bool("disable-result-cache", false, "A/B lever: turn off the broker result cache (roles all/broker)")
+		resultCacheBytes   = flag.Int64("result-cache-bytes", 0, "broker result cache capacity in bytes (0 = 64 MiB default)")
+		disableServerCache = flag.Bool("disable-server-cache", false, "A/B lever: turn off the server partial-aggregate cache (roles all/server)")
+		serverCacheBytes   = flag.Int64("server-cache-bytes", 0, "server partial-aggregate cache capacity in bytes (0 = 64 MiB default)")
 	)
 	flag.Parse()
+	caches := cacheFlags{
+		disableResult: *disableResultCache,
+		resultBytes:   *resultCacheBytes,
+		disableServer: *disableServerCache,
+		serverBytes:   *serverCacheBytes,
+	}
 
 	switch *role {
 	case "all":
-		runAll(*name, *controllers, *servers, *brokers, *minions, *controllerAddr, *brokerAddr, *strategy, *partitionAware, *streamTopics)
+		runAll(*name, *controllers, *servers, *brokers, *minions, *controllerAddr, *brokerAddr, *strategy, *partitionAware, *streamTopics, caches)
 	case "controller":
 		runController(*name, *zkListen, *objstoreDir, *controllerAddr, *transportAddr)
 	case "server":
-		runServer(*name, *instance, *zkAddr, *objstoreDir, *transportAddr, *queryDelay)
+		runServer(*name, *instance, *zkAddr, *objstoreDir, *transportAddr, *queryDelay, caches)
 	case "broker":
-		runBroker(*name, *instance, *zkAddr, *brokerAddr, *strategy, *partitionAware)
+		runBroker(*name, *instance, *zkAddr, *brokerAddr, *strategy, *partitionAware, caches)
 	default:
 		log.Fatalf("unknown role %q (want all|controller|server|broker)", *role)
 	}
@@ -92,7 +103,17 @@ func awaitSignal() {
 	log.Println("shutting down")
 }
 
-func runAll(name string, controllers, servers, brokers, minions int, controllerAddr, brokerAddr, strategy string, partitionAware bool, streamTopics string) {
+// cacheFlags carries the multi-tier cache levers from the command line to
+// whichever roles this process hosts. Both caches are on by default;
+// the disable flags are the A/B switches DESIGN.md describes.
+type cacheFlags struct {
+	disableResult bool
+	resultBytes   int64
+	disableServer bool
+	serverBytes   int64
+}
+
+func runAll(name string, controllers, servers, brokers, minions int, controllerAddr, brokerAddr, strategy string, partitionAware bool, streamTopics string, caches cacheFlags) {
 	c, err := cluster.NewLocal(cluster.Options{
 		Name:        name,
 		Controllers: controllers,
@@ -100,8 +121,14 @@ func runAll(name string, controllers, servers, brokers, minions int, controllerA
 		Brokers:     brokers,
 		Minions:     minions,
 		BrokerTemplate: broker.Config{
-			Strategy:       broker.Strategy(strategy),
-			PartitionAware: partitionAware,
+			Strategy:           broker.Strategy(strategy),
+			PartitionAware:     partitionAware,
+			DisableResultCache: caches.disableResult,
+			ResultCacheBytes:   caches.resultBytes,
+		},
+		ServerTemplate: server.Config{
+			DisableServerCache: caches.disableServer,
+			ServerCacheBytes:   caches.serverBytes,
 		},
 		// The binary is one process = one cluster, so the process-wide
 		// default registry (which the transport package also records into)
@@ -196,7 +223,7 @@ func runController(name, zkListen, objstoreDir, httpAddr, transportAddr string) 
 // runServer joins the cluster through the remote metadata endpoint, serves
 // the framed query protocol on its advertised address, and loads segments
 // from the shared filesystem object store.
-func runServer(name, instance, zkAddr, objstoreDir, transportAddr string, queryDelay time.Duration) {
+func runServer(name, instance, zkAddr, objstoreDir, transportAddr string, queryDelay time.Duration, caches cacheFlags) {
 	if instance == "" {
 		instance = fmt.Sprintf("server-%d", os.Getpid())
 	}
@@ -206,10 +233,12 @@ func runServer(name, instance, zkAddr, objstoreDir, transportAddr string, queryD
 	}
 	remote := zkmeta.NewRemote(zkAddr)
 	srv := server.New(server.Config{
-		Cluster:       name,
-		Instance:      instance,
-		AdvertiseAddr: lis.Addr().String(),
-		Metrics:       metrics.Default(),
+		Cluster:            name,
+		Instance:           instance,
+		AdvertiseAddr:      lis.Addr().String(),
+		Metrics:            metrics.Default(),
+		DisableServerCache: caches.disableServer,
+		ServerCacheBytes:   caches.serverBytes,
 	}, remote, mustObjstore(objstoreDir), stream.NewCluster(), func() []transport.ControllerClient { return nil })
 	if queryDelay > 0 {
 		srv.InjectLatency(queryDelay)
@@ -229,7 +258,7 @@ func runServer(name, instance, zkAddr, objstoreDir, transportAddr string, queryD
 // runBroker joins the cluster through the remote metadata endpoint and
 // scatters queries over TCP, resolving server instances to data-plane
 // addresses from their registered instance configs (briefly cached).
-func runBroker(name, instance, zkAddr, httpAddr, strategy string, partitionAware bool) {
+func runBroker(name, instance, zkAddr, httpAddr, strategy string, partitionAware bool, caches cacheFlags) {
 	if instance == "" {
 		instance = fmt.Sprintf("broker-%d", os.Getpid())
 	}
@@ -238,11 +267,13 @@ func runBroker(name, instance, zkAddr, httpAddr, strategy string, partitionAware
 	defer pool.Close()
 	registry := transport.NewTCPRegistry(newAddrResolver(remote, name, 2*time.Second), pool)
 	br := broker.New(broker.Config{
-		Cluster:        name,
-		Instance:       instance,
-		Strategy:       broker.Strategy(strategy),
-		PartitionAware: partitionAware,
-		Metrics:        metrics.Default(),
+		Cluster:            name,
+		Instance:           instance,
+		Strategy:           broker.Strategy(strategy),
+		PartitionAware:     partitionAware,
+		Metrics:            metrics.Default(),
+		DisableResultCache: caches.disableResult,
+		ResultCacheBytes:   caches.resultBytes,
 	}, remote, registry)
 	if err := br.Start(); err != nil {
 		log.Fatalf("broker start: %v", err)

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"pinot/internal/helix"
 	"pinot/internal/metrics"
 	"pinot/internal/pql"
+	"pinot/internal/qcache"
 	"pinot/internal/qctx"
 	"pinot/internal/query"
 	"pinot/internal/stream"
@@ -57,6 +59,17 @@ type Config struct {
 	PerServerTimeout time.Duration
 	// Seed fixes the routing RNG for reproducible tests (0 = random).
 	Seed int64
+	// DisableResultCache turns off the broker-side result cache (the A/B
+	// lever for benchmarking; the cache is ON by default). Cached entries
+	// are keyed on the canonical PQL, tenant and routing version vector,
+	// and invalidated precisely — never by TTL.
+	DisableResultCache bool
+	// ResultCacheBytes bounds the result cache's resident size
+	// (0 = qcache.DefaultMaxBytes).
+	ResultCacheBytes int64
+	// ResultCachePolicy selects the eviction policy ("lru" default, or
+	// "lfu").
+	ResultCachePolicy string
 	// Metrics receives the broker's instrumentation; nil means the
 	// process-wide metrics.Default().
 	Metrics *metrics.Registry
@@ -112,6 +125,10 @@ type Broker struct {
 	registry transport.Registry
 	met      *brokerMetrics
 	slow     *metrics.SlowLog
+	// resultCache is the broker tier of the multi-tier cache: merged
+	// immutable-portion results keyed on (canonical PQL, tenant, routing
+	// version), scoped per resource. Nil when disabled.
+	resultCache *qcache.Cache
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
@@ -132,7 +149,7 @@ func New(cfg Config, store zkmeta.Endpoint, registry transport.Registry) *Broker
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:         cfg,
 		store:       store,
 		registry:    registry,
@@ -144,6 +161,15 @@ func New(cfg Config, store zkmeta.Endpoint, registry transport.Registry) *Broker
 		watching:    map[string]func(){},
 		cfgWatching: map[string]func(){},
 	}
+	if !cfg.DisableResultCache {
+		b.resultCache = qcache.New(qcache.Config{
+			Tier:     "result",
+			MaxBytes: cfg.ResultCacheBytes,
+			Policy:   qcache.Policy(cfg.ResultCachePolicy),
+			Metrics:  b.met.reg,
+		})
+	}
+	return b
 }
 
 // Instance returns the broker's instance name.
@@ -200,15 +226,29 @@ func (b *Broker) Stop() {
 
 func (b *Broker) invalidateAll() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.routing = map[string]*routingState{}
+	b.mu.Unlock()
+	if b.resultCache != nil {
+		b.resultCache.InvalidateAll()
+	}
 }
 
 func (b *Broker) invalidate(resource string) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	delete(b.routing, resource)
+	b.mu.Unlock()
+	// The version-vector key already makes the dropped routing state's
+	// entries unreachable; the eager scope invalidation reclaims their
+	// memory and keeps the invalidation counters exact (once per entry —
+	// a second watch firing finds the scope empty and counts nothing).
+	if b.resultCache != nil {
+		b.resultCache.InvalidateScope(resource)
+	}
 }
+
+// ResultCache exposes the broker result-cache tier (nil when disabled);
+// tests and the HTTP debug surface read its occupancy.
+func (b *Broker) ResultCache() *qcache.Cache { return b.resultCache }
 
 func (b *Broker) randIntn(n int) int {
 	b.rndMu.Lock()
@@ -256,12 +296,27 @@ func (b *Broker) routingFor(resource string) (*routingState, error) {
 	if ok {
 		return rs, nil
 	}
-	admin := helix.NewAdmin(b.sess, b.cfg.Cluster)
-	ev, err := admin.ExternalViewOf(resource)
-	if err != nil {
+	// Read the external view data and its store version in ONE Get: the
+	// version seeds the result-cache key, so reading it separately from
+	// the data would open a window where routing reflects one view and
+	// cache keys another (a stale hit surviving its invalidation).
+	data, ver, err := b.sess.Get(helix.ExternalViewPath(b.cfg.Cluster, resource))
+	ev := &helix.ExternalView{Resource: resource, Partitions: map[string]map[string]string{}}
+	switch {
+	case err == zkmeta.ErrNoNode:
+		// No external view yet: an empty routing state.
+	case err != nil:
 		return nil, err
+	default:
+		if err := json.Unmarshal(data, ev); err != nil {
+			return nil, err
+		}
+		if ev.Partitions == nil {
+			ev.Partitions = map[string]map[string]string{}
+		}
 	}
 	si := segmentInstances{}
+	consuming := map[string]bool{}
 	for seg, replicas := range ev.Partitions {
 		for inst, state := range replicas {
 			// Both fully online replicas and consuming replicas
@@ -269,9 +324,12 @@ func (b *Broker) routingFor(resource string) (*routingState, error) {
 			if state == helix.StateOnline || state == helix.StateConsuming {
 				si[seg] = append(si[seg], inst)
 			}
+			if state == helix.StateConsuming {
+				consuming[seg] = true
+			}
 		}
 	}
-	rs = &routingState{segments: si, segPartition: map[string]int{}, segMeta: map[string]*table.SegmentMeta{}}
+	rs = &routingState{segments: si, consuming: consuming, segPartition: map[string]int{}, segMeta: map[string]*table.SegmentMeta{}}
 	b.rndMu.Lock()
 	switch b.cfg.Strategy {
 	case StrategyLargeCluster:
@@ -297,6 +355,7 @@ func (b *Broker) routingFor(resource string) (*routingState, error) {
 			rs.segMeta[m.Name] = m
 		}
 	}
+	rs.version = routingVersion(ver, ev, rs.segMeta)
 	b.mu.Lock()
 	b.routing[resource] = rs
 	// Register a data watch so external-view updates refresh routing
@@ -603,50 +662,142 @@ func (b *Broker) scatterGather(ctx context.Context, qc *qctx.QueryContext, resou
 	}
 	stopRoute()
 
-	// The gather loop charges streaming merges to the merge phase and the
-	// rest of its wall clock to scatter, keeping the two disjoint so the
-	// ledger still sums to at most the elapsed wall clock.
+	// Result-cache dispatch. Only aggregation shapes are cacheable (a
+	// selection's row merge order is not deterministic across scatters),
+	// and only the immutable portion of the routing table: consuming
+	// segments always scatter live, and a hit merges the cached portion
+	// with their fresh partials.
+	cache := b.resultCache
+	if cache == nil || !q.IsAggregation() {
+		live, _, err := b.scatterPortions(ctx, qc, rs, resource, q, tenant, rt, nil)
+		if err != nil {
+			return out, err
+		}
+		return out, out.fold(qc, live)
+	}
+	imm, cons := splitConsuming(rt, rs.consuming)
+	if len(imm) == 0 {
+		// Every routed segment is consuming — nothing cacheable.
+		live, _, err := b.scatterPortions(ctx, qc, rs, resource, q, tenant, cons, nil)
+		if err != nil {
+			return out, err
+		}
+		return out, out.fold(qc, live)
+	}
+	key := resultCacheKey(rs, tenant, q)
+	if v, ok := cache.Get(resource, q.Table, key); ok {
+		hit := v.(*cachedGather).replay()
+		live, _, err := b.scatterPortions(ctx, qc, rs, resource, q, tenant, cons, nil)
+		if err != nil {
+			return out, err
+		}
+		if err := out.fold(qc, hit); err != nil {
+			return out, err
+		}
+		return out, out.fold(qc, live)
+	}
+	live, cacheable, err := b.scatterPortions(ctx, qc, rs, resource, q, tenant, cons, imm)
+	if err != nil {
+		return out, err
+	}
+	if cacheable.complete() && cacheable.result != nil {
+		cache.Put(resource, q.Table, key, &cachedGather{
+			result:    cacheable.result.Clone(),
+			queried:   cacheable.queried,
+			responded: cacheable.responded,
+		}, cacheable.result.SizeBytes())
+	}
+	if err := out.fold(qc, cacheable); err != nil {
+		return out, err
+	}
+	return out, out.fold(qc, live)
+}
+
+// fold absorbs one scatter portion's outcome into the subquery's gather,
+// charging the cross-portion merge to the query's merge phase.
+func (out *gatherResult) fold(qc *qctx.QueryContext, p gatherResult) error {
+	out.queried += p.queried
+	out.responded += p.responded
+	out.respExcs = append(out.respExcs, p.respExcs...)
+	out.srvExcs = append(out.srvExcs, p.srvExcs...)
+	if p.result == nil {
+		return nil
+	}
+	if out.result == nil {
+		out.result = p.result
+		return nil
+	}
+	stop := qc.Clock(qctx.PhaseMerge)
+	defer stop()
+	return out.result.Merge(p.result)
+}
+
+// scatterPortions fans out the scatter groups of both portions — live
+// (consuming segments, or everything when the cache is out of play) and
+// cacheable (immutable segments) — in one concurrent wave, then merges
+// each group's partial into its own portion so the cacheable half can be
+// stored without the moving data mixed in. The gather loop charges
+// streaming merges to the merge phase and the rest of its wall clock to
+// scatter, keeping the two disjoint so the ledger still sums to at most
+// the elapsed wall clock.
+func (b *Broker) scatterPortions(ctx context.Context, qc *qctx.QueryContext, rs *routingState, resource string, q *pql.Query, tenant string, live, cacheable RoutingTable) (liveOut, cacheOut gatherResult, err error) {
 	scatterStart := time.Now()
 	var mergeDur time.Duration
 	pqlText := q.String()
-	results := make(chan groupResult, len(rt))
-	for instance, segs := range rt {
-		go func(instance string, segs []string) {
-			results <- b.queryGroup(ctx, qc, rs, resource, pqlText, tenant, q, instance, segs)
-		}(instance, segs)
+	type tagged struct {
+		cacheable bool
+		gr        groupResult
 	}
-	out.queried = len(rt)
-	for i := 0; i < len(rt); i++ {
-		gr := <-results
+	total := len(live) + len(cacheable)
+	results := make(chan tagged, total)
+	for _, portion := range []struct {
+		rt        RoutingTable
+		cacheable bool
+	}{{live, false}, {cacheable, true}} {
+		for instance, segs := range portion.rt {
+			go func(instance string, segs []string, cacheable bool) {
+				results <- tagged{cacheable, b.queryGroup(ctx, qc, rs, resource, pqlText, tenant, q, instance, segs)}
+			}(instance, segs, portion.cacheable)
+		}
+	}
+	liveOut.queried, cacheOut.queried = len(live), len(cacheable)
+	charge := func() {
+		qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
+		qc.Charge(qctx.PhaseMerge, mergeDur)
+	}
+	for i := 0; i < total; i++ {
+		t := <-results
+		dst := &liveOut
+		if t.cacheable {
+			dst = &cacheOut
+		}
+		gr := t.gr
 		if gr.err != nil {
-			qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
-			qc.Charge(qctx.PhaseMerge, mergeDur)
-			return out, gr.err
+			charge()
+			return liveOut, cacheOut, gr.err
 		}
 		if gr.responded {
-			out.responded++
+			dst.responded++
 		}
-		out.respExcs = append(out.respExcs, gr.respExcs...)
-		out.srvExcs = append(out.srvExcs, gr.excs...)
+		dst.respExcs = append(dst.respExcs, gr.respExcs...)
+		dst.srvExcs = append(dst.srvExcs, gr.excs...)
 		if gr.result == nil {
 			continue
 		}
-		if out.result == nil {
-			out.result = gr.result
+		if dst.result == nil {
+			dst.result = gr.result
 			continue
 		}
 		mt := time.Now()
-		err := out.result.Merge(gr.result)
+		err := dst.result.Merge(gr.result)
 		mergeDur += time.Since(mt)
 		if err != nil {
-			qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
-			qc.Charge(qctx.PhaseMerge, mergeDur)
-			return out, err
+			charge()
+			return liveOut, cacheOut, err
 		}
 	}
-	qc.Charge(qctx.PhaseScatter, time.Since(scatterStart)-mergeDur)
-	qc.Charge(qctx.PhaseMerge, mergeDur)
-	return out, nil
+	charge()
+	return liveOut, cacheOut, nil
 }
 
 // queryGroup drives one scatter group to completion: query the primary

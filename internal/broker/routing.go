@@ -276,6 +276,18 @@ type routingState struct {
 	mu       sync.Mutex
 	tables   []RoutingTable
 	segments segmentInstances
+	// version is this routing snapshot's identity: the external view's
+	// store version plus a digest over the segment set, per-replica states
+	// and the cached segment metadata (CRC, status, stream end offset). The
+	// broker result cache keys on it, so any cluster transition that could
+	// change a query's answer also changes every affected cache key — the
+	// precise-invalidation contract that lets the cache live without TTLs.
+	version string
+	// consuming marks segments with a replica in CONSUMING state. They are
+	// excluded from result-cache coverage and always scattered live, so a
+	// cache hit still reflects every row ingested since the entry was
+	// stored.
+	consuming map[string]bool
 	// partition routing support
 	segPartition map[string]int // segment → partition (-1 unknown)
 	// segMeta caches ZK segment metadata (time range, partition, doc

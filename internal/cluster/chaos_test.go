@@ -13,7 +13,10 @@ import (
 
 // chaosBrokerConfig keeps retries fast and routing deterministic.
 func chaosBrokerConfig() broker.Config {
-	return broker.Config{Seed: 5, RetryBackoff: time.Millisecond}
+	// Chaos scenarios repeat one query until a fault is exercised on the
+	// scatter path; the result cache would answer the repeats at the
+	// broker and starve the fault of traffic.
+	return broker.Config{Seed: 5, RetryBackoff: time.Millisecond, DisableResultCache: true}
 }
 
 // loadOffline uploads four 100-row segments and waits until every segment

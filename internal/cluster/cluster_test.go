@@ -630,6 +630,10 @@ func TestTenancyThrottlingThroughServer(t *testing.T) {
 			TenantTokens: 0.000001, // effectively empty after first query
 			TenantRefill: 0.0000001,
 		},
+		// The throttle only fires when the repeated query reaches the
+		// server; a broker cache hit would answer it without spending
+		// tenant tokens.
+		BrokerTemplate: broker.Config{DisableResultCache: true},
 	})
 	if err != nil {
 		t.Fatal(err)

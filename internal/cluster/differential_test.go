@@ -173,6 +173,12 @@ func TestDifferentialMemVsTCP(t *testing.T) {
 					pqlText, res.Partial, res.ServersResponded, res.ServersQueried, res.Exceptions)
 			}
 		}
+		// ResultCacheHit is the one permitted divergence between a cached
+		// and a cold response; the settle loops above prime each broker's
+		// result cache at different points in the realtime transition
+		// stream, so the flag may legitimately differ per broker here.
+		memRes.Stats.ResultCacheHit = false
+		tcpRes.Stats.ResultCacheHit = false
 		if m, tc := canonicalResponse(pqlText, memRes), canonicalResponse(pqlText, tcpRes); m != tc {
 			mismatches++
 			t.Errorf("transport divergence on %q:\n  mem: %s\n  tcp: %s", pqlText, m, tc)

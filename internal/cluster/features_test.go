@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"pinot/internal/broker"
 	"pinot/internal/controller"
 	"pinot/internal/helix"
 	"pinot/internal/server"
@@ -18,6 +19,9 @@ func TestAutoIndexingFromQueryLog(t *testing.T) {
 	c, err := NewLocal(Options{
 		Servers:        1,
 		ServerTemplate: server.Config{AutoIndexThreshold: 5},
+		// Auto-indexing counts queries arriving at the server; the broker
+		// result cache would absorb the repeats before they are observed.
+		BrokerTemplate: broker.Config{DisableResultCache: true},
 	})
 	if err != nil {
 		t.Fatal(err)

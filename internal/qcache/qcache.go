@@ -1,0 +1,306 @@
+// Package qcache is the multi-tier query cache substrate: a size-aware,
+// scope-indexed cache shared by the broker-side query-result tier and the
+// server-side partial-aggregate tier. Entries are grouped under a scope (a
+// table resource for the result tier, a segment name for the aggregate
+// tier) so a segment state change invalidates exactly the affected entries
+// — precise invalidation, never time-based staleness. Eviction is bounded
+// by bytes under a selectable LRU or LFU policy with a small-result
+// admission bias: dashboard-style workloads repeat many small aggregations,
+// and one monster selection must not wipe out a thousand useful entries.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+
+	"pinot/internal/metrics"
+)
+
+// Policy selects the eviction discipline.
+type Policy string
+
+// Eviction policies.
+const (
+	// PolicyLRU evicts the least-recently-used entry.
+	PolicyLRU Policy = "lru"
+	// PolicyLFU evicts the least-frequently-used entry among the coldest
+	// candidates (frequency first, recency as the tiebreak), so a burst of
+	// one-off queries cannot flush the perennially hot dashboard set.
+	PolicyLFU Policy = "lfu"
+)
+
+// DefaultMaxBytes bounds a cache tier when the config leaves it zero.
+const DefaultMaxBytes = 64 << 20
+
+// lfuScan bounds how many cold-end entries an LFU eviction inspects; the
+// victim is the least-frequent (then least-recent) of that window, keeping
+// eviction O(1)-ish while still strongly preferring low-frequency entries.
+const lfuScan = 16
+
+// Config tunes one cache tier.
+type Config struct {
+	// Tier labels this cache's metrics ("result", "aggregate").
+	Tier string
+	// MaxBytes bounds the sum of entry sizes (0 = DefaultMaxBytes).
+	MaxBytes int64
+	// MaxEntryBytes is the admission cap: entries larger than this are
+	// rejected outright — the small-result bias. 0 defaults to MaxBytes/8.
+	MaxEntryBytes int64
+	// Policy selects eviction (default PolicyLRU).
+	Policy Policy
+	// Metrics receives the tier's instrumentation (nil = metrics.Default()).
+	Metrics *metrics.Registry
+}
+
+func (c *Config) withDefaults() {
+	if c.Tier == "" {
+		c.Tier = "cache"
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MaxEntryBytes <= 0 {
+		c.MaxEntryBytes = c.MaxBytes / 8
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyLRU
+	}
+}
+
+// entry is one cached value. table is carried so per-table metric families
+// stay attributable on eviction and invalidation, where only the scope is
+// known to the caller.
+type entry struct {
+	scope string
+	key   string
+	table string
+	val   any
+	size  int64
+	freq  int64
+}
+
+type cacheMetrics struct {
+	hits          *metrics.Family // labels: tier, table
+	misses        *metrics.Family
+	evictions     *metrics.Family
+	invalidations *metrics.Family
+	bytesSaved    *metrics.Family
+	rejected      *metrics.Family
+	bytes         *metrics.Instrument // gauge per tier
+	entries       *metrics.Instrument // gauge per tier
+}
+
+func newCacheMetrics(reg *metrics.Registry, tier string) *cacheMetrics {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	return &cacheMetrics{
+		hits: reg.Counter("pinot_cache_hits_total",
+			"Cache lookups served from a tier, per table.", "tier", "table"),
+		misses: reg.Counter("pinot_cache_misses_total",
+			"Cache lookups that found no entry, per table.", "tier", "table"),
+		evictions: reg.Counter("pinot_cache_evictions_total",
+			"Entries evicted to stay under the byte bound, per table.", "tier", "table"),
+		invalidations: reg.Counter("pinot_cache_invalidations_total",
+			"Entries dropped by precise invalidation (segment state change), per table.", "tier", "table"),
+		bytesSaved: reg.Counter("pinot_cache_bytes_saved_total",
+			"Bytes of result recomputation avoided by cache hits, per table.", "tier", "table"),
+		rejected: reg.Counter("pinot_cache_admission_rejects_total",
+			"Entries refused admission for exceeding the entry-size cap, per table.", "tier", "table"),
+		bytes: reg.Gauge("pinot_cache_bytes",
+			"Current bytes held by a cache tier.", "tier").With(tier),
+		entries: reg.Gauge("pinot_cache_entries",
+			"Current entries held by a cache tier.", "tier").With(tier),
+	}
+}
+
+// Cache is one tier: a bounded-bytes scoped cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	cfg Config
+	met *cacheMetrics
+
+	mu       sync.Mutex
+	order    *list.List               // front = most recently used; values are *entry
+	byKey    map[string]*list.Element // composite scope+key → element
+	byScope  map[string]map[string]*list.Element
+	curBytes int64
+}
+
+// New builds a cache tier.
+func New(cfg Config) *Cache {
+	cfg.withDefaults()
+	return &Cache{
+		cfg:     cfg,
+		met:     newCacheMetrics(cfg.Metrics, cfg.Tier),
+		order:   list.New(),
+		byKey:   map[string]*list.Element{},
+		byScope: map[string]map[string]*list.Element{},
+	}
+}
+
+func composite(scope, key string) string { return scope + "\x00" + key }
+
+// Get returns the value cached under (scope, key), recording a hit or miss
+// for the table. On a hit the entry's recency and frequency are refreshed
+// and its size is credited to the table's bytes-saved counter.
+func (c *Cache) Get(scope, table, key string) (any, bool) {
+	ck := composite(scope, key)
+	c.mu.Lock()
+	el, ok := c.byKey[ck]
+	if !ok {
+		c.mu.Unlock()
+		c.met.misses.With(c.cfg.Tier, table).Inc()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	e.freq++
+	c.order.MoveToFront(el)
+	val, size := e.val, e.size
+	c.mu.Unlock()
+	c.met.hits.With(c.cfg.Tier, table).Inc()
+	c.met.bytesSaved.With(c.cfg.Tier, table).Add(size)
+	return val, true
+}
+
+// Put admits a value under (scope, key), evicting cold entries to stay
+// under the byte bound. Values above the entry-size cap are rejected (the
+// small-result bias); the return reports admission. Re-putting an existing
+// key replaces the value in place.
+func (c *Cache) Put(scope, table, key string, val any, size int64) bool {
+	if size <= 0 {
+		size = 1
+	}
+	if size > c.cfg.MaxEntryBytes {
+		c.met.rejected.With(c.cfg.Tier, table).Inc()
+		return false
+	}
+	ck := composite(scope, key)
+	type victim struct{ table string }
+	var victims []victim
+	c.mu.Lock()
+	if el, ok := c.byKey[ck]; ok {
+		e := el.Value.(*entry)
+		c.curBytes += size - e.size
+		e.val, e.size, e.table = val, size, table
+		c.order.MoveToFront(el)
+	} else {
+		e := &entry{scope: scope, key: key, table: table, val: val, size: size, freq: 1}
+		el := c.order.PushFront(e)
+		c.byKey[ck] = el
+		if c.byScope[scope] == nil {
+			c.byScope[scope] = map[string]*list.Element{}
+		}
+		c.byScope[scope][key] = el
+		c.curBytes += size
+	}
+	for c.curBytes > c.cfg.MaxBytes && c.order.Len() > 1 {
+		el := c.pickVictimLocked()
+		if el == nil || el == c.order.Front() && c.order.Len() == 1 {
+			break
+		}
+		e := el.Value.(*entry)
+		c.removeLocked(el)
+		victims = append(victims, victim{e.table})
+	}
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	for _, v := range victims {
+		c.met.evictions.With(c.cfg.Tier, v.table).Inc()
+	}
+	return true
+}
+
+// pickVictimLocked chooses the entry to evict. LRU takes the back of the
+// recency list; LFU scans the lfuScan coldest entries and takes the least
+// frequent (least recent on ties).
+func (c *Cache) pickVictimLocked() *list.Element {
+	back := c.order.Back()
+	if back == nil || c.cfg.Policy != PolicyLFU {
+		return back
+	}
+	best := back
+	bestFreq := back.Value.(*entry).freq
+	el := back
+	for i := 1; i < lfuScan && el != nil; i++ {
+		el = el.Prev()
+		if el == nil {
+			break
+		}
+		if f := el.Value.(*entry).freq; f < bestFreq {
+			best, bestFreq = el, f
+		}
+	}
+	return best
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.byKey, composite(e.scope, e.key))
+	if m := c.byScope[e.scope]; m != nil {
+		delete(m, e.key)
+		if len(m) == 0 {
+			delete(c.byScope, e.scope)
+		}
+	}
+	c.curBytes -= e.size
+}
+
+func (c *Cache) updateGaugesLocked() {
+	c.met.bytes.Set(c.curBytes)
+	c.met.entries.Set(int64(c.order.Len()))
+}
+
+// InvalidateScope drops every entry under a scope, incrementing the
+// invalidation counter exactly once per dropped entry, and returns the
+// number dropped. A scope with no entries is a no-op.
+func (c *Cache) InvalidateScope(scope string) int {
+	c.mu.Lock()
+	m := c.byScope[scope]
+	dropped := make([]string, 0, len(m))
+	for _, el := range m {
+		dropped = append(dropped, el.Value.(*entry).table)
+		c.removeLocked(el)
+	}
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	for _, table := range dropped {
+		c.met.invalidations.With(c.cfg.Tier, table).Inc()
+	}
+	return len(dropped)
+}
+
+// InvalidateAll drops every entry in the cache (cluster-wide state change),
+// counting each as an invalidation, and returns the number dropped.
+func (c *Cache) InvalidateAll() int {
+	c.mu.Lock()
+	var dropped []string
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		dropped = append(dropped, el.Value.(*entry).table)
+	}
+	c.order.Init()
+	c.byKey = map[string]*list.Element{}
+	c.byScope = map[string]map[string]*list.Element{}
+	c.curBytes = 0
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	for _, table := range dropped {
+		c.met.invalidations.With(c.cfg.Tier, table).Inc()
+	}
+	return len(dropped)
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the current byte total.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

@@ -1,0 +1,202 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pinot/internal/metrics"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Config{Tier: "result", MaxBytes: 1000, MaxEntryBytes: 1000, Metrics: reg})
+
+	if _, ok := c.Get("scope1", "events", "k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !c.Put("scope1", "events", "k1", "v1", 100) {
+		t.Fatal("put rejected")
+	}
+	v, ok := c.Get("scope1", "events", "k1")
+	if !ok || v.(string) != "v1" {
+		t.Fatalf("get = %v, %v", v, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 100 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+
+	// Replacement updates bytes in place.
+	c.Put("scope1", "events", "k1", "v2", 250)
+	if c.Len() != 1 || c.Bytes() != 250 {
+		t.Fatalf("after replace len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	v, _ = c.Get("scope1", "events", "k1")
+	if v.(string) != "v2" {
+		t.Fatalf("replace not visible: %v", v)
+	}
+
+	if got := reg.Value("pinot_cache_hits_total", "result", "events"); got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+	if got := reg.Value("pinot_cache_misses_total", "result", "events"); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if got := reg.Total("pinot_cache_bytes_saved_total"); got != 350 {
+		t.Fatalf("bytes saved = %d, want 350", got)
+	}
+}
+
+func TestAdmissionRejectsOversized(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Config{Tier: "agg", MaxBytes: 800, MaxEntryBytes: 100, Metrics: reg})
+	if c.Put("s", "t", "big", "x", 101) {
+		t.Fatal("oversized entry admitted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversized entry stored")
+	}
+	if got := reg.Total("pinot_cache_admission_rejects_total"); got != 1 {
+		t.Fatalf("rejects = %d", got)
+	}
+	// Default cap is MaxBytes/8.
+	d := New(Config{Tier: "agg2", MaxBytes: 800, Metrics: reg})
+	if d.Put("s", "t", "big", "x", 101) {
+		t.Fatal("entry above MaxBytes/8 admitted under default cap")
+	}
+	if !d.Put("s", "t", "ok", "x", 100) {
+		t.Fatal("entry at default cap rejected")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Config{Tier: "result", MaxBytes: 300, MaxEntryBytes: 300, Metrics: reg})
+	c.Put("s", "t", "a", 1, 100)
+	c.Put("s", "t", "b", 2, 100)
+	c.Put("s", "t", "c", 3, 100)
+	// Touch "a" so "b" is the LRU victim.
+	c.Get("s", "t", "a")
+	c.Put("s", "t", "d", 4, 100)
+	if _, ok := c.Get("s", "t", "b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get("s", "t", k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if got := reg.Total("pinot_cache_evictions_total"); got != 1 {
+		t.Fatalf("evictions = %d", got)
+	}
+	if c.Bytes() != 300 {
+		t.Fatalf("bytes = %d", c.Bytes())
+	}
+}
+
+func TestLFUEvictionPrefersColdEntry(t *testing.T) {
+	c := New(Config{Tier: "result", MaxBytes: 300, MaxEntryBytes: 300, Policy: PolicyLFU})
+	c.Put("s", "t", "hot", 1, 100)
+	for i := 0; i < 5; i++ {
+		c.Get("s", "t", "hot")
+	}
+	c.Put("s", "t", "warm", 2, 100)
+	c.Get("s", "t", "warm")
+	c.Put("s", "t", "cold", 3, 100)
+	// "hot" is least-recently used but most frequent; LFU must skip it and
+	// evict "cold" (frequency 1), where LRU would have taken "hot".
+	c.Put("s", "t", "new", 4, 100)
+	if _, ok := c.Get("s", "t", "hot"); !ok {
+		t.Fatal("LFU evicted the hot entry")
+	}
+	if _, ok := c.Get("s", "t", "warm"); !ok {
+		t.Fatal("LFU evicted warm over cold")
+	}
+	if _, ok := c.Get("s", "t", "cold"); ok {
+		t.Fatal("LFU kept the cold entry")
+	}
+}
+
+func TestInvalidateScope(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Config{Tier: "result", MaxBytes: 10000, Metrics: reg})
+	c.Put("seg1", "events", "k1", 1, 10)
+	c.Put("seg1", "events", "k2", 2, 10)
+	c.Put("seg2", "events", "k1", 3, 10)
+	if n := c.InvalidateScope("seg1"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if n := c.InvalidateScope("seg1"); n != 0 {
+		t.Fatalf("second invalidation dropped %d", n)
+	}
+	if _, ok := c.Get("seg2", "events", "k1"); !ok {
+		t.Fatal("unrelated scope invalidated")
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if got := reg.Total("pinot_cache_invalidations_total"); got != 2 {
+		t.Fatalf("invalidations = %d, want exactly 2", got)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := New(Config{Tier: "result", MaxBytes: 10000, Metrics: reg})
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("seg%d", i), "events", "k", i, 10)
+	}
+	if n := c.InvalidateAll(); n != 5 {
+		t.Fatalf("invalidated %d, want 5", n)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after InvalidateAll", c.Len(), c.Bytes())
+	}
+	if got := reg.Total("pinot_cache_invalidations_total"); got != 5 {
+		t.Fatalf("invalidations = %d", got)
+	}
+	c.Put("seg1", "events", "k", 1, 10)
+	if _, ok := c.Get("seg1", "events", "k"); !ok {
+		t.Fatal("cache unusable after InvalidateAll")
+	}
+}
+
+func TestEvictionNeverExceedsBound(t *testing.T) {
+	c := New(Config{Tier: "result", MaxBytes: 1000, MaxEntryBytes: 400})
+	for i := 0; i < 200; i++ {
+		c.Put("s", "t", fmt.Sprintf("k%d", i), i, int64(50+i%300))
+		if c.Bytes() > 1000 {
+			t.Fatalf("bytes %d exceeded bound after put %d", c.Bytes(), i)
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache emptied itself")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{Tier: "result", MaxBytes: 5000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%40)
+				scope := fmt.Sprintf("s%d", i%4)
+				switch i % 5 {
+				case 0:
+					c.Put(scope, "t", key, i, int64(10+i%90))
+				case 4:
+					c.InvalidateScope(scope)
+				default:
+					c.Get(scope, "t", key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > 5000 {
+		t.Fatalf("bytes %d exceeded bound", c.Bytes())
+	}
+}

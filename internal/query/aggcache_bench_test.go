@@ -1,0 +1,52 @@
+// Partial-aggregate cache benchmark (DESIGN.md "Multi-tier caching"). A
+// Zipf-skewed stream over a 64-query corpus — the shape of a site-facing
+// dashboard workload, where a few queries dominate — runs through one engine
+// with the server cache live. The reported hit rate shows the cache
+// absorbing the head of the distribution; ns/op is the blended per-query
+// cost with that hit rate.
+package query
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pinot/internal/metrics"
+	"pinot/internal/pql"
+	"pinot/internal/qcache"
+	"pinot/internal/segment"
+)
+
+func BenchmarkServerAggCacheZipf(b *testing.B) {
+	var segs []IndexedSegment
+	for i := 0; i < 8; i++ {
+		rows := testRows(2000, int64(100+i))
+		segs = append(segs, IndexedSegment{Seg: buildRows(b, rows, segment.IndexConfig{}, fmt.Sprintf("zseg%d", i))})
+	}
+	var corpus []*pql.Query
+	for k := 0; k < 64; k++ {
+		q, err := pql.Parse(fmt.Sprintf(
+			"SELECT count(*), sum(clicks) FROM events WHERE memberId < %d GROUP BY country", k+5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus = append(corpus, q)
+	}
+	reg := metrics.NewRegistry()
+	e := &Engine{AggCache: qcache.New(qcache.Config{Tier: "aggregate", Metrics: reg})}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.2, 1, uint64(len(corpus)-1))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := corpus[zipf.Uint64()]
+		if _, _, err := e.Execute(ctx, q, segs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses := reg.Total("pinot_cache_hits_total"), reg.Total("pinot_cache_misses_total")
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+	}
+}

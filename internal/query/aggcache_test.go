@@ -1,0 +1,278 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pinot/internal/metrics"
+	"pinot/internal/pql"
+	"pinot/internal/qcache"
+	"pinot/internal/segment"
+)
+
+// aggCacheFixture builds a mixed segment set — three immutable segments and
+// one mutable (consuming-style) segment — mirroring a realtime table's
+// server-side shape.
+func aggCacheFixture(t testing.TB) []IndexedSegment {
+	t.Helper()
+	var segs []IndexedSegment
+	for i := 0; i < 3; i++ {
+		rows := testRows(400, int64(100+i))
+		cfg := segment.IndexConfig{}
+		if i == 1 {
+			cfg.InvertedColumns = []string{"country"}
+			cfg.SortColumn = "memberId"
+		}
+		segs = append(segs, IndexedSegment{Seg: buildRows(t, rows, cfg, fmt.Sprintf("seg%d", i))})
+	}
+	ms, err := segment.NewMutableSegment("events", "rt0", rowsSchema(t), segment.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRows(300, 999) {
+		if err := ms.Add(segment.Row{r.country, r.browser, r.member, r.clicks, r.rev, r.day}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return append(segs, IndexedSegment{Seg: ms})
+}
+
+func aggCacheCorpus() []string {
+	return []string{
+		"SELECT count(*) FROM events",
+		"SELECT sum(clicks), avg(revenue) FROM events WHERE country = 'us'",
+		"SELECT min(clicks), max(clicks) FROM events WHERE day BETWEEN 15005 AND 15020",
+		"SELECT distinctcount(browser) FROM events WHERE clicks > 40",
+		"SELECT percentile95(clicks) FROM events WHERE country IN ('de', 'fr')",
+		"SELECT count(*) FROM events GROUP BY country",
+		"SELECT sum(clicks) FROM events WHERE memberId < 25 GROUP BY browser TOP 3",
+		"SELECT max(revenue) FROM events GROUP BY day TOP 5",
+	}
+}
+
+// TestAggCacheWarmMatchesCold is the engine-level differential: every
+// corpus query must produce a byte-identical Result — stats included — on a
+// cold cache, a warm cache, and with the cache disabled.
+func TestAggCacheWarmMatchesCold(t *testing.T) {
+	segs := aggCacheFixture(t)
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: metrics.NewRegistry()})
+	cached := &Engine{AggCache: cache}
+	plain := &Engine{}
+	for _, pqlText := range aggCacheCorpus() {
+		q, err := pql.Parse(pqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(e *Engine) *Result {
+			merged, excs, err := e.Execute(context.Background(), q, segs, nil)
+			if err != nil {
+				t.Fatalf("%q: %v", pqlText, err)
+			}
+			if len(excs) > 0 {
+				t.Fatalf("%q: exceptions %v", pqlText, excs)
+			}
+			return merged.Finalize(q)
+		}
+		off := run(plain)
+		cold := run(cached)
+		warm := run(cached)
+		if !reflect.DeepEqual(off, cold) {
+			t.Errorf("%q: cold cached run diverges from cache-off:\n  off:  %+v\n  cold: %+v", pqlText, off, cold)
+		}
+		if !reflect.DeepEqual(off, warm) {
+			t.Errorf("%q: warm cached run diverges from cache-off:\n  off:  %+v\n  warm: %+v", pqlText, off, warm)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache stayed empty across an aggregation corpus")
+	}
+}
+
+// TestAggCacheSkipsMutableSegments pins the consuming-segment rule: only the
+// three immutable segments may populate the cache, never the mutable one.
+func TestAggCacheSkipsMutableSegments(t *testing.T) {
+	segs := aggCacheFixture(t)
+	reg := metrics.NewRegistry()
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: reg})
+	e := &Engine{AggCache: cache}
+	q, err := pql.Parse("SELECT count(*), sum(clicks) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(context.Background(), q, segs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3 (immutable segments only)", got)
+	}
+	if n := cache.InvalidateScope("rt0"); n != 0 {
+		t.Fatalf("mutable segment had %d cached entries", n)
+	}
+	// Warm pass: exactly the three immutable segments hit.
+	if _, _, err := e.Execute(context.Background(), q, segs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Value("pinot_cache_hits_total", "aggregate", "events"); hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+}
+
+// TestAggCacheInvalidationForcesRecompute verifies a scope invalidation
+// (what a helix transition triggers) turns the next query back into a miss
+// that still returns correct data.
+func TestAggCacheInvalidationForcesRecompute(t *testing.T) {
+	segs := aggCacheFixture(t)
+	reg := metrics.NewRegistry()
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: reg})
+	e := &Engine{AggCache: cache}
+	q, err := pql.Parse("SELECT sum(clicks) FROM events GROUP BY country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		merged, _, err := e.Execute(context.Background(), q, segs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return merged.Finalize(q)
+	}
+	first := run()
+	if n := cache.InvalidateScope("seg1"); n != 1 {
+		t.Fatalf("invalidated %d entries for seg1, want 1", n)
+	}
+	missesBefore := reg.Value("pinot_cache_misses_total", "aggregate", "events")
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("post-invalidation result diverges:\n  %+v\n  %+v", first, second)
+	}
+	if d := reg.Value("pinot_cache_misses_total", "aggregate", "events") - missesBefore; d != 1 {
+		t.Fatalf("post-invalidation misses = %d, want exactly 1 (only seg1 recomputes)", d)
+	}
+}
+
+// TestAggCacheTopVariantsShareEntries: TOP is applied at finalize, so all
+// TOP variants of one group-by must share per-segment entries.
+func TestAggCacheTopVariantsShareEntries(t *testing.T) {
+	segs := aggCacheFixture(t)
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: metrics.NewRegistry()})
+	e := &Engine{AggCache: cache}
+	for _, text := range []string{
+		"SELECT count(*) FROM events GROUP BY country TOP 2",
+		"SELECT count(*) FROM events GROUP BY country TOP 7",
+	} {
+		q, err := pql.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Execute(context.Background(), q, segs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3 shared across TOP variants", got)
+	}
+}
+
+// TestAggCacheCommutedFiltersShareEntries: the canonicalized filter
+// signature makes commuted AND chains collide at the segment tier too.
+func TestAggCacheCommutedFiltersShareEntries(t *testing.T) {
+	segs := aggCacheFixture(t)
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: metrics.NewRegistry()})
+	e := &Engine{AggCache: cache}
+	for _, text := range []string{
+		"SELECT count(*) FROM events WHERE country = 'us' AND clicks > 10",
+		"SELECT count(*) FROM events WHERE clicks > 10 AND country = 'us'",
+	} {
+		q, err := pql.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Execute(context.Background(), q, segs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3 shared across commuted filters", got)
+	}
+}
+
+// TestAggCacheSelectionNotCached: selections stay out of the cache.
+func TestAggCacheSelectionNotCached(t *testing.T) {
+	segs := aggCacheFixture(t)
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: metrics.NewRegistry()})
+	e := &Engine{AggCache: cache}
+	q, err := pql.Parse("SELECT country, clicks FROM events WHERE clicks > 50 ORDER BY clicks LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(context.Background(), q, segs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("selection query populated the cache with %d entries", cache.Len())
+	}
+}
+
+// TestAggCacheIsolation: mutating a served result must not corrupt the
+// cached entry (clone-on-get), and mutating the source after Put must not
+// corrupt the cache (clone-on-put).
+func TestAggCacheIsolation(t *testing.T) {
+	segs := aggCacheFixture(t)
+	cache := qcache.New(qcache.Config{Tier: "aggregate", Metrics: metrics.NewRegistry()})
+	e := &Engine{AggCache: cache}
+	q, err := pql.Parse("SELECT sum(clicks), distinctcount(browser) FROM events WHERE country = 'us'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Intermediate {
+		merged, _, err := e.Execute(context.Background(), q, segs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return merged
+	}
+	baseline := run().Finalize(q)
+	warm := run()
+	// Mutate the served copy aggressively: merge it into itself and finalize.
+	_ = warm.Merge(warm.Clone())
+	warm.Finalize(q)
+	again := run().Finalize(q)
+	if !reflect.DeepEqual(baseline, again) {
+		t.Fatalf("cache corrupted by consumer mutation:\n  %+v\n  %+v", baseline, again)
+	}
+}
+
+// TestIntermediateCloneIsDeep pins Clone's isolation at the data-structure
+// level for every result shape.
+func TestIntermediateCloneIsDeep(t *testing.T) {
+	orig := &Intermediate{
+		Kind:     KindGroupBy,
+		AggExprs: []pql.Expression{{IsAgg: true, Func: pql.DistinctCount, Column: "browser"}},
+		GroupCols: []string{
+			"country",
+		},
+		Groups: map[string]*GroupEntry{
+			"us": {Values: []any{"us"}, Aggs: []*AggState{{Func: pql.DistinctCount, Distinct: map[string]struct{}{"chrome": {}}, Values: []float64{1}}}},
+		},
+		Stats: Stats{NumDocsScanned: 10},
+	}
+	cp := orig.Clone()
+	cp.Groups["us"].Aggs[0].Distinct["edge"] = struct{}{}
+	cp.Groups["us"].Values[0] = "xx"
+	cp.Groups["de"] = &GroupEntry{}
+	cp.Stats.NumDocsScanned = 99
+	if len(orig.Groups) != 1 || len(orig.Groups["us"].Aggs[0].Distinct) != 1 ||
+		orig.Groups["us"].Values[0] != "us" || orig.Stats.NumDocsScanned != 10 {
+		t.Fatalf("Clone shares state with original: %+v", orig)
+	}
+
+	sel := &Intermediate{Kind: KindSelection, SelectCols: []string{"a"}, Rows: [][]any{{int64(1)}}}
+	sc := sel.Clone()
+	sc.Rows[0][0] = int64(2)
+	sc.Rows = append(sc.Rows, []any{int64(3)})
+	if sel.Rows[0][0] != int64(1) || len(sel.Rows) != 1 {
+		t.Fatalf("selection Clone shares rows: %+v", sel.Rows)
+	}
+}

@@ -1,0 +1,128 @@
+package query
+
+// Deep copies and size estimates for cached intermediates. Both cache tiers
+// store *Intermediate values, and Merge/Finalize mutate their receivers, so
+// entries must be isolated from callers on both Put and Get: the cache holds
+// its own copy and hands out fresh copies. SizeBytes feeds the bounded-bytes
+// admission policy; it is a deterministic estimate, not an exact heap
+// measurement, which is all eviction accounting needs.
+
+// Clone returns a deep copy of the state: mutating the copy (Merge) never
+// touches the original.
+func (s *AggState) Clone() *AggState {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	if s.Distinct != nil {
+		out.Distinct = make(map[string]struct{}, len(s.Distinct))
+		for k := range s.Distinct {
+			out.Distinct[k] = struct{}{}
+		}
+	}
+	out.Values = append([]float64(nil), s.Values...)
+	return &out
+}
+
+// Clone returns a deep copy of the group entry. Group values are scalars
+// (int64/float64/string/bool), so copying the slice isolates the entry.
+func (g *GroupEntry) Clone() *GroupEntry {
+	if g == nil {
+		return nil
+	}
+	out := &GroupEntry{Values: append([]any(nil), g.Values...)}
+	out.Aggs = make([]*AggState, len(g.Aggs))
+	for i, a := range g.Aggs {
+		out.Aggs[i] = a.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the intermediate, safe to merge and finalize
+// without affecting the original.
+func (r *Intermediate) Clone() *Intermediate {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.AggExprs = append(out.AggExprs[:0:0], r.AggExprs...)
+	out.GroupCols = append(out.GroupCols[:0:0], r.GroupCols...)
+	out.SelectCols = append(out.SelectCols[:0:0], r.SelectCols...)
+	if r.Aggs != nil {
+		out.Aggs = make([]*AggState, len(r.Aggs))
+		for i, a := range r.Aggs {
+			out.Aggs[i] = a.Clone()
+		}
+	}
+	if r.Groups != nil {
+		out.Groups = make(map[string]*GroupEntry, len(r.Groups))
+		for k, g := range r.Groups {
+			out.Groups[k] = g.Clone()
+		}
+	}
+	if r.Rows != nil {
+		out.Rows = make([][]any, len(r.Rows))
+		for i, row := range r.Rows {
+			out.Rows[i] = append([]any(nil), row...)
+		}
+	}
+	return &out
+}
+
+// estimated per-value and per-entry overheads for SizeBytes. Scalars are
+// dominated by the interface header plus boxed value; map and slice entries
+// carry pointer/bookkeeping overhead.
+const (
+	sizePerValue = 24
+	sizePerEntry = 48
+)
+
+func (s *AggState) sizeBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	n := int64(sizePerEntry)
+	for k := range s.Distinct {
+		n += int64(len(k)) + sizePerValue
+	}
+	n += int64(len(s.Values)) * 8
+	return n
+}
+
+// SizeBytes estimates the memory footprint of the intermediate for cache
+// admission and eviction accounting.
+func (r *Intermediate) SizeBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(sizePerEntry)
+	for _, e := range r.AggExprs {
+		n += int64(len(e.Column)+len(e.Func)) + sizePerValue
+	}
+	for _, a := range r.Aggs {
+		n += a.sizeBytes()
+	}
+	for _, c := range r.GroupCols {
+		n += int64(len(c)) + sizePerValue
+	}
+	for k, g := range r.Groups {
+		n += int64(len(k)) + sizePerEntry
+		n += int64(len(g.Values)) * sizePerValue
+		for _, a := range g.Aggs {
+			n += a.sizeBytes()
+		}
+	}
+	for _, c := range r.SelectCols {
+		n += int64(len(c)) + sizePerValue
+	}
+	for _, row := range r.Rows {
+		n += sizePerEntry
+		for _, v := range row {
+			n += sizePerValue
+			if s, ok := v.(string); ok {
+				n += int64(len(s))
+			}
+		}
+	}
+	return n
+}

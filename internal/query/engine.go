@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pinot/internal/pql"
+	"pinot/internal/qcache"
 	"pinot/internal/qctx"
 	"pinot/internal/segment"
 )
@@ -29,6 +30,11 @@ type Engine struct {
 	// segments never dispatched before the deadline. The server wires this
 	// to its metrics, keeping this package free of the metrics dependency.
 	OnOutcome func(executed, cancelled, skipped int)
+	// AggCache, when set, is the server-side partial-aggregate cache:
+	// per-segment merged aggregation state for immutable segments, checked
+	// before plan execution and filled after (see aggcache.go). Nil
+	// disables the tier.
+	AggCache *qcache.Cache
 }
 
 // Execute runs a parsed query over the given segments and returns the merged
@@ -118,7 +124,7 @@ func (e *Engine) ExecuteStream(ctx context.Context, q *pql.Query, segs []Indexed
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := ExecuteSegment(ctx, segs[i], queries[i], tableSchema, e.Options)
+				res, err := e.executeSegmentCached(ctx, segs[i], queries[i], tableSchema)
 				outcomes <- outcome{i, res, err}
 			}
 		}()

@@ -37,6 +37,11 @@ type Stats struct {
 	// and scalar modes); the per-query cap in Options.GroupStateLimitBytes
 	// is enforced against the qctx aggregate of this counter.
 	GroupStateBytes int64
+	// ResultCacheHit marks a response at least partially served from the
+	// broker's query-result cache. It is the ONLY field allowed to differ
+	// between a cached response and a cold one; every scan/prune counter
+	// above is replayed verbatim from the cached entry.
+	ResultCacheHit bool
 }
 
 // Merge folds another stats block into s.
@@ -55,6 +60,7 @@ func (s *Stats) Merge(o Stats) {
 	s.SegmentsPrunedByValue += o.SegmentsPrunedByValue
 	s.SegmentsMatched += o.SegmentsMatched
 	s.GroupStateBytes += o.GroupStateBytes
+	s.ResultCacheHit = s.ResultCacheHit || o.ResultCacheHit
 }
 
 // ResultKind distinguishes the three response shapes.

@@ -71,5 +71,9 @@ func (t *tableDataManager) applyAutoIndexes(columns []string) {
 		for _, col := range columns {
 			_ = seg.AddInvertedIndex(col)
 		}
+		// Reindexing changes the physical plan (and its scan counters), so
+		// cached partial aggregates for the segment no longer replay what a
+		// fresh execution would produce.
+		t.server.invalidateAggCache(seg.Name())
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"pinot/internal/metrics"
 	"pinot/internal/objstore"
 	"pinot/internal/pql"
+	"pinot/internal/qcache"
 	"pinot/internal/qctx"
 	"pinot/internal/query"
 	"pinot/internal/segment"
@@ -58,6 +59,16 @@ type Config struct {
 	// filters, inverted indexes are built on the hosted segments. Zero
 	// disables the feature.
 	AutoIndexThreshold int
+	// DisableServerCache turns off the server-side partial-aggregate cache
+	// (per-segment merged aggregation state for immutable segments). The
+	// cache is on by default; this is the A/B lever.
+	DisableServerCache bool
+	// ServerCacheBytes bounds the partial-aggregate cache (0 = the qcache
+	// default).
+	ServerCacheBytes int64
+	// ServerCachePolicy selects the cache eviction policy ("lru"/"lfu",
+	// default lru).
+	ServerCachePolicy string
 	// Metrics receives the server's instrumentation; nil means the
 	// process-wide metrics.Default().
 	Metrics *metrics.Registry
@@ -87,6 +98,7 @@ type Server struct {
 	engine      *query.Engine
 	sched       *tenancy.Scheduler
 	auto        *autoIndexer
+	aggCache    *qcache.Cache
 	met         *serverMetrics
 
 	mu     sync.RWMutex
@@ -147,6 +159,15 @@ func New(cfg Config, store zkmeta.Endpoint, objects objstore.Store, streams *str
 		s.met.segExecuted.Add(int64(executed))
 		s.met.segCancelled.Add(int64(cancelled))
 		s.met.segSkipped.Add(int64(skipped))
+	}
+	if !cfg.DisableServerCache {
+		s.aggCache = qcache.New(qcache.Config{
+			Tier:     "aggregate",
+			MaxBytes: cfg.ServerCacheBytes,
+			Policy:   qcache.Policy(cfg.ServerCachePolicy),
+			Metrics:  cfg.Metrics,
+		})
+		s.engine.AggCache = s.aggCache
 	}
 	if cfg.TenantTokens > 0 {
 		s.sched = tenancy.NewScheduler(cfg.TenantTokens, cfg.TenantRefill, nil)
@@ -384,6 +405,19 @@ func (s *Server) ExecuteStream(ctx context.Context, req *transport.QueryRequest,
 	return trailer, nil
 }
 
+// invalidateAggCache drops the partial-aggregate cache entries scoped to a
+// segment — the precise-invalidation hook run on every helix state
+// transition that changes what the segment name resolves to.
+func (s *Server) invalidateAggCache(segName string) {
+	if s.aggCache != nil {
+		s.aggCache.InvalidateScope(segName)
+	}
+}
+
+// AggCache exposes the server's partial-aggregate cache (nil when disabled);
+// tests and benchmarks reach it for direct assertions.
+func (s *Server) AggCache() *qcache.Cache { return s.aggCache }
+
 // HostedSegments returns the names of segments currently queryable for a
 // resource (loaded immutable + consuming).
 func (s *Server) HostedSegments(resource string) []string {
@@ -480,6 +514,9 @@ func (t *tableDataManager) install(seg *segment.Segment) error {
 	t.mu.Lock()
 	t.segments[seg.Name()] = is
 	t.mu.Unlock()
+	// A (re)installed segment may carry different contents under the same
+	// name (segment replace/reload): stale partial aggregates must go.
+	t.server.invalidateAggCache(seg.Name())
 	return nil
 }
 
@@ -493,6 +530,7 @@ func (t *tableDataManager) unload(segName string) {
 	if c != nil {
 		c.halt()
 	}
+	t.server.invalidateAggCache(segName)
 }
 
 func (t *tableDataManager) drop(segName string) {
