@@ -25,15 +25,18 @@ verify: build vet race fmt-check bench-check cover
 # Headline A/B benchmarks the baseline must carry: the multi-level segment
 # pruning pairs, the pooled gob-encode pair, the metrics-registry overhead
 # pair, the TCP data-plane pair (loopback round trip, streamed-vs-
-# buffered response decode), and the multi-tier cache pair (result-cache
-# cold vs warm, server aggregate cache under a Zipf workload).
+# buffered response decode), the multi-tier cache pair (result-cache
+# cold vs warm, server aggregate cache under a Zipf workload), and the
+# expression-pipeline pair (compiled kernels vs forced interpreter,
+# timeBucket group-by).
 BENCH_REQUIRED = \
 	BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
 	BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
 	BenchmarkEncodeResponsePooled BenchmarkEncodeResponseFresh \
 	BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
 	BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
-	BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf
+	BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf \
+	BenchmarkExprCompiledVsInterp BenchmarkTimeBucketGroupBy
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -58,13 +61,18 @@ cover:
 # segment-pruning pairs, the transport encode pool pair, the metrics-registry
 # overhead pair, and the TCP data-plane benchmarks.
 bench-json:
-	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered|ResultCacheColdVsWarm|ServerAggCacheZipf' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered|ResultCacheColdVsWarm|ServerAggCacheZipf|ExprCompiledVsInterp|TimeBucketGroupBy' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
-# Short fuzz passes over the transport decoders: the buffered whole-response
-# payload and the framed wire protocol.
+# Short fuzz passes over the hostile-input surfaces: the transport decoders
+# (buffered whole-response payload, framed wire protocol), the PQL parser
+# (never panic; accepted input must canonicalize to a re-parseable fixpoint),
+# and the expression evaluator (sandbox limits hold; compiled kernels agree
+# with the interpreter).
 fuzz:
 	$(GO) test ./internal/transport -run NONE -fuzz=FuzzDecodeResponse -fuzztime=10s
 	$(GO) test ./internal/transport -run NONE -fuzz=FuzzDecodeFrame -fuzztime=10s
+	$(GO) test ./internal/pql -run NONE -fuzz=FuzzParsePQL -fuzztime=10s
+	$(GO) test ./internal/expr -run NONE -fuzz=FuzzExprEval -fuzztime=10s
 
 clean:
 	$(GO) clean ./...

@@ -31,13 +31,17 @@ go run ./cmd/benchcheck BENCH_baseline.json \
     BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
     BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
     BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf \
+    BenchmarkExprCompiledVsInterp BenchmarkTimeBucketGroupBy \
     < .bench-run.txt
 rm -f .bench-run.txt
 
-# Fuzz smoke over the wire-frame decoder: a few seconds of FuzzDecodeFrame on
-# every PR keeps the "any bytes in, never a panic" property honest without a
-# long fuzzing campaign.
+# Fuzz smoke over the hostile-input surfaces: a few seconds each of the
+# wire-frame decoder, the PQL parser (never panic + canonical-fixpoint on
+# accepted input) and the expression evaluator (sandbox limits + kernel/
+# interpreter agreement) on every PR, without a long fuzzing campaign.
 go test ./internal/transport -run NONE -fuzz FuzzDecodeFrame -fuzztime 5s
+go test ./internal/pql -run NONE -fuzz FuzzParsePQL -fuzztime 5s
+go test ./internal/expr -run NONE -fuzz FuzzExprEval -fuzztime 5s
 
 # Per-package coverage floors (make cover): the checked-in baseline pins a
 # floor slightly below each package's measured coverage so instrumentation

@@ -3,6 +3,7 @@ package broker
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -125,6 +126,11 @@ type Broker struct {
 	registry transport.Registry
 	met      *brokerMetrics
 	slow     *metrics.SlowLog
+	// badPQL retains the most recent rejected queries (parse failures)
+	// for /debug/queries, so a misbehaving client can be diagnosed from
+	// the broker without log access.
+	badMu  sync.Mutex
+	badPQL []ParseFailure
 	// resultCache is the broker tier of the multi-tier cache: merged
 	// immutable-portion results keyed on (canonical PQL, tenant, routing
 	// version), scoped per resource. Nil when disabled.
@@ -180,6 +186,43 @@ func (b *Broker) Metrics() *metrics.Registry { return b.met.reg }
 
 // SlowQueries returns the slow-query log served at /debug/queries.
 func (b *Broker) SlowQueries() *metrics.SlowLog { return b.slow }
+
+// ParseFailure is one rejected query retained for /debug/queries: the text,
+// the error, and — when the failure was a parse error — the position.
+type ParseFailure struct {
+	PQL   string `json:"pql"`
+	Error string `json:"error"`
+	// Line/Col/Offset locate the failure in the query text (1-based
+	// line/col, byte offset); zero when the failure carried no position.
+	Line   int    `json:"line,omitempty"`
+	Col    int    `json:"col,omitempty"`
+	Offset int    `json:"offset,omitempty"`
+	Token  string `json:"token,omitempty"` // offending token, "" at end of input
+}
+
+// maxParseFailures bounds the rejected-query ring.
+const maxParseFailures = 32
+
+func (b *Broker) recordParseFailure(pqlText string, err error) {
+	f := ParseFailure{PQL: pqlText, Error: err.Error()}
+	var pe *pql.ParseError
+	if errors.As(err, &pe) {
+		f.Line, f.Col, f.Offset, f.Token = pe.Line, pe.Col, pe.Offset, pe.Token
+	}
+	b.badMu.Lock()
+	b.badPQL = append(b.badPQL, f)
+	if len(b.badPQL) > maxParseFailures {
+		b.badPQL = b.badPQL[len(b.badPQL)-maxParseFailures:]
+	}
+	b.badMu.Unlock()
+}
+
+// ParseFailures returns the retained rejected queries, oldest first.
+func (b *Broker) ParseFailures() []ParseFailure {
+	b.badMu.Lock()
+	defer b.badMu.Unlock()
+	return append([]ParseFailure(nil), b.badPQL...)
+}
 
 // Start joins the cluster as a spectator: it registers its config and
 // subscribes to external-view changes to keep routing tables fresh (paper
@@ -435,6 +478,7 @@ func (b *Broker) Execute(ctx context.Context, pqlText, tenant string) (resp *Res
 	stop()
 	if err != nil {
 		b.met.badRequests.Inc()
+		b.recordParseFailure(pqlText, err)
 		return nil, err
 	}
 	stopRoute := qc.Clock(qctx.PhaseRoute)

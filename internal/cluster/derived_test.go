@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pinot/internal/segment"
+	"pinot/internal/table"
+)
+
+// derivedConfig is the realtime events table with two ingestion-time
+// transforms: a numeric time bucket and an uppercased dimension. Both
+// materialize as real columns in the consuming segments.
+func derivedConfig(t testing.TB, replicas, flushRows int) *table.Config {
+	cfg := realtimeConfig(t, replicas, flushRows)
+	cfg.DerivedColumns = []table.DerivedColumn{
+		{Name: "dayBucket", Expr: "timeBucket(day, 2)", Type: segment.TypeLong},
+		{Name: "countryUpper", Expr: "upper(country)", Type: segment.TypeString},
+	}
+	return cfg
+}
+
+func TestRealtimeDerivedColumns(t *testing.T) {
+	c, err := NewLocal(Options{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Streams.CreateTopic("events", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(derivedConfig(t, 2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForConsuming("rtevents_REALTIME", 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Derived columns are queryable while the segment is still consuming.
+	produceEvents(t, c, "events", 0, 30)
+	waitForCount(t, c, "SELECT count(*) FROM rtevents", 30, 5*time.Second)
+	res, err := c.Execute(context.Background(), "SELECT count(*) FROM rtevents GROUP BY countryUpper TOP 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string]bool{}
+	for _, row := range res.Rows {
+		groups[row[0].(string)] = true
+	}
+	for _, g := range []string{"US", "DE", "FR"} {
+		if !groups[g] {
+			t.Fatalf("countryUpper groups = %v, missing %s", res.Rows, g)
+		}
+	}
+
+	// Push past the flush threshold: derived values must survive sealing
+	// (they are real columns, rebuilt into the immutable segment).
+	produceEvents(t, c, "events", 30, 170)
+	if err := c.WaitForOnline("rtevents_REALTIME", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitForCount(t, c, "SELECT count(*) FROM rtevents", 200, 10*time.Second)
+
+	// day = 100 + i%5, so dayBucket = timeBucket(day, 2) = 100 covers
+	// i%5 ∈ {0, 1}: sum(clicks) = Σ i = 3900 + 3940.
+	want := float64(7840)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err = c.Execute(context.Background(), "SELECT sum(clicks) FROM rtevents WHERE dayBucket = 100")
+		if err == nil && !res.Partial && len(res.Rows) == 1 && res.Rows[0][0].(float64) == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sum(clicks) WHERE dayBucket = 100: got %+v, want %v", res, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// timeBucket(100..104, 2) yields exactly the buckets 100, 102, 104.
+	res, err = c.Execute(context.Background(), "SELECT count(*) FROM rtevents GROUP BY dayBucket TOP 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("dayBucket groups = %v, want 3", res.Rows)
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += row[1].(int64)
+	}
+	if total != 200 {
+		t.Fatalf("dayBucket group total = %d, want 200", total)
+	}
+}
+
+// TestDerivedColumnConfigValidation pins the config-level rules: expressions
+// must parse, reference real single-value columns, not collide with schema
+// names, and match their declared type.
+func TestDerivedColumnConfigValidation(t *testing.T) {
+	mk := func(d ...table.DerivedColumn) *table.Config {
+		cfg := realtimeConfig(t, 1, 50)
+		cfg.DerivedColumns = d
+		return cfg
+	}
+	good := mk(table.DerivedColumn{Name: "b", Expr: "timeBucket(day, 7)", Type: segment.TypeLong})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid derived column rejected: %v", err)
+	}
+	eff, err := good.EffectiveSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := eff.Field("b")
+	if !ok || f.Type != segment.TypeLong || f.Kind != segment.Dimension || !f.SingleValue {
+		t.Fatalf("effective schema field = %+v, ok=%v", f, ok)
+	}
+	bad := []*table.Config{
+		mk(table.DerivedColumn{Name: "", Expr: "clicks + 1", Type: segment.TypeLong}),
+		mk(table.DerivedColumn{Name: "clicks", Expr: "clicks + 1", Type: segment.TypeLong}),
+		mk(table.DerivedColumn{Name: "x", Expr: "clicks +", Type: segment.TypeLong}),
+		mk(table.DerivedColumn{Name: "x", Expr: "nosuch + 1", Type: segment.TypeLong}),
+		mk(table.DerivedColumn{Name: "x", Expr: "clicks / 2", Type: segment.TypeLong}), // division is double
+		mk(table.DerivedColumn{Name: "x", Expr: "upper(clicks)", Type: segment.TypeString}),
+		mk(
+			table.DerivedColumn{Name: "x", Expr: "clicks + 1", Type: segment.TypeLong},
+			table.DerivedColumn{Name: "x", Expr: "clicks + 2", Type: segment.TypeLong},
+		),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad derived config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package expr
+
+import (
+	"math"
+
+	"pinot/internal/pql"
+)
+
+// The compiler lowers numeric expressions — arithmetic, abs, and timeBucket
+// with a constant width over long/double columns — into typed block kernels.
+// A kernel evaluates a whole docID block at once against typed column blocks
+// the caller supplies, which is what lets the vectorized engine keep its
+// batch shape for derived inputs. Anything the compiler declines (strings,
+// non-constant bucket widths, unknown shapes) runs on the interpreter
+// instead; both produce bit-identical values because long arithmetic wraps
+// and promotion to float64 happens at exactly the nodes ArithScalars
+// promotes.
+
+// BlockSource supplies typed blocks of column values by compile-time slot.
+// LongCol is only called for slots whose column kind is Long, DoubleCol only
+// for Double slots; dst is sized to len(docs).
+type BlockSource interface {
+	LongCol(slot int, docs []int, dst []int64)
+	DoubleCol(slot int, docs []int, dst []float64)
+}
+
+// Kernel is a compiled expression. It is single-goroutine: scratch buffers
+// live in the nodes and are reused across blocks.
+type Kernel struct {
+	// Kind is Long or Double — the expression's result kind.
+	Kind Kind
+	// Cols lists referenced columns in slot order; the BlockSource passed to
+	// Eval* must resolve slot i to Cols[i].
+	Cols     []string
+	root     knode
+	dscratch kscratch
+}
+
+// Compile lowers an expression to a kernel, reporting false when the
+// expression needs the interpreter (non-numeric types, builtins without a
+// kernel form, non-constant timeBucket width).
+func Compile(e pql.Expr, kindOf func(name string) (Kind, bool)) (*Kernel, bool) {
+	k := &Kernel{}
+	slots := map[string]int{}
+	root, ok := k.lower(e, kindOf, slots)
+	if !ok {
+		return nil, false
+	}
+	k.root = root
+	k.Kind = root.kind()
+	return k, true
+}
+
+// EvalLongs evaluates a Long-kinded kernel for a block of docs.
+func (k *Kernel) EvalLongs(src BlockSource, docs []int, dst []int64) {
+	k.root.evalL(src, docs, dst)
+}
+
+// EvalDoubles evaluates the kernel for a block of docs, promoting a long
+// result per element — the same promotion the scalar path applies when an
+// aggregator consumes an integral expression.
+func (k *Kernel) EvalDoubles(src BlockSource, docs []int, dst []float64) {
+	if k.Kind == Long {
+		ls := scratchL(&k.dscratch, len(docs))
+		k.root.evalL(src, docs, ls)
+		for i, v := range ls {
+			dst[i] = float64(v)
+		}
+		return
+	}
+	k.root.evalD(src, docs, dst)
+}
+
+// dscratch backs EvalDoubles' long→double conversion.
+type kscratch struct{ ls []int64 }
+
+func scratchL(s *kscratch, n int) []int64 {
+	if cap(s.ls) < n {
+		s.ls = make([]int64, n)
+	}
+	return s.ls[:n]
+}
+
+type knode interface {
+	kind() Kind
+	// evalL is only called on Long-kinded nodes, evalD on any numeric node
+	// (Long children promote per element).
+	evalL(src BlockSource, docs []int, dst []int64)
+	evalD(src BlockSource, docs []int, dst []float64)
+}
+
+func (k *Kernel) lower(e pql.Expr, kindOf func(string) (Kind, bool), slots map[string]int) (knode, bool) {
+	switch n := e.(type) {
+	case pql.Literal:
+		switch v := n.Value.(type) {
+		case int64:
+			return &kconst{k: Long, l: v, d: float64(v)}, true
+		case float64:
+			return &kconst{k: Double, d: v}, true
+		}
+		return nil, false
+	case pql.ColumnRef:
+		ck, ok := kindOf(n.Name)
+		if !ok || !ck.Numeric() {
+			return nil, false
+		}
+		slot, ok := slots[n.Name]
+		if !ok {
+			slot = len(k.Cols)
+			slots[n.Name] = slot
+			k.Cols = append(k.Cols, n.Name)
+		}
+		return &kcol{k: ck, slot: slot}, true
+	case pql.Arith:
+		l, ok := k.lower(n.L, kindOf, slots)
+		if !ok {
+			return nil, false
+		}
+		r, ok := k.lower(n.R, kindOf, slots)
+		if !ok {
+			return nil, false
+		}
+		kind := Double
+		if n.Op != pql.OpDiv && l.kind() == Long && r.kind() == Long {
+			kind = Long
+		}
+		return &karith{k: kind, op: n.Op, l: l, r: r}, true
+	case pql.Call:
+		switch n.Name {
+		case "abs":
+			c, ok := k.lower(n.Args[0], kindOf, slots)
+			if !ok {
+				return nil, false
+			}
+			return &kabs{k: c.kind(), child: c}, true
+		case "timeBucket":
+			c, ok := k.lower(n.Args[0], kindOf, slots)
+			if !ok || c.kind() != Long {
+				return nil, false
+			}
+			// Only a constant positive width compiles; anything else (a
+			// column-valued width, a zero that must error per row) is the
+			// interpreter's job.
+			lit, ok := n.Args[1].(pql.Literal)
+			if !ok {
+				return nil, false
+			}
+			w, ok := lit.Value.(int64)
+			if !ok || w <= 0 {
+				return nil, false
+			}
+			return &ktimebucket{child: c, width: w}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+type kconst struct {
+	k Kind
+	l int64
+	d float64
+}
+
+func (n *kconst) kind() Kind { return n.k }
+
+func (n *kconst) evalL(_ BlockSource, docs []int, dst []int64) {
+	for i := range docs {
+		dst[i] = n.l
+	}
+}
+
+func (n *kconst) evalD(_ BlockSource, docs []int, dst []float64) {
+	for i := range docs {
+		dst[i] = n.d
+	}
+}
+
+type kcol struct {
+	k    Kind
+	slot int
+	ls   []int64
+}
+
+func (n *kcol) kind() Kind { return n.k }
+
+func (n *kcol) evalL(src BlockSource, docs []int, dst []int64) {
+	src.LongCol(n.slot, docs, dst)
+}
+
+func (n *kcol) evalD(src BlockSource, docs []int, dst []float64) {
+	if n.k == Long {
+		ls := growL(&n.ls, len(docs))
+		src.LongCol(n.slot, docs, ls)
+		for i, v := range ls {
+			dst[i] = float64(v)
+		}
+		return
+	}
+	src.DoubleCol(n.slot, docs, dst)
+}
+
+type karith struct {
+	k      Kind
+	op     pql.ArithOp
+	l, r   knode
+	ls, rs []int64
+	ld, rd []float64
+}
+
+func (n *karith) kind() Kind { return n.k }
+
+func (n *karith) evalL(src BlockSource, docs []int, dst []int64) {
+	ls := growL(&n.ls, len(docs))
+	rs := growL(&n.rs, len(docs))
+	n.l.evalL(src, docs, ls)
+	n.r.evalL(src, docs, rs)
+	switch n.op {
+	case pql.OpAdd:
+		for i := range ls {
+			dst[i] = ls[i] + rs[i]
+		}
+	case pql.OpSub:
+		for i := range ls {
+			dst[i] = ls[i] - rs[i]
+		}
+	case pql.OpMul:
+		for i := range ls {
+			dst[i] = ls[i] * rs[i]
+		}
+	}
+}
+
+func (n *karith) evalD(src BlockSource, docs []int, dst []float64) {
+	if n.k == Long {
+		// A long-kinded node computes in int64 and promotes its result —
+		// ArithScalars' order. Promoting the operands instead would lose
+		// exactness past 2^53 and skip the wrap.
+		ls := growL(&n.ls, len(docs))
+		n.evalL(src, docs, ls)
+		for i, v := range ls {
+			dst[i] = float64(v)
+		}
+		return
+	}
+	ld := growD(&n.ld, len(docs))
+	rd := growD(&n.rd, len(docs))
+	n.l.evalD(src, docs, ld)
+	n.r.evalD(src, docs, rd)
+	switch n.op {
+	case pql.OpAdd:
+		for i := range ld {
+			dst[i] = ld[i] + rd[i]
+		}
+	case pql.OpSub:
+		for i := range ld {
+			dst[i] = ld[i] - rd[i]
+		}
+	case pql.OpMul:
+		for i := range ld {
+			dst[i] = ld[i] * rd[i]
+		}
+	case pql.OpDiv:
+		for i := range ld {
+			dst[i] = ld[i] / rd[i]
+		}
+	}
+}
+
+type kabs struct {
+	k        Kind
+	child    knode
+	lscratch []int64
+}
+
+func (n *kabs) kind() Kind { return n.k }
+
+func (n *kabs) evalL(src BlockSource, docs []int, dst []int64) {
+	n.child.evalL(src, docs, dst)
+	for i, v := range dst {
+		if v < 0 {
+			dst[i] = -v // MinInt64 wraps, matching CallScalars
+		}
+	}
+}
+
+func (n *kabs) evalD(src BlockSource, docs []int, dst []float64) {
+	if n.k == Long {
+		// Promote after the integral abs so -2^63..-2^53 agree with the
+		// interpreter's int64 wrap-then-promote order.
+		ls := growL(&n.lscratch, len(docs))
+		n.evalL(src, docs, ls)
+		for i, v := range ls {
+			dst[i] = float64(v)
+		}
+		return
+	}
+	n.child.evalD(src, docs, dst)
+	for i, v := range dst {
+		// math.Abs is a sign-bit clear: it also maps -0.0 → +0.0 and
+		// -NaN → +NaN, which the interpreter's math.Abs does too — anything
+		// branchy here would leave a stray NaN sign bit to diverge on.
+		dst[i] = math.Abs(v)
+	}
+}
+
+type ktimebucket struct {
+	child    knode
+	width    int64
+	lscratch []int64
+}
+
+func (n *ktimebucket) kind() Kind { return Long }
+
+func (n *ktimebucket) evalL(src BlockSource, docs []int, dst []int64) {
+	n.child.evalL(src, docs, dst)
+	for i, v := range dst {
+		dst[i] = pql.FloorBucket(v, n.width)
+	}
+}
+
+func (n *ktimebucket) evalD(src BlockSource, docs []int, dst []float64) {
+	ls := growL(&n.lscratch, len(docs))
+	n.evalL(src, docs, ls)
+	for i, v := range ls {
+		dst[i] = float64(v)
+	}
+}
+
+func growL(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	return (*buf)[:n]
+}
+
+func growD(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}

@@ -1,0 +1,420 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pinot/internal/pql"
+)
+
+// --- Interpreter-vs-naive-oracle tests, one per builtin. Each oracle is an
+// independent Go implementation (different formula or stdlib call), so a bug
+// shared by interpreter and kernels cannot hide behind itself.
+
+func evalOne(t *testing.T, e pql.Expr, get Getter) any {
+	t.Helper()
+	v, err := Eval(NewCtx(Limits{}), e, get)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestOracleTimeBucket(t *testing.T) {
+	// Oracle: floor via the always-positive remainder, a different formula
+	// from FloorBucket's quotient correction.
+	oracle := func(ts, w int64) int64 {
+		r := ts % w
+		if r < 0 {
+			r += w
+		}
+		return ts - r
+	}
+	r := rand.New(rand.NewSource(31))
+	cases := []int64{0, 1, -1, 59, -59, 86399, -86400, math.MaxInt64, math.MinInt64 + 1}
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, r.Int63n(1<<40)-(1<<39))
+	}
+	widths := []int64{1, 2, 7, 60, 86400, 1 << 31}
+	for _, ts := range cases {
+		for _, w := range widths {
+			e := pql.Call{Name: "timeBucket", Args: []pql.Expr{pql.Literal{Value: ts}, pql.Literal{Value: w}}}
+			got := evalOne(t, e, nil).(int64)
+			if want := oracle(ts, w); got != want {
+				t.Fatalf("timeBucket(%d, %d) = %d, oracle says %d", ts, w, got, want)
+			}
+		}
+	}
+}
+
+func TestOracleAbs(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 2000; i++ {
+		l := r.Int63() - (1 << 62)
+		got := evalOne(t, pql.Call{Name: "abs", Args: []pql.Expr{pql.Literal{Value: l}}}, nil).(int64)
+		want := l
+		if want < 0 {
+			want = -want
+		}
+		if got != want {
+			t.Fatalf("abs(%d) = %d, want %d", l, got, want)
+		}
+		d := (r.Float64() - 0.5) * 1e9
+		gotD := evalOne(t, pql.Call{Name: "abs", Args: []pql.Expr{pql.Literal{Value: d}}}, nil).(float64)
+		if wantD := math.Abs(d); gotD != wantD {
+			t.Fatalf("abs(%g) = %g, want %g", d, gotD, wantD)
+		}
+	}
+	// MinInt64 has no positive counterpart: the documented behavior is the
+	// int64 wrap, same as Go negation.
+	if got := evalOne(t, pql.Call{Name: "abs", Args: []pql.Expr{pql.Literal{Value: int64(math.MinInt64)}}}, nil).(int64); got != math.MinInt64 {
+		t.Fatalf("abs(MinInt64) = %d, want MinInt64 wrap", got)
+	}
+}
+
+func TestOracleLowerUpper(t *testing.T) {
+	inputs := []string{"", "a", "ABC", "MiXeD", "already lower", "ÜBER-straße", "日本語", "x'y''z"}
+	for _, s := range inputs {
+		lo := evalOne(t, pql.Call{Name: "lower", Args: []pql.Expr{pql.Literal{Value: s}}}, nil).(string)
+		if want := strings.ToLower(s); lo != want {
+			t.Fatalf("lower(%q) = %q, want %q", s, lo, want)
+		}
+		up := evalOne(t, pql.Call{Name: "upper", Args: []pql.Expr{pql.Literal{Value: s}}}, nil).(string)
+		if want := strings.ToUpper(s); up != want {
+			t.Fatalf("upper(%q) = %q, want %q", s, up, want)
+		}
+	}
+}
+
+func TestOracleConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	pool := []any{"a", "", "xy", int64(0), int64(-42), int64(123456789), "it's"}
+	for i := 0; i < 1000; i++ {
+		n := 2 + r.Intn(5)
+		args := make([]pql.Expr, n)
+		var want strings.Builder
+		for j := range args {
+			v := pool[r.Intn(len(pool))]
+			args[j] = pql.Literal{Value: v}
+			switch x := v.(type) {
+			case string:
+				want.WriteString(x)
+			case int64:
+				want.WriteString(strconv.FormatInt(x, 10))
+			}
+		}
+		got := evalOne(t, pql.Call{Name: "concat", Args: args}, nil).(string)
+		if got != want.String() {
+			t.Fatalf("concat mismatch: got %q want %q", got, want.String())
+		}
+	}
+}
+
+func TestOracleArith(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for i := 0; i < 2000; i++ {
+		a, b := r.Int63()-(1<<62), r.Int63()-(1<<62)
+		mk := func(op pql.ArithOp) any {
+			return evalOne(t, pql.Arith{Op: op, L: pql.Literal{Value: a}, R: pql.Literal{Value: b}}, nil)
+		}
+		if got := mk(pql.OpAdd).(int64); got != a+b {
+			t.Fatalf("%d + %d = %d", a, b, got)
+		}
+		if got := mk(pql.OpSub).(int64); got != a-b {
+			t.Fatalf("%d - %d = %d", a, b, got)
+		}
+		if got := mk(pql.OpMul).(int64); got != a*b {
+			t.Fatalf("%d * %d = %d", a, b, got)
+		}
+		// Division always runs in float64, even long/long.
+		if got := mk(pql.OpDiv).(float64); got != float64(a)/float64(b) {
+			t.Fatalf("%d / %d = %g", a, b, got)
+		}
+	}
+}
+
+// --- Resource limits and cancellation.
+
+// chainExpr builds clicks + 1 + 1 + ... with n additions (n+1 leaf nodes,
+// 2n+1 AST nodes).
+func chainExpr(n int) pql.Expr {
+	var e pql.Expr = pql.ColumnRef{Name: "clicks"}
+	for i := 0; i < n; i++ {
+		e = pql.Arith{Op: pql.OpAdd, L: e, R: pql.Literal{Value: int64(1)}}
+	}
+	return e
+}
+
+func clicksGetter(name string) any {
+	if name == "clicks" {
+		return int64(5)
+	}
+	return nil
+}
+
+func TestLimitMaxSteps(t *testing.T) {
+	c := NewCtx(Limits{MaxSteps: 100})
+	if _, err := Eval(c, chainExpr(40), clicksGetter); err != nil {
+		t.Fatalf("81-node expression under a 100-step cap should pass: %v", err)
+	}
+	_, err := Eval(c, chainExpr(60), clicksGetter)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("121-node expression over a 100-step cap: got %v, want ErrLimit", err)
+	}
+	// The counter restarts per evaluation: a small expression after the
+	// failure must still have its full budget.
+	if _, err := Eval(c, chainExpr(40), clicksGetter); err != nil {
+		t.Fatalf("step budget not reset between evaluations: %v", err)
+	}
+}
+
+func TestLimitMaxStringLen(t *testing.T) {
+	c := NewCtx(Limits{MaxStringLen: 16})
+	ok := pql.Call{Name: "concat", Args: []pql.Expr{
+		pql.Literal{Value: "0123456789"}, pql.Literal{Value: "abcdef"},
+	}}
+	if v, err := Eval(c, ok, nil); err != nil || v.(string) != "0123456789abcdef" {
+		t.Fatalf("16-byte concat under a 16-byte cap: %v, %v", v, err)
+	}
+	over := pql.Call{Name: "concat", Args: []pql.Expr{
+		pql.Literal{Value: "0123456789"}, pql.Literal{Value: "abcdefg"},
+	}}
+	if _, err := Eval(c, over, nil); !errors.Is(err, ErrLimit) {
+		t.Fatalf("17-byte concat over a 16-byte cap: got %v, want ErrLimit", err)
+	}
+	// upper() of an oversized input is also a constructed string.
+	long := strings.Repeat("x", 17)
+	if _, err := Eval(c, pql.Call{Name: "upper", Args: []pql.Expr{pql.Literal{Value: long}}}, nil); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized upper(): want ErrLimit")
+	}
+}
+
+func TestLimitMaxListLen(t *testing.T) {
+	c := NewCtx(Limits{MaxListLen: 4, MaxStringLen: 1 << 20})
+	args := make([]pql.Expr, 5)
+	for i := range args {
+		args[i] = pql.Literal{Value: "a"}
+	}
+	if _, err := Eval(c, pql.Call{Name: "concat", Args: args}, nil); !errors.Is(err, ErrLimit) {
+		t.Fatalf("5-arg call over a 4-arg cap: want ErrLimit")
+	}
+	if v, err := Eval(c, pql.Call{Name: "concat", Args: args[:4]}, nil); err != nil || v.(string) != "aaaa" {
+		t.Fatalf("4-arg call under cap: %v, %v", v, err)
+	}
+}
+
+func TestCancellationCheck(t *testing.T) {
+	calls := 0
+	cancelAfter := 2
+	c := NewCtx(Limits{})
+	c.Check = func() error {
+		calls++
+		if calls > cancelAfter {
+			return fmt.Errorf("deadline exceeded")
+		}
+		return nil
+	}
+	// A 401-node expression polls Check ~6 times at the 64-step interval, so
+	// the third poll aborts mid-walk.
+	_, err := Eval(c, chainExpr(200), clicksGetter)
+	if err == nil || !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("runaway evaluation not cancelled: %v", err)
+	}
+	if calls != cancelAfter+1 {
+		t.Fatalf("Check called %d times, want exactly %d (abort on first failure)", calls, cancelAfter+1)
+	}
+}
+
+func TestDefaultLimitsApplied(t *testing.T) {
+	c := NewCtx(Limits{})
+	d := DefaultLimits()
+	if c.Limits != d {
+		t.Fatalf("zero limits should fall back to defaults: %+v vs %+v", c.Limits, d)
+	}
+	// A chain beyond the default step cap still aborts.
+	if _, err := Eval(c, chainExpr(d.MaxSteps), clicksGetter); !errors.Is(err, ErrLimit) {
+		t.Fatalf("default step cap not enforced: %v", err)
+	}
+}
+
+// --- Compile/Eval equivalence: every expression the compiler accepts must
+// produce bit-identical values to the interpreter, block against row.
+
+// memSource serves kernel slots from in-memory columns.
+type memSource struct {
+	cols    []string
+	longs   map[string][]int64
+	doubles map[string][]float64
+}
+
+func (m *memSource) LongCol(slot int, docs []int, dst []int64) {
+	col := m.longs[m.cols[slot]]
+	for i, d := range docs {
+		dst[i] = col[d]
+	}
+}
+
+func (m *memSource) DoubleCol(slot int, docs []int, dst []float64) {
+	col := m.doubles[m.cols[slot]]
+	for i, d := range docs {
+		dst[i] = col[d]
+	}
+}
+
+// randNumericExpr generates only shapes the compiler accepts: arithmetic,
+// abs, and timeBucket with a constant positive width, over long and double
+// columns.
+func randNumericExpr(r *rand.Rand, depth int) pql.Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return pql.ColumnRef{Name: "l1"}
+		case 1:
+			return pql.ColumnRef{Name: "l2"}
+		case 2:
+			return pql.ColumnRef{Name: "d1"}
+		default:
+			if r.Intn(2) == 0 {
+				return pql.Literal{Value: int64(r.Intn(100) - 50)}
+			}
+			return pql.Literal{Value: (r.Float64() - 0.5) * 20}
+		}
+	}
+	switch r.Intn(4) {
+	case 0, 1:
+		ops := []pql.ArithOp{pql.OpAdd, pql.OpSub, pql.OpMul, pql.OpDiv}
+		return pql.Arith{Op: ops[r.Intn(len(ops))], L: randNumericExpr(r, depth-1), R: randNumericExpr(r, depth-1)}
+	case 2:
+		return pql.Call{Name: "abs", Args: []pql.Expr{randNumericExpr(r, depth-1)}}
+	default:
+		// timeBucket needs a Long child; anchor on a long column.
+		inner := pql.Arith{Op: pql.OpAdd, L: pql.ColumnRef{Name: "l1"}, R: pql.Literal{Value: int64(r.Intn(1000))}}
+		return pql.Call{Name: "timeBucket", Args: []pql.Expr{inner, pql.Literal{Value: int64(1 + r.Intn(100))}}}
+	}
+}
+
+func TestCompileEvalEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	const rows = 257 // odd size: not a multiple of any block width
+	src := &memSource{
+		longs:   map[string][]int64{"l1": make([]int64, rows), "l2": make([]int64, rows)},
+		doubles: map[string][]float64{"d1": make([]float64, rows)},
+	}
+	for i := 0; i < rows; i++ {
+		src.longs["l1"][i] = r.Int63n(1<<33) - (1 << 32)
+		src.longs["l2"][i] = int64(r.Intn(2000) - 1000)
+		src.doubles["d1"][i] = (r.Float64() - 0.5) * 1e6
+	}
+	src.doubles["d1"][7] = 0 // make division by a column value hit /0
+	src.longs["l2"][11] = 0
+	kindOf := func(name string) (Kind, bool) {
+		switch name {
+		case "l1", "l2":
+			return Long, true
+		case "d1":
+			return Double, true
+		}
+		return 0, false
+	}
+	get := func(row int) Getter {
+		return func(name string) any {
+			switch name {
+			case "l1", "l2":
+				return src.longs[name][row]
+			case "d1":
+				return src.doubles[name][row]
+			}
+			return nil
+		}
+	}
+	docs := make([]int, rows)
+	for i := range docs {
+		docs[i] = i
+	}
+	ctx := NewCtx(Limits{})
+
+	compiled := 0
+	for iter := 0; iter < 400; iter++ {
+		e := randNumericExpr(r, 1+r.Intn(3))
+		k, ok := Compile(e, kindOf)
+		if !ok {
+			t.Fatalf("iter %d: compiler declined a numeric expression: %s", iter, e)
+		}
+		compiled++
+		src.cols = k.Cols
+		if wantKind, err := Infer(e, kindOf); err != nil || wantKind != k.Kind {
+			t.Fatalf("iter %d: kernel kind %s, Infer says %s (%v) for %s", iter, k.Kind, wantKind, err, e)
+		}
+		// Doubles path (also exercises the long→double promotion).
+		dd := make([]float64, rows)
+		k.EvalDoubles(src, docs, dd)
+		var ll []int64
+		if k.Kind == Long {
+			ll = make([]int64, rows)
+			k.EvalLongs(src, docs, ll)
+		}
+		for row := 0; row < rows; row++ {
+			iv, err := Eval(ctx, e, get(row))
+			if err != nil {
+				t.Fatalf("iter %d row %d: interpreter failed on compiled expression %s: %v", iter, row, e, err)
+			}
+			switch k.Kind {
+			case Long:
+				want := iv.(int64)
+				if ll[row] != want {
+					t.Fatalf("iter %d row %d: %s: kernel long %d, interpreter %d", iter, row, e, ll[row], want)
+				}
+				if dd[row] != float64(want) {
+					t.Fatalf("iter %d row %d: %s: kernel double-promotion %g, want %g", iter, row, e, dd[row], float64(want))
+				}
+			case Double:
+				var want float64
+				switch x := iv.(type) {
+				case float64:
+					want = x
+				case int64:
+					want = float64(x)
+				}
+				if math.Float64bits(dd[row]) != math.Float64bits(want) {
+					t.Fatalf("iter %d row %d: %s: kernel %v (bits %x), interpreter %v (bits %x)",
+						iter, row, e, dd[row], math.Float64bits(dd[row]), want, math.Float64bits(want))
+				}
+			}
+		}
+	}
+	if compiled == 0 {
+		t.Fatal("no expression compiled")
+	}
+}
+
+func TestCompileDeclines(t *testing.T) {
+	kindOf := func(name string) (Kind, bool) {
+		switch name {
+		case "clicks":
+			return Long, true
+		case "country":
+			return String, true
+		}
+		return 0, false
+	}
+	decline := []pql.Expr{
+		pql.ColumnRef{Name: "country"},                                                                               // non-numeric column
+		pql.Call{Name: "upper", Args: []pql.Expr{pql.ColumnRef{Name: "country"}}},                                    // string builtin
+		pql.Call{Name: "timeBucket", Args: []pql.Expr{pql.ColumnRef{Name: "clicks"}, pql.ColumnRef{Name: "clicks"}}}, // non-constant width
+		pql.Call{Name: "timeBucket", Args: []pql.Expr{pql.ColumnRef{Name: "clicks"}, pql.Literal{Value: int64(0)}}},  // zero width must error per row
+		pql.ColumnRef{Name: "nosuch"},                                                                                // unknown column
+	}
+	for _, e := range decline {
+		if _, ok := Compile(e, kindOf); ok {
+			t.Fatalf("compiler accepted %s; the interpreter owns this shape", e)
+		}
+	}
+	if k, ok := Compile(pql.Arith{Op: pql.OpAdd, L: pql.ColumnRef{Name: "clicks"}, R: pql.Literal{Value: int64(1)}}, kindOf); !ok || k.Kind != Long {
+		t.Fatal("compiler declined clicks + 1")
+	}
+}

@@ -1,0 +1,103 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"pinot/internal/pql"
+)
+
+// FuzzExprEval holds the sandbox and equivalence properties over arbitrary
+// expression text: parsing plus interpreting never panics (limits turn
+// runaway input into errors), and any expression the compiler also accepts
+// produces the same value from the kernel as from the interpreter.
+func FuzzExprEval(f *testing.F) {
+	seeds := []string{
+		"clicks + 1",
+		"timeBucket(day, 7)",
+		"abs(score - 500)",
+		"concat(country, '-', clicks)",
+		"upper(country)",
+		"(clicks * clicks) / (score + 0.5)",
+		"lower(concat(country, country, country))",
+		"abs(clicks) * -1 + timeBucket(day + 3, 60)",
+		"clicks / 0",
+		"timeBucket(day, 0)",
+		"'a' = 'b'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	kindOf := func(name string) (Kind, bool) {
+		switch name {
+		case "clicks", "day":
+			return Long, true
+		case "score":
+			return Double, true
+		case "country":
+			return String, true
+		}
+		return 0, false
+	}
+	get := func(name string) any {
+		switch name {
+		case "clicks":
+			return int64(7)
+		case "day":
+			return int64(16025)
+		case "score":
+			return 2.5
+		case "country":
+			return "us"
+		}
+		return nil
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		e, err := pql.ParseExpr(in)
+		if err != nil {
+			return
+		}
+		c := NewCtx(Limits{MaxSteps: 4096, MaxStringLen: 1024, MaxListLen: 64})
+		v, err := Eval(c, e, get)
+		if err != nil {
+			return
+		}
+		k, ok := Compile(e, kindOf)
+		if !ok {
+			return
+		}
+		src := &memSource{
+			cols:    k.Cols,
+			longs:   map[string][]int64{"clicks": {7}, "day": {16025}},
+			doubles: map[string][]float64{"score": {2.5}},
+		}
+		docs := []int{0}
+		switch k.Kind {
+		case Long:
+			want, isLong := v.(int64)
+			if !isLong {
+				t.Fatalf("%s: kernel kind long, interpreter returned %T", in, v)
+			}
+			dst := make([]int64, 1)
+			k.EvalLongs(src, docs, dst)
+			if dst[0] != want {
+				t.Fatalf("%s: kernel long %d, interpreter %d", in, dst[0], want)
+			}
+		case Double:
+			var want float64
+			switch x := v.(type) {
+			case float64:
+				want = x
+			case int64:
+				want = float64(x)
+			default:
+				t.Fatalf("%s: kernel kind double, interpreter returned %T", in, v)
+			}
+			dst := make([]float64, 1)
+			k.EvalDoubles(src, docs, dst)
+			if math.Float64bits(dst[0]) != math.Float64bits(want) {
+				t.Fatalf("%s: kernel %v, interpreter %v", in, dst[0], want)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"pinot/internal/broker"
 	"pinot/internal/controller"
 	"pinot/internal/metrics"
+	"pinot/internal/pql"
 	"pinot/internal/query"
 	"pinot/internal/table"
 )
@@ -50,9 +51,20 @@ type QueryResponse struct {
 	ServerExceptions []ServerException `json:"serverExceptions,omitempty"`
 }
 
-// errorBody is the uniform error payload.
+// errorBody is the uniform error payload. Parse is set when the failure was
+// a PQL parse error, giving clients the position without string-scraping.
 type errorBody struct {
-	Error string `json:"error"`
+	Error string          `json:"error"`
+	Parse *parseErrorBody `json:"parse,omitempty"`
+}
+
+// parseErrorBody is the structured half of a PQL parse failure.
+type parseErrorBody struct {
+	Message string `json:"message"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Offset  int    `json:"offset"`
+	Token   string `json:"token,omitempty"` // "" at end of input
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -62,7 +74,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	body := errorBody{Error: err.Error()}
+	var pe *pql.ParseError
+	if errors.As(err, &pe) {
+		body.Parse = &parseErrorBody{
+			Message: pe.Msg, Line: pe.Line, Col: pe.Col, Offset: pe.Offset, Token: pe.Token,
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // NewBrokerHandler serves POST /query on a broker.
@@ -108,7 +127,10 @@ func NewBrokerHandler(b *broker.Broker) http.Handler {
 	mux.HandleFunc("GET /health", health)
 	mux.HandleFunc("GET /metrics", metricsHandler(b.Metrics()))
 	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"slowest": b.SlowQueries().Slowest()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"slowest":       b.SlowQueries().Slowest(),
+			"parseFailures": b.ParseFailures(),
+		})
 	})
 	return mux
 }

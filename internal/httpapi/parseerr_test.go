@@ -1,0 +1,67 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestParseErrorPayload checks the client-facing contract for malformed PQL:
+// a 400 whose body carries the structured position (line, col, offset,
+// token) alongside the rendered error, and visibility of the failure at
+// /debug/queries.
+func TestParseErrorPayload(t *testing.T) {
+	_, _, brokerSrv := setup(t)
+
+	bad := "SELECT count(*) FROM T\nGROUP BY timeBucket(day 7)"
+	resp, body := postJSON(t, brokerSrv.URL+"/query", QueryRequest{PQL: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	pe, ok := body["parse"].(map[string]any)
+	if !ok {
+		t.Fatalf("no structured parse error in %v", body)
+	}
+	if pe["line"] != float64(2) || pe["col"] != float64(25) || pe["offset"] != float64(47) || pe["token"] != "7" {
+		t.Fatalf("parse error position = %v", pe)
+	}
+	if pe["message"] != `expected ), got "7"` {
+		t.Fatalf("parse error message = %v", pe["message"])
+	}
+
+	// Non-parse failures (unknown table) carry no parse block.
+	resp, body = postJSON(t, brokerSrv.URL+"/query", QueryRequest{PQL: "SELECT count(*) FROM nosuch"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown table status = %d", resp.StatusCode)
+	}
+	if _, ok := body["parse"]; ok {
+		t.Fatalf("unknown-table error has parse block: %v", body)
+	}
+
+	// The rejected query is visible at /debug/queries with its position.
+	dresp, err := http.Get(brokerSrv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var dbg struct {
+		ParseFailures []struct {
+			PQL    string `json:"pql"`
+			Error  string `json:"error"`
+			Line   int    `json:"line"`
+			Col    int    `json:"col"`
+			Offset int    `json:"offset"`
+			Token  string `json:"token"`
+		} `json:"parseFailures"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.ParseFailures) != 1 {
+		t.Fatalf("parseFailures = %+v, want 1 entry", dbg.ParseFailures)
+	}
+	f := dbg.ParseFailures[0]
+	if f.PQL != bad || f.Line != 2 || f.Col != 25 || f.Offset != 47 || f.Token != "7" {
+		t.Fatalf("parse failure entry = %+v", f)
+	}
+}

@@ -5,6 +5,7 @@ package pql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -60,11 +61,16 @@ func PercentileQuantile(fn AggFunc) (int, bool) {
 }
 
 // Expression is one item of a select list: either a plain column projection
-// or an aggregation over a column ("*" only for COUNT).
+// or an aggregation over a scalar expression ("*" only for COUNT). Column
+// always holds the rendered argument text — the result column name and merge
+// key — while Arg carries the expression tree when the argument is more than
+// a bare column (nil otherwise, so column-bound paths see the shape they
+// always did).
 type Expression struct {
 	IsAgg  bool
 	Func   AggFunc
 	Column string
+	Arg    Expr
 }
 
 func (e Expression) String() string {
@@ -72,6 +78,15 @@ func (e Expression) String() string {
 		return e.Column
 	}
 	return fmt.Sprintf("%s(%s)", strings.ToLower(string(e.Func)), e.Column)
+}
+
+// ArgExpr returns the aggregation argument as an expression tree: the Arg
+// tree when present, otherwise a ColumnRef over Column.
+func (e Expression) ArgExpr() Expr {
+	if e.Arg != nil {
+		return e.Arg
+	}
+	return ColumnRef{Name: e.Column}
 }
 
 // CompareOp is a comparison operator in a predicate.
@@ -103,7 +118,7 @@ type Comparison struct {
 func (Comparison) isPredicate() {}
 
 func (p Comparison) String() string {
-	return fmt.Sprintf("%s %s %s", p.Column, p.Op, formatLiteral(p.Value))
+	return fmt.Sprintf("%s %s %s", formatColumn(p.Column), p.Op, formatLiteral(p.Value))
 }
 
 // In is `column [NOT] IN (v1, v2, ...)`.
@@ -124,7 +139,7 @@ func (p In) String() string {
 	if p.Negated {
 		op = "NOT IN"
 	}
-	return fmt.Sprintf("%s %s (%s)", p.Column, op, strings.Join(vals, ", "))
+	return fmt.Sprintf("%s %s (%s)", formatColumn(p.Column), op, strings.Join(vals, ", "))
 }
 
 // Between is `column BETWEEN lo AND hi` (inclusive both sides).
@@ -137,7 +152,7 @@ type Between struct {
 func (Between) isPredicate() {}
 
 func (p Between) String() string {
-	return fmt.Sprintf("%s BETWEEN %s AND %s", p.Column, formatLiteral(p.Lo), formatLiteral(p.Hi))
+	return fmt.Sprintf("%s BETWEEN %s AND %s", formatColumn(p.Column), formatLiteral(p.Lo), formatLiteral(p.Hi))
 }
 
 // And is the conjunction of its children.
@@ -204,10 +219,35 @@ type Query struct {
 	Select  []Expression
 	Filter  Predicate // nil when there is no WHERE clause
 	GroupBy []string
-	OrderBy []OrderSpec
-	Top     int // group-by result groups
-	Offset  int // selection offset
-	Limit   int // selection row limit
+	// GroupByExprs carries expression trees for GROUP BY items that are
+	// more than bare columns, aligned with GroupBy (nil entries for plain
+	// columns). It is nil when every item is a plain column — GroupBy's
+	// rendered strings remain the group column names and merge keys either
+	// way.
+	GroupByExprs []Expr
+	OrderBy      []OrderSpec
+	Top          int // group-by result groups
+	Offset       int // selection offset
+	Limit        int // selection row limit
+}
+
+// GroupByExpr returns the i-th GROUP BY item as an expression tree: the
+// parsed tree for expression items, a ColumnRef for plain columns.
+func (q *Query) GroupByExpr(i int) Expr {
+	if i < len(q.GroupByExprs) && q.GroupByExprs[i] != nil {
+		return q.GroupByExprs[i]
+	}
+	return ColumnRef{Name: q.GroupBy[i]}
+}
+
+// HasExprGroupBy reports whether any GROUP BY item is a derived expression.
+func (q *Query) HasExprGroupBy() bool {
+	for _, e := range q.GroupByExprs {
+		if e != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // IsAggregation reports whether the query computes aggregates.
@@ -277,6 +317,32 @@ func (q *Query) WithExtraFilter(pred Predicate) *Query {
 	return &out
 }
 
+// formatColumn renders a column name at predicate position. Names that are
+// not plain identifiers (e.g. a quoted column like '0-3', paper Figure 7's
+// 'day') must re-render quoted, or the text would re-parse as an expression
+// — breaking the round-trip/fixpoint guarantees the wire protocol relies on.
+func formatColumn(name string) string {
+	if isIdentifier(name) {
+		return name
+	}
+	return formatLiteral(name)
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func formatLiteral(v any) string {
 	switch x := v.(type) {
 	case string:
@@ -286,6 +352,15 @@ func formatLiteral(v any) string {
 			return "true"
 		}
 		return "false"
+	case float64:
+		// A double that happens to be integral must still render as a
+		// double (2.5*2 → "5.0", not "5"): the canonical text re-parses,
+		// and an int literal would change the expression's static type.
+		s := strconv.FormatFloat(x, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
 	default:
 		return fmt.Sprint(v)
 	}
@@ -313,6 +388,15 @@ func PredicateColumns(p Predicate) []string {
 			if !seen[n.Column] {
 				seen[n.Column] = true
 				out = append(out, n.Column)
+			}
+		case ExprCompare:
+			for _, side := range []Expr{n.LHS, n.RHS} {
+				for _, c := range ExprColumns(side) {
+					if !seen[c] {
+						seen[c] = true
+						out = append(out, c)
+					}
+				}
 			}
 		case And:
 			for _, c := range n.Children {

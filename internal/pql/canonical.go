@@ -10,11 +10,38 @@ import "sort"
 // lists, and drops degenerate single-child conjunctions. Rendering through
 // Query.String then normalizes whitespace and keyword case for free.
 
-// Canonical returns a copy of the query with its filter in canonical form.
-// The receiver is not modified.
+// Canonical returns a copy of the query with its filter and every embedded
+// expression in canonical form. The receiver is not modified. Parse already
+// canonicalizes expressions, so for parsed queries the select/group-by
+// rewrites are no-ops; programmatically built queries get normalized here.
 func (q *Query) Canonical() *Query {
 	out := *q
 	out.Filter = CanonicalPredicate(q.Filter)
+	copied := false
+	for i, e := range q.Select {
+		if e.Arg == nil {
+			continue
+		}
+		if !copied {
+			out.Select = append([]Expression(nil), q.Select...)
+			copied = true
+		}
+		arg := CanonicalExpr(e.Arg)
+		out.Select[i].Arg = arg
+		out.Select[i].Column = arg.String()
+	}
+	if q.HasExprGroupBy() {
+		out.GroupBy = append([]string(nil), q.GroupBy...)
+		out.GroupByExprs = append([]Expr(nil), q.GroupByExprs...)
+		for i, e := range q.GroupByExprs {
+			if e == nil {
+				continue
+			}
+			ce := CanonicalExpr(e)
+			out.GroupByExprs[i] = ce
+			out.GroupBy[i] = ce.String()
+		}
+	}
 	return &out
 }
 
@@ -51,6 +78,26 @@ func CanonicalPredicate(p Predicate) Predicate {
 			return formatLiteral(vals[i]) < formatLiteral(vals[j])
 		})
 		return In{Column: n.Column, Values: vals, Negated: n.Negated}
+	case ExprCompare:
+		lhs, rhs := CanonicalExpr(n.LHS), CanonicalExpr(n.RHS)
+		// A string literal on the left would render quoted, and the grammar
+		// reads a leading quoted string at predicate position as a column
+		// name (paper Figure 7's 'day' >= 15949). Canonicalize to what the
+		// rendering re-parses as, keeping parse→render→parse a fixpoint.
+		if ll, ok := lhs.(Literal); ok {
+			if s, isStr := ll.Value.(string); isStr {
+				lhs = ColumnRef{Name: s}
+			}
+		}
+		// A comparison whose sides folded down to `column op literal`
+		// collapses into the classic Comparison node, so index and pruning
+		// plans apply to it.
+		if cr, ok := lhs.(ColumnRef); ok {
+			if lit, ok := rhs.(Literal); ok {
+				return Comparison{Column: cr.Name, Op: n.Op, Value: lit.Value}
+			}
+		}
+		return ExprCompare{LHS: lhs, Op: n.Op, RHS: rhs}
 	default:
 		return p
 	}

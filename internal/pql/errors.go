@@ -1,0 +1,46 @@
+package pql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a structured parse failure: a description plus the position
+// (byte offset and 1-based line/column) and the offending token, so the
+// broker can surface "where" alongside "what" in error payloads and the
+// slow-query ring. Error() renders everything; callers that want the parts
+// (httpapi, /debug/queries) unwrap with errors.As.
+type ParseError struct {
+	Msg    string // what went wrong, without position info
+	Offset int    // byte offset into the query text
+	Line   int    // 1-based line number
+	Col    int    // 1-based column (byte) number within the line
+	Token  string // offending token text; "" at end of input
+}
+
+func (e *ParseError) Error() string {
+	near := "end of input"
+	if e.Token != "" {
+		near = strconv.Quote(e.Token)
+	}
+	return fmt.Sprintf("pql: %s at line %d, col %d (offset %d), near %s",
+		e.Msg, e.Line, e.Col, e.Offset, near)
+}
+
+// newParseError builds a ParseError, deriving line/col from the byte offset.
+func newParseError(input string, offset int, tok string, format string, args ...any) *ParseError {
+	if offset > len(input) {
+		offset = len(input)
+	}
+	prefix := input[:offset]
+	line := strings.Count(prefix, "\n") + 1
+	col := offset - strings.LastIndexByte(prefix, '\n')
+	return &ParseError{
+		Msg:    fmt.Sprintf(format, args...),
+		Offset: offset,
+		Line:   line,
+		Col:    col,
+		Token:  tok,
+	}
+}

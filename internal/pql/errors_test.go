@@ -1,0 +1,82 @@
+package pql
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseErrorMessages pins the exact rendered error — message, position
+// and offending token — for malformed queries. These strings are part of the
+// broker's client-facing contract (httpapi error payloads, /debug/queries),
+// so a change here is a change clients see.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{
+			"SELECT count(*) FROM",
+			`pql: expected table name, got end of input at line 1, col 21 (offset 20), near end of input`,
+		},
+		{
+			"SELECT sum(clicks +) FROM T",
+			`pql: expected expression, got ")" at line 1, col 20 (offset 19), near ")"`,
+		},
+		{
+			"SELECT count(*) FROM T WHERE upper(a, b) = 'X'",
+			`pql: upper() takes 1 argument(s), got 2 at line 1, col 30 (offset 29), near "upper"`,
+		},
+		{
+			"SELECT count(*) FROM T\nGROUP BY timeBucket(day 7)",
+			`pql: expected ), got "7" at line 2, col 25 (offset 47), near "7"`,
+		},
+		{
+			"SELECT count(*) FROM T WHERE a = 'unterminated",
+			`pql: unterminated string at line 1, col 34 (offset 33), near "'"`,
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", c.in)
+			continue
+		}
+		if got := err.Error(); got != c.want {
+			t.Errorf("Parse(%q)\n  got:  %s\n  want: %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseErrorStructure checks the unwrapped fields clients consume via
+// errors.As: multi-line position arithmetic and the offending token.
+func TestParseErrorStructure(t *testing.T) {
+	_, err := Parse("SELECT count(*) FROM T\nGROUP BY timeBucket(day 7)")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 2 || pe.Col != 25 || pe.Offset != 47 || pe.Token != "7" {
+		t.Fatalf("position = line %d col %d offset %d token %q", pe.Line, pe.Col, pe.Offset, pe.Token)
+	}
+	if pe.Msg != `expected ), got "7"` {
+		t.Fatalf("msg = %q", pe.Msg)
+	}
+
+	// End-of-input failures carry an empty token.
+	_, err = Parse("SELECT count(*) FROM")
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Token != "" || pe.Offset != 20 {
+		t.Fatalf("eof failure = %+v", pe)
+	}
+
+	// ParseExpr failures are positioned the same way.
+	_, err = ParseExpr("clicks + ")
+	if !errors.As(err, &pe) {
+		t.Fatalf("ParseExpr error is %T, want *ParseError", err)
+	}
+	if pe.Offset != 9 {
+		t.Fatalf("ParseExpr offset = %d", pe.Offset)
+	}
+}

@@ -1,0 +1,45 @@
+package pql
+
+import "testing"
+
+// FuzzParsePQL holds two properties over arbitrary input: the parser never
+// panics (it must reject hostile queries with a ParseError, nothing louder),
+// and any input it does accept canonicalizes to text that re-parses to the
+// same canonical text — the broker re-renders queries before the scatter, so
+// a parse→render→parse mismatch would corrupt queries on the wire.
+func FuzzParsePQL(f *testing.F) {
+	seeds := []string{
+		"SELECT count(*) FROM events",
+		"SELECT sum(clicks), count(*) FROM events WHERE country = 'us' AND day BETWEEN 15949 AND 15955 GROUP BY country TOP 10",
+		"SELECT memberId, clicks FROM events WHERE memberId IN (1, 2, 3) ORDER BY clicks DESC LIMIT 5, 20",
+		"SELECT sum(clicks + 1) FROM events WHERE timeBucket(day, 7) = 15949 GROUP BY upper(country) TOP 5",
+		"SELECT avg(abs(clicks - 500) * 2.5) FROM events WHERE NOT (clicks / 3 > day OR country <> 'de')",
+		"SELECT percentile95(clicks) FROM events WHERE 'day' >= 15949",
+		"SELECT distinctcount(memberId) FROM events WHERE concat(country, '-', day) = 'us-15949'",
+		"SELECT sum(clicks) FROM events WHERE clicks + 2.5e-07 < 1e+30 GROUP BY timeBucket(day, 86400)",
+		"select Sum( clicks )  from events  where (country='us')and(day>1)",
+		"SELECT count(*) FROM T WHERE a IN ('x''y', '', 'z') AND b NOT IN (1,2)",
+		"SELECT count(*) FROM",
+		"SELECT sum(clicks +) FROM T",
+		"GROUP BY",
+		"'",
+		"SELECT count(*) FROM T WHERE upper(a, b) = 'X'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := Parse(in)
+		if err != nil {
+			return
+		}
+		canon := q.CanonicalString()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical text of %q does not re-parse: %q: %v", in, canon, err)
+		}
+		if again := q2.CanonicalString(); again != canon {
+			t.Fatalf("canonicalization of %q is not a fixpoint:\n  first:  %q\n  second: %q", in, canon, again)
+		}
+	})
+}

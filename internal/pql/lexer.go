@@ -18,6 +18,9 @@ const (
 	tokLParen
 	tokRParen
 	tokStar
+	tokPlus
+	tokMinus
+	tokSlash
 )
 
 type token struct {
@@ -57,6 +60,10 @@ func lex(input string) ([]token, error) {
 			l.emit(tokRParen, ")")
 		case c == '*':
 			l.emit(tokStar, "*")
+		case c == '+':
+			l.emit(tokPlus, "+")
+		case c == '/':
+			l.emit(tokSlash, "/")
 		case c == '=':
 			l.emit(tokOp, "=")
 		case c == '<':
@@ -78,18 +85,20 @@ func lex(input string) ([]token, error) {
 			if l.peek(1) == '=' {
 				l.emitN(tokOp, "<>", 2)
 			} else {
-				return nil, fmt.Errorf("pql: unexpected '!' at position %d", l.pos)
+				return nil, newParseError(l.input, l.pos, "!", "unexpected '!'")
 			}
 		case c == '\'' || c == '"':
 			if err := l.lexString(c); err != nil {
 				return nil, err
 			}
-		case c >= '0' && c <= '9' || c == '-' && l.peekDigit(1):
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit(1) && !l.afterValue():
 			l.lexNumber()
+		case c == '-':
+			l.emit(tokMinus, "-")
 		case isIdentStart(rune(c)):
 			l.lexIdent()
 		default:
-			return nil, fmt.Errorf("pql: unexpected character %q at position %d", c, l.pos)
+			return nil, newParseError(l.input, l.pos, string(c), "unexpected character %q", c)
 		}
 	}
 	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
@@ -106,6 +115,31 @@ func (l *lexer) peek(n int) byte {
 func (l *lexer) peekDigit(n int) bool {
 	c := l.peek(n)
 	return c >= '0' && c <= '9'
+}
+
+// pqlKeywords are reserved words after which a '-' starts a negative number
+// literal rather than a binary minus (e.g. BETWEEN -5 AND -1).
+var pqlKeywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "in": true, "between": true, "group": true, "by": true,
+	"order": true, "asc": true, "desc": true, "top": true, "limit": true,
+}
+
+// afterValue reports whether the previous token could end a value
+// expression, in which case a following '-' is the binary operator
+// (`a - 5`) rather than a negative-number prefix (`a = -5`).
+func (l *lexer) afterValue() bool {
+	if len(l.tokens) == 0 {
+		return false
+	}
+	t := l.tokens[len(l.tokens)-1]
+	switch t.kind {
+	case tokNumber, tokString, tokRParen:
+		return true
+	case tokIdent:
+		return !pqlKeywords[strings.ToLower(t.text)]
+	}
+	return false
 }
 
 func (l *lexer) emit(kind tokenKind, text string) { l.emitN(kind, text, 1) }
@@ -135,7 +169,7 @@ func (l *lexer) lexString(quote byte) error {
 		sb.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("pql: unterminated string starting at position %d", start)
+	return newParseError(l.input, start, string(quote), "unterminated string")
 }
 
 func (l *lexer) lexNumber() {

@@ -19,7 +19,7 @@ func Parse(input string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{tokens: tokens}
+	p := &parser{input: input, tokens: tokens}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -30,13 +30,42 @@ func Parse(input string) (*Query, error) {
 	return q, nil
 }
 
+// ParseExpr parses a standalone scalar expression (table-config transforms,
+// tests). The result is canonicalized, so equal expressions render equal.
+func ParseExpr(input string) (Expr, error) {
+	tokens, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, tokens: tokens}
+	e, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected %s after expression", t)
+	}
+	return CanonicalExpr(e), nil
+}
+
 type parser struct {
+	input  string
 	tokens []token
 	pos    int
 }
 
 func (p *parser) cur() token  { return p.tokens[p.pos] }
 func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+func (p *parser) peek() token { return p.tokens[min(p.pos+1, len(p.tokens)-1)] }
+
+// errf builds a positioned ParseError anchored at token t.
+func (p *parser) errf(t token, format string, args ...any) error {
+	text := t.text
+	if t.kind == tokEOF {
+		text = ""
+	}
+	return newParseError(p.input, t.pos, text, format, args...)
+}
 
 func (p *parser) matchKeyword(kw string) bool {
 	t := p.cur()
@@ -49,7 +78,7 @@ func (p *parser) matchKeyword(kw string) bool {
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.matchKeyword(kw) {
-		return fmt.Errorf("pql: expected %s, got %s at position %d", kw, p.cur(), p.cur().pos)
+		return p.errf(p.cur(), "expected %s, got %s", kw, p.cur())
 	}
 	return nil
 }
@@ -57,7 +86,7 @@ func (p *parser) expectKeyword(kw string) error {
 func (p *parser) expect(kind tokenKind, what string) (token, error) {
 	t := p.cur()
 	if t.kind != kind {
-		return t, fmt.Errorf("pql: expected %s, got %s at position %d", what, t, t.pos)
+		return t, p.errf(t, "expected %s, got %s", what, t)
 	}
 	p.pos++
 	return t, nil
@@ -93,16 +122,33 @@ func (p *parser) parseQuery() (*Query, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
+		hasExpr := false
+		var exprs []Expr
 		for {
-			col, err := p.expect(tokIdent, "group-by column")
+			itemTok := p.cur()
+			e, err := p.parseAddExpr()
 			if err != nil {
 				return nil, err
 			}
-			q.GroupBy = append(q.GroupBy, col.text)
+			e = CanonicalExpr(e)
+			switch n := e.(type) {
+			case ColumnRef:
+				q.GroupBy = append(q.GroupBy, n.Name)
+				exprs = append(exprs, nil)
+			case Literal:
+				return nil, p.errf(itemTok, "GROUP BY expression must reference a column")
+			default:
+				q.GroupBy = append(q.GroupBy, e.String())
+				exprs = append(exprs, e)
+				hasExpr = true
+			}
 			if p.cur().kind != tokComma {
 				break
 			}
 			p.pos++
+		}
+		if hasExpr {
+			q.GroupByExprs = exprs
 		}
 	}
 	if p.matchKeyword("ORDER") {
@@ -151,7 +197,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 	}
 	if p.cur().kind != tokEOF {
-		return nil, fmt.Errorf("pql: unexpected trailing input %s at position %d", p.cur(), p.cur().pos)
+		return nil, p.errf(p.cur(), "unexpected trailing input %s", p.cur())
 	}
 	return q, nil
 }
@@ -163,7 +209,7 @@ func (p *parser) parseInt(what string) (int, error) {
 	}
 	n, err := strconv.Atoi(t.text)
 	if err != nil || n < 0 {
-		return 0, fmt.Errorf("pql: invalid %s %q", what, t.text)
+		return 0, p.errf(t, "invalid %s %q", what, t.text)
 	}
 	return n, nil
 }
@@ -190,28 +236,44 @@ func (p *parser) parseExpression() (Expression, error) {
 		return Expression{Column: "*"}, nil
 	}
 	if t.kind != tokIdent {
-		return Expression{}, fmt.Errorf("pql: expected column or aggregation, got %s at position %d", t, t.pos)
+		return Expression{}, p.errf(t, "expected column or aggregation, got %s", t)
 	}
-	p.pos++
-	// Aggregation function call?
-	if fn, ok := ParseAggFunc(t.text); ok && p.cur().kind == tokLParen {
-		p.pos++
-		var col string
-		switch p.cur().kind {
-		case tokStar:
-			col = "*"
+	// Aggregation function call? The argument is a full scalar expression;
+	// simple columns keep Arg nil so existing column-bound paths see the
+	// shape they always did.
+	if fn, ok := ParseAggFunc(t.text); ok && p.peek().kind == tokLParen {
+		p.pos += 2
+		e := Expression{IsAgg: true, Func: fn}
+		if p.cur().kind == tokStar {
+			e.Column = "*"
 			p.pos++
-		case tokIdent:
-			col = p.next().text
-		default:
-			return Expression{}, fmt.Errorf("pql: expected column in %s(), got %s", fn, p.cur())
+		} else {
+			arg, err := p.parseAddExpr()
+			if err != nil {
+				return Expression{}, err
+			}
+			switch n := CanonicalExpr(arg).(type) {
+			case ColumnRef:
+				e.Column = n.Name
+			case Literal:
+				return Expression{}, p.errf(t, "%s() argument must reference a column", fn)
+			default:
+				e.Column, e.Arg = n.String(), n
+			}
 		}
 		if _, err := p.expect(tokRParen, ")"); err != nil {
 			return Expression{}, err
 		}
-		return Expression{IsAgg: true, Func: fn, Column: col}, nil
+		return e, nil
 	}
-	return Expression{Column: t.text}, nil
+	item, err := p.parseAddExpr()
+	if err != nil {
+		return Expression{}, err
+	}
+	if cr, ok := item.(ColumnRef); ok {
+		return Expression{Column: cr.Name}, nil
+	}
+	return Expression{}, p.errf(t, "expressions in the select list must be aggregation arguments")
 }
 
 func (p *parser) parseOr() (Predicate, error) {
@@ -265,43 +327,76 @@ func (p *parser) parseUnary() (Predicate, error) {
 		return Not{Child: child}, nil
 	}
 	if p.cur().kind == tokLParen {
+		// '(' is ambiguous: a predicate group `(a = 1 OR b = 2)` or a
+		// parenthesized expression `(a + b) > 1`. Try the group reading
+		// first and backtrack into the expression grammar on failure.
+		save := p.pos
 		p.pos++
 		pred, err := p.parseOr()
-		if err != nil {
-			return nil, err
+		if err == nil {
+			if _, err = p.expect(tokRParen, ")"); err == nil {
+				return pred, nil
+			}
 		}
-		if _, err := p.expect(tokRParen, ")"); err != nil {
-			return nil, err
-		}
-		return pred, nil
+		p.pos = save
 	}
 	return p.parseComparison()
 }
 
 func (p *parser) parseComparison() (Predicate, error) {
-	colTok := p.cur()
-	col := ""
-	switch colTok.kind {
-	case tokIdent:
-		col = colTok.text
+	// PQL allows quoted column names at predicate position, e.g.
+	// 'day' >= 15949 (paper Figure 7): a leading string token followed by a
+	// predicate operator is a column reference, not a literal.
+	if t := p.cur(); t.kind == tokString && p.predOpFollows() {
 		p.pos++
-	case tokString:
-		// PQL allows quoted column names, e.g. 'day' >= 15949
-		// (paper Figure 7).
-		col = colTok.text
-		p.pos++
-	default:
-		return nil, fmt.Errorf("pql: expected column name, got %s at position %d", colTok, colTok.pos)
+		return p.parseColumnPredicate(t.text)
 	}
+	lhs, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	if cr, ok := lhs.(ColumnRef); ok {
+		return p.parseColumnPredicate(cr.Name)
+	}
+	t := p.cur()
+	if t.kind != tokOp {
+		return nil, p.errf(t, "expected comparison operator after expression, got %s", t)
+	}
+	p.pos++
+	rhs, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	return ExprCompare{LHS: CanonicalExpr(lhs), Op: CompareOp(t.text), RHS: CanonicalExpr(rhs)}, nil
+}
+
+// predOpFollows reports whether the token after the current one starts a
+// predicate tail (a comparison operator or IN/NOT IN/BETWEEN).
+func (p *parser) predOpFollows() bool {
+	t := p.peek()
+	if t.kind == tokOp {
+		return true
+	}
+	return t.kind == tokIdent && (strings.EqualFold(t.text, "IN") ||
+		strings.EqualFold(t.text, "NOT") || strings.EqualFold(t.text, "BETWEEN"))
+}
+
+// parseColumnPredicate parses the predicate tail after a column reference.
+// `col op literal` yields the classic Comparison node (index and pruning
+// plans key on it); an expression right-hand side yields ExprCompare.
+func (p *parser) parseColumnPredicate(col string) (Predicate, error) {
 	t := p.cur()
 	switch {
 	case t.kind == tokOp:
 		p.pos++
-		val, err := p.parseLiteral()
+		rhs, err := p.parseAddExpr()
 		if err != nil {
 			return nil, err
 		}
-		return Comparison{Column: col, Op: CompareOp(t.text), Value: val}, nil
+		if lit, ok := CanonicalExpr(rhs).(Literal); ok {
+			return Comparison{Column: col, Op: CompareOp(t.text), Value: lit.Value}, nil
+		}
+		return ExprCompare{LHS: ColumnRef{Name: col}, Op: CompareOp(t.text), RHS: CanonicalExpr(rhs)}, nil
 	case t.kind == tokIdent && strings.EqualFold(t.text, "IN"):
 		p.pos++
 		vals, err := p.parseLiteralList()
@@ -334,7 +429,165 @@ func (p *parser) parseComparison() (Predicate, error) {
 		}
 		return Between{Column: col, Lo: lo, Hi: hi}, nil
 	}
-	return nil, fmt.Errorf("pql: expected comparison operator after %q, got %s at position %d", col, t, t.pos)
+	return nil, p.errf(t, "expected comparison operator after %q, got %s", col, t)
+}
+
+// Expression grammar: addExpr := mulExpr (('+'|'-') mulExpr)*
+//
+//	mulExpr := primary (('*'|'/') primary)*
+//	primary := number | string | bool | column | fn(args) | '(' addExpr ')'
+//
+// '*' means multiplication here; the select-list star is consumed before the
+// expression parser ever runs.
+func (p *parser) parseAddExpr() (Expr, error) {
+	left, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch p.cur().kind {
+		case tokPlus:
+			op = OpAdd
+		case tokMinus:
+			op = OpSub
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMulExpr() (Expr, error) {
+	left, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch p.cur().kind {
+		case tokStar:
+			op = OpMul
+		case tokSlash:
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parsePrimaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		v, err := p.numberValue(t)
+		if err != nil {
+			return nil, err
+		}
+		return Literal{Value: v}, nil
+	case tokMinus:
+		// Unary minus binds to a numeric literal only.
+		if p.peek().kind != tokNumber {
+			return nil, p.errf(t, "expected number after unary '-'")
+		}
+		p.pos++
+		nt := p.next()
+		v, err := p.numberValue(nt)
+		if err != nil {
+			return nil, err
+		}
+		switch x := v.(type) {
+		case int64:
+			return Literal{Value: -x}, nil
+		case float64:
+			return Literal{Value: -x}, nil
+		}
+		return nil, p.errf(nt, "invalid number %q", nt.text)
+	case tokString:
+		p.pos++
+		return Literal{Value: t.text}, nil
+	case tokLParen:
+		p.pos++
+		e, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			return p.parseCallExpr()
+		}
+		p.pos++
+		switch strings.ToLower(t.text) {
+		case "true":
+			return Literal{Value: true}, nil
+		case "false":
+			return Literal{Value: false}, nil
+		}
+		return ColumnRef{Name: t.text}, nil
+	}
+	return nil, p.errf(t, "expected expression, got %s", t)
+}
+
+func (p *parser) parseCallExpr() (Expr, error) {
+	t := p.next() // function name; '(' is next
+	name, minArgs, maxArgs, ok := Builtin(t.text)
+	if !ok {
+		return nil, p.errf(t, "unknown function %q", t.text)
+	}
+	p.pos++ // consume '('
+	var args []Expr
+	for {
+		a, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.pos++
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if len(args) < minArgs || len(args) > maxArgs {
+		if minArgs == maxArgs {
+			return nil, p.errf(t, "%s() takes %d argument(s), got %d", name, minArgs, len(args))
+		}
+		return nil, p.errf(t, "%s() takes %d to %d arguments, got %d", name, minArgs, maxArgs, len(args))
+	}
+	return Call{Name: name, Args: args}, nil
+}
+
+// numberValue converts a number token exactly as parseLiteral does:
+// integer-looking text becomes int64, everything else float64.
+func (p *parser) numberValue(t token) (any, error) {
+	if !strings.ContainsAny(t.text, ".eE") {
+		if n, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return n, nil
+		}
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return nil, p.errf(t, "invalid number %q", t.text)
+	}
+	return f, nil
 }
 
 func (p *parser) parseLiteralList() ([]any, error) {
@@ -366,17 +619,7 @@ func (p *parser) parseLiteral() (any, error) {
 	case tokString:
 		return t.text, nil
 	case tokNumber:
-		if !strings.ContainsAny(t.text, ".eE") {
-			n, err := strconv.ParseInt(t.text, 10, 64)
-			if err == nil {
-				return n, nil
-			}
-		}
-		f, err := strconv.ParseFloat(t.text, 64)
-		if err != nil {
-			return nil, fmt.Errorf("pql: invalid number %q at position %d", t.text, t.pos)
-		}
-		return f, nil
+		return p.numberValue(t)
 	case tokIdent:
 		switch strings.ToLower(t.text) {
 		case "true":
@@ -385,7 +628,7 @@ func (p *parser) parseLiteral() (any, error) {
 			return false, nil
 		}
 	}
-	return nil, fmt.Errorf("pql: expected literal, got %s at position %d", t, t.pos)
+	return nil, p.errf(t, "expected literal, got %s", t)
 }
 
 func validate(q *Query) error {

@@ -149,23 +149,35 @@ func percentileOf(values []float64, q int) float64 {
 	return sorted[rank]
 }
 
-// aggInput reads the per-document input of an aggregation from a column:
-// numeric value for SUM/MIN/MAX/AVG, distinct key for DISTINCTCOUNT.
+// aggInput reads the per-document input of an aggregation from a column or
+// a derived expression: numeric value for SUM/MIN/MAX/AVG, distinct key for
+// DISTINCTCOUNT.
 type aggInput struct {
 	expr pql.Expression
-	col  segment.ColumnReader // nil for COUNT(*)
+	col  segment.ColumnReader // nil for COUNT(*) and expression inputs
+	ev   *exprEval            // set when the argument is a derived expression
 }
 
 // newAggInputs resolves the aggregation expressions of a query against a
-// segment.
-func newAggInputs(cs columnSource, exprs []pql.Expression) ([]aggInput, error) {
+// segment, binding derived arguments to expression evaluators.
+func newAggInputs(env *execEnv, cs columnSource, exprs []pql.Expression, opt Options) ([]aggInput, error) {
 	var out []aggInput
 	for _, e := range exprs {
 		if !e.IsAgg {
 			continue
 		}
 		in := aggInput{expr: e}
-		if e.Column != "*" {
+		switch {
+		case e.Arg != nil:
+			ev, err := newExprEval(env, cs, e.Arg, opt)
+			if err != nil {
+				return nil, err
+			}
+			if e.Func != pql.Count && e.Func != pql.DistinctCount && !ev.kind.Numeric() {
+				return nil, fmt.Errorf("query: %s(%s): expression is not numeric", e.Func, e.Column)
+			}
+			in.ev = ev
+		case e.Column != "*":
 			col, err := cs.column(e.Column)
 			if err != nil {
 				return nil, err
@@ -179,7 +191,7 @@ func newAggInputs(cs columnSource, exprs []pql.Expression) ([]aggInput, error) {
 				return nil, fmt.Errorf("query: %s(%s): multi-value columns are not aggregable", e.Func, e.Column)
 			}
 			in.col = col
-		} else if e.Func != pql.Count {
+		case e.Func != pql.Count:
 			return nil, fmt.Errorf("query: %s(*) is not supported", e.Func)
 		}
 		out = append(out, in)
@@ -200,6 +212,9 @@ func (in aggInput) accumulate(s *AggState, doc int) {
 }
 
 func (in aggInput) numeric(doc int) float64 {
+	if in.ev != nil {
+		return in.ev.double(doc)
+	}
 	c := in.col
 	if c.HasDictionary() {
 		v := c.Value(c.DictID(doc))
@@ -215,6 +230,9 @@ func (in aggInput) numeric(doc int) float64 {
 }
 
 func (in aggInput) distinctKey(doc int) string {
+	if in.ev != nil {
+		return fmt.Sprint(in.ev.value(doc))
+	}
 	c := in.col
 	if c.HasDictionary() {
 		return fmt.Sprint(c.Value(c.DictID(doc)))

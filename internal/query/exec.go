@@ -29,7 +29,7 @@ func ExecuteSegment(ctx context.Context, is IndexedSegment, q *pql.Query, tableS
 	}
 	cs := columnSource{seg: is.Seg, schema: tableSchema}
 	if q.IsAggregation() {
-		inputs, err := newAggInputs(cs, q.Select)
+		inputs, err := newAggInputs(env, cs, q.Select, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +86,7 @@ func executeAggregation(env *execEnv, cs columnSource, is IndexedSegment, q *pql
 		return out, nil
 	}
 
-	set, err := buildFilter(cs, q.Filter, opt, &out.Stats)
+	set, err := buildFilter(env, cs, q.Filter, opt, &out.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +111,12 @@ func executeAggregation(env *execEnv, cs columnSource, is IndexedSegment, q *pql
 			return nil, err
 		}
 	}
+	// A final checkpoint surfaces an expression error latched in the last
+	// partial block; the vectorized loop already re-checks before observing
+	// exhaustion, so both modes fail identically.
+	if err := env.checkpoint(); err != nil {
+		return nil, err
+	}
 	out.Stats.NumDocsScanned = docs
 	out.Stats.NumEntriesScanned += docs * int64(len(inputs))
 	if docs > 0 {
@@ -123,8 +129,16 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 	out := &Intermediate{Kind: KindGroupBy, AggExprs: exprs, GroupCols: q.GroupBy, Groups: map[string]*GroupEntry{}}
 	out.Stats = baseStats(is.Seg)
 
-	groupCols := make([]segment.ColumnReader, len(q.GroupBy))
+	items := make([]groupItem, len(q.GroupBy))
 	for i, name := range q.GroupBy {
+		if e := q.GroupByExprs; i < len(e) && e[i] != nil {
+			ev, err := newExprEval(env, cs, e[i], opt)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = groupItem{ev: ev}
+			continue
+		}
 		col, err := cs.column(name)
 		if err != nil {
 			return nil, err
@@ -135,7 +149,7 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 		if !col.HasDictionary() {
 			return nil, fmt.Errorf("query: GROUP BY on raw column %q is not supported", name)
 		}
-		groupCols[i] = col
+		items[i] = groupItem{col: col}
 	}
 
 	charger := &groupCharger{qc: env.qc, nAggs: len(exprs)}
@@ -154,12 +168,14 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 		return g
 	}
 
-	// Star-tree plan.
+	// Star-tree plan. planStarTree declines expression group-bys (their
+	// rendered text never matches a split dimension), so items[i].col is
+	// always set when this plan runs.
 	if plan, ok := planStarTree(cs, is, q, inputs, opt); ok {
 		values := make([]any, len(q.GroupBy))
 		scanned := plan.run(func(rec int) {
 			for i, d := range plan.groupDims {
-				values[i] = groupCols[i].Value(int(plan.tree.DimValue(rec, d)))
+				values[i] = items[i].col.Value(int(plan.tree.DimValue(rec, d)))
 			}
 			g := entryFor(values)
 			for i, in := range inputs {
@@ -181,7 +197,7 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 		return out, nil
 	}
 
-	set, err := buildFilter(cs, q.Filter, opt, &out.Stats)
+	set, err := buildFilter(env, cs, q.Filter, opt, &out.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +207,7 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 	var docs int64
 	if opt.DisableVectorization {
 		it := set.iterator()
-		values := make([]any, len(groupCols))
+		values := make([]any, len(items))
 		for doc := it.Next(); doc >= 0; doc = it.Next() {
 			if docs%blockSize == 0 {
 				if err := env.checkpoint(); err != nil {
@@ -203,8 +219,8 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 				}
 			}
 			docs++
-			for i, col := range groupCols {
-				values[i] = col.Value(col.DictID(doc))
+			for i, item := range items {
+				values[i] = item.read(doc)
 			}
 			g := entryFor(values)
 			for i, in := range inputs {
@@ -213,7 +229,7 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 		}
 	} else {
 		var err error
-		out.Groups, docs, err = runGroupByBlocks(env, set, inputs, groupCols, exprs, charger)
+		out.Groups, docs, err = runGroupByBlocks(env, set, inputs, items, exprs, charger)
 		switch {
 		case errors.Is(err, ErrGroupStateLimit):
 			limitErr = err
@@ -221,8 +237,11 @@ func executeGroupBy(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Que
 			return nil, err
 		}
 	}
+	if err := env.checkpoint(); err != nil {
+		return nil, err
+	}
 	out.Stats.NumDocsScanned = docs
-	out.Stats.NumEntriesScanned += docs * int64(len(inputs)+len(groupCols))
+	out.Stats.NumEntriesScanned += docs * int64(len(inputs)+len(items))
 	if docs > 0 {
 		out.Stats.NumSegmentsMatched = 1
 	}
@@ -273,7 +292,7 @@ func executeSelection(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Q
 		}
 		readers[i] = col
 	}
-	set, err := buildFilter(cs, q.Filter, opt, &out.Stats)
+	set, err := buildFilter(env, cs, q.Filter, opt, &out.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +353,14 @@ func executeSelection(env *execEnv, cs columnSource, is IndexedSegment, q *pql.Q
 				pruneQ.Offset, pruneQ.Limit = 0, keep
 				out.Rows = tmp.Finalize(&pruneQ).Rows
 			}
+		}
+	}
+	// Early-exit breaks (LIMIT satisfied) skip this on purpose in both
+	// modes: rows already kept are valid even when a later candidate's
+	// expression filter latched an error.
+	if len(out.Rows) < keep || needAll {
+		if err := env.checkpoint(); err != nil {
+			return nil, err
 		}
 	}
 	out.Stats.NumDocsScanned = docs

@@ -1,0 +1,415 @@
+package query
+
+import (
+	"fmt"
+
+	"pinot/internal/expr"
+	"pinot/internal/pql"
+	"pinot/internal/segment"
+)
+
+// This file binds pql expressions to one segment's columns for execution.
+// Each expression gets an exprEval: the interpreter path (per-row, sandboxed
+// by expr.Limits) always works; when the expression lowers to a typed block
+// kernel and the options allow it, batch fills run through the kernel
+// instead. Both produce bit-identical values, so plan-time selection is
+// purely a performance decision — the differential suite flips
+// DisableExprCompile to prove it.
+
+// exprEval is one expression bound to one segment execution. It is
+// single-goroutine, like the rest of a segment executor.
+type exprEval struct {
+	env     *execEnv
+	src     pql.Expr
+	kind    expr.Kind
+	names   []string
+	readers []segment.ColumnReader // aligned with names
+	kernel  *expr.Kernel           // nil → interpreter only
+	ksrc    *kernelBlockSource     // aligned with kernel.Cols
+	ictx    *expr.Ctx
+	get     expr.Getter
+	curDoc  int
+	longBuf []int64
+	dblBuf  []float64
+}
+
+// newExprEval type-checks an expression against the segment (via the
+// table-level schema for evolution defaults), binds its column readers, and
+// compiles it to a block kernel unless disabled or not lowerable.
+func newExprEval(env *execEnv, cs columnSource, e pql.Expr, opt Options) (*exprEval, error) {
+	ev := &exprEval{env: env, src: e, curDoc: -1}
+	byName := map[string]int{}
+	for _, name := range pql.ExprColumns(e) {
+		col, err := cs.column(name)
+		if err != nil {
+			return nil, err
+		}
+		if !col.Spec().SingleValue {
+			return nil, fmt.Errorf("query: expressions over multi-value column %q are not supported", name)
+		}
+		byName[name] = len(ev.names)
+		ev.names = append(ev.names, name)
+		ev.readers = append(ev.readers, col)
+	}
+	kindOf := func(name string) (expr.Kind, bool) {
+		i, ok := byName[name]
+		if !ok {
+			return 0, false
+		}
+		return expr.KindOf(ev.readers[i].Spec().Type), true
+	}
+	kind, err := expr.Infer(e, kindOf)
+	if err != nil {
+		return nil, fmt.Errorf("query: %v", err)
+	}
+	ev.kind = kind
+	ev.ictx = expr.NewCtx(expr.Limits{})
+	ev.ictx.Check = env.checkpoint
+	ev.get = func(name string) any {
+		i, ok := byName[name]
+		if !ok {
+			return nil
+		}
+		return readScalarValue(ev.readers[i], ev.curDoc)
+	}
+	if !opt.DisableExprCompile {
+		if k, ok := expr.Compile(e, kindOf); ok {
+			ev.kernel = k
+			readers := make([]segment.ColumnReader, len(k.Cols))
+			for i, name := range k.Cols {
+				readers[i] = ev.readers[byName[name]]
+			}
+			ev.ksrc = &kernelBlockSource{readers: readers}
+		}
+	}
+	return ev, nil
+}
+
+// readScalarValue reads one document's value in canonical scalar form:
+// int64, float64, string or bool.
+func readScalarValue(col segment.ColumnReader, doc int) any {
+	if col.HasDictionary() {
+		return col.Value(col.DictID(doc))
+	}
+	if col.Spec().Type.Integral() {
+		return col.Long(doc)
+	}
+	return col.Double(doc)
+}
+
+// value interprets the expression for one row. Evaluation errors latch on
+// the execution environment — surfaced at the next block checkpoint, the
+// same place in both execution modes — and yield nil here.
+func (ev *exprEval) value(doc int) any {
+	ev.curDoc = doc
+	v, err := expr.Eval(ev.ictx, ev.src, ev.get)
+	if err != nil {
+		ev.env.fail(err)
+		return nil
+	}
+	return v
+}
+
+// double reads the expression as a float64 aggregation input, promoting a
+// long result exactly as the scalar column path promotes.
+func (ev *exprEval) double(doc int) float64 {
+	switch v := ev.value(doc).(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	}
+	return 0
+}
+
+// fillDoubles computes a block of float64 inputs: the kernel when compiled,
+// the interpreter per row otherwise.
+func (ev *exprEval) fillDoubles(docs []int, dst []float64) {
+	if ev.kernel != nil {
+		ev.kernel.EvalDoubles(ev.ksrc, docs, dst)
+		return
+	}
+	for i, doc := range docs {
+		dst[i] = ev.double(doc)
+	}
+}
+
+// fillValues computes a block of boxed values for group keys and distinct
+// counts. Kernel results box from the typed buffers; the interpreter path
+// boxes row by row. Errors leave nil values, matching the scalar path.
+func (ev *exprEval) fillValues(docs []int, dst []any) {
+	if ev.kernel == nil {
+		for i, doc := range docs {
+			dst[i] = ev.value(doc)
+		}
+		return
+	}
+	n := len(docs)
+	if ev.kernel.Kind == expr.Long {
+		if cap(ev.longBuf) < n {
+			ev.longBuf = make([]int64, blockSize)
+		}
+		ls := ev.longBuf[:n]
+		ev.kernel.EvalLongs(ev.ksrc, docs, ls)
+		for i, v := range ls {
+			dst[i] = v
+		}
+		return
+	}
+	if cap(ev.dblBuf) < n {
+		ev.dblBuf = make([]float64, blockSize)
+	}
+	ds := ev.dblBuf[:n]
+	ev.kernel.EvalDoubles(ev.ksrc, docs, ds)
+	for i, v := range ds {
+		dst[i] = v
+	}
+}
+
+// groupItem is one GROUP BY item: a dictionary column for plain items, a
+// bound expression evaluator for derived ones.
+type groupItem struct {
+	col segment.ColumnReader
+	ev  *exprEval
+}
+
+// read returns the item's group value for one document.
+func (g groupItem) read(doc int) any {
+	if g.ev != nil {
+		return g.ev.value(doc)
+	}
+	return g.col.Value(g.col.DictID(doc))
+}
+
+// kernelBlockSource feeds typed column blocks to a compiled kernel: raw
+// metric columns decode through the batch Longs/Doubles readers, dictionary
+// columns through batch id unpack plus a lazily built dense decode table.
+type kernelBlockSource struct {
+	readers []segment.ColumnReader
+	ids     []uint32
+	decL    [][]int64
+	decD    [][]float64
+}
+
+func (s *kernelBlockSource) dictIDs(slot int, docs []int) []uint32 {
+	if cap(s.ids) < len(docs) {
+		s.ids = make([]uint32, blockSize)
+	}
+	ids := s.ids[:len(docs)]
+	s.readers[slot].DictIDs(docs, ids)
+	return ids
+}
+
+func (s *kernelBlockSource) LongCol(slot int, docs []int, dst []int64) {
+	col := s.readers[slot]
+	if !col.HasDictionary() {
+		col.Longs(docs, dst)
+		return
+	}
+	if s.decL == nil {
+		s.decL = make([][]int64, len(s.readers))
+	}
+	dec := s.decL[slot]
+	if dec == nil {
+		card := col.Cardinality()
+		dec = make([]int64, card)
+		for id := 0; id < card; id++ {
+			if v, ok := col.Value(id).(int64); ok {
+				dec[id] = v
+			}
+		}
+		s.decL[slot] = dec
+	}
+	for i, id := range s.dictIDs(slot, docs) {
+		dst[i] = dec[id]
+	}
+}
+
+func (s *kernelBlockSource) DoubleCol(slot int, docs []int, dst []float64) {
+	col := s.readers[slot]
+	if !col.HasDictionary() {
+		col.Doubles(docs, dst)
+		return
+	}
+	if s.decD == nil {
+		s.decD = make([][]float64, len(s.readers))
+	}
+	dec := s.decD[slot]
+	if dec == nil {
+		card := col.Cardinality()
+		dec = make([]float64, card)
+		for id := 0; id < card; id++ {
+			if v, ok := col.Value(id).(float64); ok {
+				dec[id] = v
+			}
+		}
+		s.decD[slot] = dec
+	}
+	for i, id := range s.dictIDs(slot, docs) {
+		dst[i] = dec[id]
+	}
+}
+
+// buildExprFilter compiles an expression comparison into a scan operator.
+// Expression predicates never prune, never use indexes, and never claim
+// soundness they don't have: every candidate document is evaluated, charging
+// one scanned entry per referenced column — in both execution modes.
+func buildExprFilter(env *execEnv, cs columnSource, p pql.ExprCompare, opt Options, stats *Stats) (docIDSet, error) {
+	lev, err := newExprEval(env, cs, p.LHS, opt)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := newExprEval(env, cs, p.RHS, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := expr.CompareKinds(p.Op, lev.kind, rev.kind); err != nil {
+		return nil, fmt.Errorf("query: %v", err)
+	}
+	nCols := int64(len(pql.PredicateColumns(p)))
+	n := cs.seg.NumDocs()
+	sds := &scanDocIDSet{numDocs: n, match: func(doc int) bool {
+		if stats != nil {
+			stats.NumEntriesScanned += nCols
+		}
+		lv := lev.value(doc)
+		rv := rev.value(doc)
+		if lv == nil || rv == nil {
+			return false
+		}
+		ok, err := expr.CompareValues(p.Op, lv, rv)
+		if err != nil {
+			env.fail(err)
+			return false
+		}
+		return ok
+	}}
+	// The batch path needs both sides compiled; a side that requires the
+	// interpreter keeps the whole predicate on the generic row-at-a-time
+	// wrapper so evaluation order (and therefore the first error and the
+	// stats) match the scalar mode exactly.
+	if !opt.DisableVectorization && lev.kernel != nil && rev.kernel != nil {
+		sds.newBlockIter = func() blockIterator {
+			return &exprCompareBlockIterator{
+				lhs: lev, rhs: rev, op: p.Op,
+				bothLong: lev.kernel.Kind == expr.Long && rev.kernel.Kind == expr.Long,
+				stats:    stats, nCols: nCols, numDocs: n,
+			}
+		}
+	}
+	return sds, nil
+}
+
+// exprCompareBlockIterator is the block form of an expression comparison:
+// both sides evaluate through their kernels over sequential doc chunks and
+// compare in typed batches. Chunks may evaluate ahead of the caller's
+// demand, but entries are charged only when walked — the dictScan contract.
+type exprCompareBlockIterator struct {
+	lhs, rhs *exprEval
+	op       pql.CompareOp
+	bothLong bool
+	stats    *Stats
+	nCols    int64
+	numDocs  int
+	next     int
+	start    int
+	pos      int
+	chunk    int
+	docs     []int
+	ll, rl   []int64
+	ld, rd   []float64
+	matches  []bool
+}
+
+func (it *exprCompareBlockIterator) nextBlock(buf []int) int {
+	n := 0
+	for n < len(buf) {
+		if it.pos == it.chunk {
+			if it.next >= it.numDocs {
+				break
+			}
+			size := min(blockSize, it.numDocs-it.next)
+			if cap(it.docs) < size {
+				it.docs = make([]int, size)
+				it.matches = make([]bool, size)
+			}
+			it.docs = it.docs[:size]
+			it.matches = it.matches[:size]
+			for i := range it.docs {
+				it.docs[i] = it.next + i
+			}
+			if it.bothLong {
+				it.ll = growLongs(it.ll, size)
+				it.rl = growLongs(it.rl, size)
+				it.lhs.kernel.EvalLongs(it.lhs.ksrc, it.docs, it.ll)
+				it.rhs.kernel.EvalLongs(it.rhs.ksrc, it.docs, it.rl)
+				cmpBlock(it.op, it.ll, it.rl, it.matches)
+			} else {
+				it.ld = growDoubles(it.ld, size)
+				it.rd = growDoubles(it.rd, size)
+				it.lhs.kernel.EvalDoubles(it.lhs.ksrc, it.docs, it.ld)
+				it.rhs.kernel.EvalDoubles(it.rhs.ksrc, it.docs, it.rd)
+				cmpBlock(it.op, it.ld, it.rd, it.matches)
+			}
+			it.start = it.next
+			it.next += size
+			it.chunk = size
+			it.pos = 0
+		}
+		walked := it.pos
+		for it.pos < it.chunk && n < len(buf) {
+			if it.matches[it.pos] {
+				buf[n] = it.start + it.pos
+				n++
+			}
+			it.pos++
+		}
+		if it.stats != nil {
+			it.stats.NumEntriesScanned += int64(it.pos-walked) * it.nCols
+		}
+	}
+	return n
+}
+
+func growLongs(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func growDoubles(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func cmpBlock[T int64 | float64](op pql.CompareOp, a, b []T, out []bool) {
+	switch op {
+	case pql.OpEq:
+		for i := range a {
+			out[i] = a[i] == b[i]
+		}
+	case pql.OpNeq:
+		for i := range a {
+			out[i] = a[i] != b[i]
+		}
+	case pql.OpLt:
+		for i := range a {
+			out[i] = a[i] < b[i]
+		}
+	case pql.OpLte:
+		for i := range a {
+			out[i] = a[i] <= b[i]
+		}
+	case pql.OpGt:
+		for i := range a {
+			out[i] = a[i] > b[i]
+		}
+	case pql.OpGte:
+		for i := range a {
+			out[i] = a[i] >= b[i]
+		}
+	}
+}

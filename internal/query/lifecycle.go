@@ -36,6 +36,12 @@ type execEnv struct {
 	ctx context.Context
 	qc  *qctx.QueryContext
 	seg string
+	// evalErr latches the first expression-evaluation error of this segment
+	// execution (resource limit, bad runtime argument). Evaluators record it
+	// and return a zero value; checkpoint surfaces it at the next block
+	// boundary — the same point in both execution modes, since both evaluate
+	// the same documents in the same order.
+	evalErr error
 }
 
 func newExecEnv(ctx context.Context, seg string) *execEnv {
@@ -46,10 +52,22 @@ func newExecEnv(ctx context.Context, seg string) *execEnv {
 	return &execEnv{ctx: ctx, qc: qc, seg: seg}
 }
 
-// checkpoint returns a cancellation error when the query's context has
-// ended. Both execution modes call it on the same block cadence, so the
-// scan stops after identical work in vectorized and scalar execution.
+// fail latches the first expression-evaluation error.
+func (e *execEnv) fail(err error) {
+	if e.evalErr == nil {
+		e.evalErr = err
+	}
+}
+
+// checkpoint returns a latched evaluation error or a cancellation error when
+// the query's context has ended. Both execution modes call it on the same
+// block cadence, so the scan stops after identical work in vectorized and
+// scalar execution. The evaluation error is checked first: it is
+// deterministic, while context expiry is wall-clock timing.
 func (e *execEnv) checkpoint() error {
+	if e.evalErr != nil {
+		return fmt.Errorf("query: segment %s: %w", e.seg, e.evalErr)
+	}
 	if err := e.ctx.Err(); err != nil {
 		return &cancelledError{segment: e.seg, cause: err}
 	}

@@ -37,6 +37,11 @@ type Options struct {
 	// metadata-only plans. Rows are identical either way; the flag exists
 	// for differential testing and to keep the Druid baseline pruning-free.
 	DisablePruning bool
+	// DisableExprCompile forces every scalar expression onto the sandboxed
+	// per-row interpreter instead of the compiled block kernels. Results and
+	// Stats are identical in both modes; the flag exists for differential
+	// testing and A/B benchmarks.
+	DisableExprCompile bool
 	// GroupStateLimitBytes caps the estimated group-by state of one query
 	// across all its segments on this node. Past the cap the query
 	// degrades to a partial result with an exception instead of growing
@@ -73,7 +78,7 @@ func (cs columnSource) column(name string) (segment.ColumnReader, error) {
 // buildFilter compiles a predicate tree into a physical doc-id set for one
 // segment, choosing operators per paper section 4.2: sorted-column ranges
 // first, inverted-index bitmaps next, iterator scans as fallback.
-func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats) (docIDSet, error) {
+func buildFilter(env *execEnv, cs columnSource, pred pql.Predicate, opt Options, stats *Stats) (docIDSet, error) {
 	n := cs.seg.NumDocs()
 	if pred == nil {
 		return &allDocIDSet{numDocs: n}, nil
@@ -82,7 +87,7 @@ func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats)
 	case pql.And:
 		children := make([]docIDSet, 0, len(p.Children))
 		for _, c := range p.Children {
-			child, err := buildFilter(cs, c, opt, stats)
+			child, err := buildFilter(env, cs, c, opt, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +112,7 @@ func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats)
 	case pql.Or:
 		children := make([]docIDSet, 0, len(p.Children))
 		for _, c := range p.Children {
-			child, err := buildFilter(cs, c, opt, stats)
+			child, err := buildFilter(env, cs, c, opt, stats)
 			if err != nil {
 				return nil, err
 			}
@@ -130,11 +135,13 @@ func buildFilter(cs columnSource, pred pql.Predicate, opt Options, stats *Stats)
 		}
 		return &orDocIDSet{children: children}, nil
 	case pql.Not:
-		child, err := buildFilter(cs, p.Child, opt, stats)
+		child, err := buildFilter(env, cs, p.Child, opt, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &notDocIDSet{child: child, numDocs: n}, nil
+	case pql.ExprCompare:
+		return buildExprFilter(env, cs, p, opt, stats)
 	default:
 		return buildLeafFilter(cs, pred, opt, stats)
 	}

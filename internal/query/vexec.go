@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"strconv"
 
+	"pinot/internal/expr"
 	"pinot/internal/pql"
 	"pinot/internal/segment"
 )
@@ -124,6 +125,7 @@ type aggKernel struct {
 	ids     []uint32
 	longs   []int64
 	doubles []float64
+	anys    []any // DISTINCTCOUNT over an expression
 }
 
 func newAggKernel(in aggInput, estimate int) *aggKernel {
@@ -131,11 +133,13 @@ func newAggKernel(in aggInput, estimate int) *aggKernel {
 	switch in.expr.Func {
 	case pql.Count:
 	case pql.DistinctCount:
-		if in.col.HasDictionary() {
+		if in.ev == nil && in.col.HasDictionary() {
 			k.keys = newDictKeyCache(in.col)
 		}
 	default:
-		k.nr = newNumericReader(in.col, estimate)
+		if in.ev == nil {
+			k.nr = newNumericReader(in.col, estimate)
+		}
 	}
 	return k
 }
@@ -145,6 +149,14 @@ func (k *aggKernel) prepare(docs []int) {
 	switch k.in.expr.Func {
 	case pql.Count:
 	case pql.DistinctCount:
+		if k.in.ev != nil {
+			if cap(k.anys) < len(docs) {
+				k.anys = make([]any, blockSize)
+			}
+			k.anys = k.anys[:len(docs)]
+			k.in.ev.fillValues(docs, k.anys)
+			return
+		}
 		col := k.in.col
 		switch {
 		case col.HasDictionary():
@@ -171,7 +183,11 @@ func (k *aggKernel) prepare(docs []int) {
 			k.vals = make([]float64, blockSize)
 		}
 		k.vals = k.vals[:len(docs)]
-		k.nr.read(docs, k.vals)
+		if k.in.ev != nil {
+			k.in.ev.fillDoubles(docs, k.vals)
+		} else {
+			k.nr.read(docs, k.vals)
+		}
 	}
 }
 
@@ -179,6 +195,8 @@ func (k *aggKernel) prepare(docs []int) {
 // producing the same strings as aggInput.distinctKey.
 func (k *aggKernel) keyAt(i int) string {
 	switch {
+	case k.in.ev != nil:
+		return fmt.Sprint(k.anys[i])
 	case k.keys != nil:
 		return k.keys.key(k.ids[i])
 	case k.in.col.Spec().Type.Integral():
@@ -303,6 +321,20 @@ func bitsNeeded(card int) int {
 }
 
 const denseGroupMaxCard = 1 << 16
+
+// newItemGrouper picks the grouper for a set of GROUP BY items: the
+// dictionary-id groupers when every item is a plain column, the expression
+// grouper otherwise.
+func newItemGrouper(items []groupItem, exprs []pql.Expression, charger *groupCharger) grouper {
+	cols := make([]segment.ColumnReader, len(items))
+	for i, it := range items {
+		if it.ev != nil {
+			return newExprGrouper(items, exprs, charger)
+		}
+		cols[i] = it.col
+	}
+	return newGrouper(cols, exprs, charger)
+}
 
 func newGrouper(cols []segment.ColumnReader, exprs []pql.Expression, charger *groupCharger) grouper {
 	if len(cols) == 1 && cols[0].Cardinality() <= denseGroupMaxCard {
@@ -452,17 +484,115 @@ func (g *stringGrouper) groups(docs []int, out []*GroupEntry) {
 
 func (g *stringGrouper) result() map[string]*GroupEntry { return g.m }
 
+// exprGrouper groups by derived expressions (mixed with plain columns).
+// When the only item is a single compiled integral expression — the
+// timeBucket(ts, w) shape — group keys stay int64 end to end: batch kernel
+// eval into a long buffer and an int64-keyed map, no boxing and no string
+// keys on the hot path. Everything else falls back to boxed values with the
+// scalar path's GroupKey strings.
+type exprGrouper struct {
+	items   []groupItem
+	exprs   []pql.Expression
+	charger *groupCharger
+	m       map[string]*GroupEntry
+	values  []any
+	ids     [][]uint32
+	anys    [][]any
+	// int64 fast path
+	fast  bool
+	longm map[int64]*GroupEntry
+	longs []int64
+}
+
+func newExprGrouper(items []groupItem, exprs []pql.Expression, charger *groupCharger) *exprGrouper {
+	g := &exprGrouper{items: items, exprs: exprs, charger: charger,
+		m:      map[string]*GroupEntry{},
+		values: make([]any, len(items)),
+		ids:    make([][]uint32, len(items)),
+		anys:   make([][]any, len(items)),
+	}
+	if len(items) == 1 && items[0].ev != nil && items[0].ev.kernel != nil && items[0].ev.kernel.Kind == expr.Long {
+		g.fast = true
+		g.longm = map[int64]*GroupEntry{}
+	}
+	return g
+}
+
+func (g *exprGrouper) groups(docs []int, out []*GroupEntry) {
+	if g.fast {
+		if cap(g.longs) < len(docs) {
+			g.longs = make([]int64, blockSize)
+		}
+		ls := g.longs[:len(docs)]
+		ev := g.items[0].ev
+		ev.kernel.EvalLongs(ev.ksrc, docs, ls)
+		for i, v := range ls {
+			e := g.longm[v]
+			if e == nil {
+				e = newGroupEntry([]any{v}, g.exprs)
+				g.longm[v] = e
+				g.charger.charge(GroupKey(e.Values), 1)
+			}
+			out[i] = e
+		}
+		return
+	}
+	for c, item := range g.items {
+		if item.ev != nil {
+			if cap(g.anys[c]) < len(docs) {
+				g.anys[c] = make([]any, blockSize)
+			}
+			g.anys[c] = g.anys[c][:len(docs)]
+			item.ev.fillValues(docs, g.anys[c])
+			continue
+		}
+		if cap(g.ids[c]) < len(docs) {
+			g.ids[c] = make([]uint32, blockSize)
+		}
+		g.ids[c] = g.ids[c][:len(docs)]
+		item.col.DictIDs(docs, g.ids[c])
+	}
+	for i := range docs {
+		for c, item := range g.items {
+			if item.ev != nil {
+				g.values[c] = g.anys[c][i]
+			} else {
+				g.values[c] = item.col.Value(int(g.ids[c][i]))
+			}
+		}
+		key := GroupKey(g.values)
+		e := g.m[key]
+		if e == nil {
+			e = newGroupEntry(append([]any(nil), g.values...), g.exprs)
+			g.m[key] = e
+			g.charger.charge(key, len(g.values))
+		}
+		out[i] = e
+	}
+}
+
+func (g *exprGrouper) result() map[string]*GroupEntry {
+	if !g.fast {
+		return g.m
+	}
+	m := make(map[string]*GroupEntry, len(g.longm))
+	for _, e := range g.longm {
+		m[GroupKey(e.Values)] = e
+	}
+	return m
+}
+
 // runGroupByBlocks is the vectorized group-by loop. Cancellation and the
 // group-state cap are polled once per block, the same cadence as the scalar
 // path; a tripped cap returns the groups built so far with
 // ErrGroupStateLimit so the query degrades to a partial result.
-func runGroupByBlocks(env *execEnv, set docIDSet, inputs []aggInput, groupCols []segment.ColumnReader, exprs []pql.Expression, charger *groupCharger) (map[string]*GroupEntry, int64, error) {
+func runGroupByBlocks(env *execEnv, set docIDSet, inputs []aggInput, items []groupItem, exprs []pql.Expression, charger *groupCharger) (map[string]*GroupEntry, int64, error) {
 	est := set.estimate()
 	kernels := make([]*aggKernel, len(inputs))
 	for i, in := range inputs {
 		kernels[i] = newAggKernel(in, est)
 	}
-	g := newGrouper(groupCols, exprs, charger)
+	g := newItemGrouper(items, exprs, charger)
 	it := blocksOf(set)
 	buf := make([]int, blockSize)
 	entries := make([]*GroupEntry, blockSize)

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"pinot/internal/controller"
+	"pinot/internal/expr"
+	"pinot/internal/pql"
 	"pinot/internal/segment"
 	"pinot/internal/startree"
 	"pinot/internal/stream"
@@ -35,6 +38,20 @@ type consumer struct {
 	stop     chan struct{}
 	done     chan struct{}
 	finished atomic.Bool
+	// Ingestion-time transforms (tentpole: derived values materialize as
+	// real columns in the consuming segment). base is the schema of the
+	// raw stream events; derived evaluates against it with the sandboxed
+	// interpreter, one row at a time, in consumption order — so every
+	// replica computes identical values from identical bytes.
+	base    *segment.Schema
+	derived []derivedEval
+	ectx    *expr.Ctx
+}
+
+// derivedEval is one parsed derived-column expression.
+type derivedEval struct {
+	name string
+	e    pql.Expr
 }
 
 // startConsuming handles the OFFLINE→CONSUMING transition: every replica
@@ -54,9 +71,22 @@ func (t *tableDataManager) startConsuming(segName string) error {
 	if err != nil {
 		return err
 	}
-	ms, err := segment.NewMutableSegment(t.resource, segName, cfg.Schema, cfg.IndexConfig())
+	eff, err := cfg.EffectiveSchema()
+	if err != nil {
+		return fmt.Errorf("server %s: consuming segment %s: %w", t.server.cfg.Instance, segName, err)
+	}
+	ms, err := segment.NewMutableSegment(t.resource, segName, eff, cfg.IndexConfig())
 	if err != nil {
 		return err
+	}
+	derived := make([]derivedEval, 0, len(cfg.DerivedColumns))
+	for _, d := range cfg.DerivedColumns {
+		e, err := d.Parsed()
+		if err != nil {
+			return fmt.Errorf("server %s: consuming segment %s: derived column %q: %w",
+				t.server.cfg.Instance, segName, d.Name, err)
+		}
+		derived = append(derived, derivedEval{name: d.Name, e: e})
 	}
 	c := &consumer{
 		tdm:     t,
@@ -68,6 +98,17 @@ func (t *tableDataManager) startConsuming(segName string) error {
 		endTime: time.Duration(cfg.FlushThresholdMillis) * time.Millisecond,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		base:    cfg.Schema,
+		derived: derived,
+	}
+	if len(derived) > 0 {
+		c.ectx = expr.NewCtx(expr.Limits{})
+		c.ectx.Check = func() error {
+			if c.stopped() {
+				return errors.New("server: consumer stopped")
+			}
+			return nil
+		}
 	}
 	t.mu.Lock()
 	t.consuming[segName] = c
@@ -172,7 +213,39 @@ func (c *consumer) indexMessage(value []byte) error {
 	if err := dec.Decode(&m); err != nil {
 		return err
 	}
+	for _, d := range c.derived {
+		v, err := expr.Eval(c.ectx, d.e, c.rowGetter(m))
+		if err != nil {
+			// A row whose transform fails is skipped like any malformed
+			// event: deterministic across replicas (identical bytes,
+			// identical limits), and ingestion never wedges.
+			return err
+		}
+		m[d.name] = v
+	}
 	return c.seg.AddMap(m)
+}
+
+// rowGetter adapts one decoded stream event to the interpreter's column
+// accessor, canonicalizing values against the base schema (the raw event
+// fields; derived columns cannot reference each other). Missing fields read
+// as the schema default, exactly what AddMap would store for them.
+func (c *consumer) rowGetter(m map[string]any) expr.Getter {
+	return func(name string) any {
+		f, ok := c.base.Field(name)
+		if !ok {
+			return nil
+		}
+		v, ok := m[name]
+		if !ok {
+			return segment.DefaultValue(f)
+		}
+		cv, err := segment.CanonicalizeField(f, v)
+		if err != nil {
+			return nil
+		}
+		return cv
+	}
 }
 
 // consumeTo catches the replica up to the target offset (CATCHUP).

@@ -369,7 +369,7 @@ func (s *Server) ExecuteStream(ctx context.Context, req *transport.QueryRequest,
 	run := func() error {
 		stop := qc.Clock(qctx.PhaseExecute)
 		emitted := 0
-		stats, exceptions, err := s.engine.ExecuteStream(ctx, q, segs, t.cfg.Load().Schema, func(seq int, res *query.Intermediate) error {
+		stats, exceptions, err := s.engine.ExecuteStream(ctx, q, segs, t.effectiveSchema(), func(seq int, res *query.Intermediate) error {
 			emitted++
 			return emit(seq, res)
 		})
@@ -441,6 +441,20 @@ type tableDataManager struct {
 	segments  map[string]query.IndexedSegment
 	consuming map[string]*consumer
 	sealed    map[string]*segment.Segment // committed locally, pre-ONLINE
+}
+
+// effectiveSchema is the table-level schema queries plan against: the base
+// schema plus derived-column fields, so segments that predate a derived
+// column serve its default value via schema evolution.
+func (t *tableDataManager) effectiveSchema() *segment.Schema {
+	cfg := t.cfg.Load()
+	eff, err := cfg.EffectiveSchema()
+	if err != nil {
+		// The config validated at creation; an error here means a bad
+		// live edit — serve the base schema rather than fail queries.
+		return cfg.Schema
+	}
+	return eff
 }
 
 func (t *tableDataManager) hostedNames() []string {

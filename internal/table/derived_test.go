@@ -1,0 +1,116 @@
+package table
+
+import (
+	"testing"
+
+	"pinot/internal/segment"
+)
+
+func derivedBase(t *testing.T) *Config {
+	t.Helper()
+	return &Config{Name: "ev", Type: Offline, Schema: schema(t), Replicas: 1}
+}
+
+func TestDerivedColumnValidation(t *testing.T) {
+	good := derivedBase(t)
+	good.DerivedColumns = []DerivedColumn{
+		{Name: "week", Expr: "timeBucket(ts, 7)", Type: segment.TypeLong},
+		{Name: "dUpper", Expr: "upper(d)", Type: segment.TypeString},
+		{Name: "mHalf", Expr: "m / 2", Type: segment.TypeDouble},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []struct {
+		name string
+		d    DerivedColumn
+	}{
+		{"empty name", DerivedColumn{Name: "", Expr: "m + 1", Type: segment.TypeLong}},
+		{"collides with schema column", DerivedColumn{Name: "m", Expr: "m + 1", Type: segment.TypeLong}},
+		{"parse error", DerivedColumn{Name: "x", Expr: "m +", Type: segment.TypeLong}},
+		{"unknown column", DerivedColumn{Name: "x", Expr: "nosuch * 2", Type: segment.TypeLong}},
+		{"division declared long", DerivedColumn{Name: "x", Expr: "m / 2", Type: segment.TypeLong}},
+		{"type error", DerivedColumn{Name: "x", Expr: "upper(m)", Type: segment.TypeString}},
+	}
+	for _, tc := range bad {
+		c := derivedBase(t)
+		c.DerivedColumns = []DerivedColumn{tc.d}
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid derived column accepted", tc.name)
+		}
+	}
+
+	dup := derivedBase(t)
+	dup.DerivedColumns = []DerivedColumn{
+		{Name: "x", Expr: "m + 1", Type: segment.TypeLong},
+		{Name: "x", Expr: "m + 2", Type: segment.TypeLong},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate derived name accepted")
+	}
+}
+
+func TestDerivedColumnRejectsMultiValueInput(t *testing.T) {
+	s, err := segment.NewSchema("mv", []segment.FieldSpec{
+		{Name: "tags", Type: segment.TypeString, Kind: segment.Dimension, SingleValue: false},
+		{Name: "m", Type: segment.TypeLong, Kind: segment.Metric, SingleValue: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Config{Name: "mv", Type: Offline, Schema: s, Replicas: 1,
+		DerivedColumns: []DerivedColumn{{Name: "x", Expr: "upper(tags)", Type: segment.TypeString}}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("derived column over a multi-value input accepted")
+	}
+}
+
+func TestEffectiveSchema(t *testing.T) {
+	c := derivedBase(t)
+	// No derived columns: the base schema comes back untouched.
+	eff, err := c.EffectiveSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != c.Schema {
+		t.Fatal("effective schema should be the base schema when no derived columns exist")
+	}
+
+	c.DerivedColumns = []DerivedColumn{{Name: "week", Expr: "timeBucket(ts, 7)", Type: segment.TypeLong}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eff, err = c.EffectiveSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Fields) != len(c.Schema.Fields)+1 {
+		t.Fatalf("effective schema has %d fields, want %d", len(eff.Fields), len(c.Schema.Fields)+1)
+	}
+	f, ok := eff.Field("week")
+	if !ok || f.Type != segment.TypeLong || f.Kind != segment.Dimension || !f.SingleValue {
+		t.Fatalf("derived field = %+v, %v", f, ok)
+	}
+	if _, ok := c.Schema.Field("week"); ok {
+		t.Fatal("EffectiveSchema mutated the base schema")
+	}
+
+	e, err := c.DerivedColumns[0].Parsed()
+	if err != nil || e.String() != "timeBucket(ts, 7)" {
+		t.Fatalf("Parsed = %v, %v", e, err)
+	}
+}
+
+func TestIndexConfigAndObjectKey(t *testing.T) {
+	c := derivedBase(t)
+	c.SortColumn = "d"
+	c.InvertedColumns = []string{"d"}
+	idx := c.IndexConfig()
+	if idx.SortColumn != "d" || len(idx.InvertedColumns) != 1 {
+		t.Fatalf("index config = %+v", idx)
+	}
+	if got := SegmentObjectKey("ev_OFFLINE", "s0", 42); got != "segments/ev_OFFLINE/s0/42" {
+		t.Fatalf("object key = %s", got)
+	}
+}

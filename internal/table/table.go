@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 
+	"pinot/internal/expr"
+	"pinot/internal/pql"
 	"pinot/internal/segment"
 	"pinot/internal/startree"
 )
@@ -78,7 +80,31 @@ type Config struct {
 	ServerTenant string `json:"serverTenant,omitempty"`
 	// BrokerTenant tags which brokers serve this table (informational).
 	BrokerTenant string `json:"brokerTenant,omitempty"`
+	// DerivedColumns are ingestion-time transforms: each expression is
+	// evaluated per row as it is consumed and materialized as a real
+	// column in the segment, so queries read it like any stored column
+	// (no per-query evaluation cost). Segments built before a derived
+	// column was added serve its default value via schema evolution.
+	DerivedColumns []DerivedColumn `json:"derivedColumns,omitempty"`
 }
+
+// DerivedColumn is one ingestion-time transform: a PQL scalar expression
+// over the base schema's single-value columns, stored under Name with the
+// declared type.
+type DerivedColumn struct {
+	Name string           `json:"name"`
+	Expr string           `json:"expr"`
+	Type segment.DataType `json:"type"`
+}
+
+// FieldSpec is the schema field a derived column materializes as: a
+// single-value dimension (dictionary-encoded, groupable, filterable).
+func (d DerivedColumn) FieldSpec() segment.FieldSpec {
+	return segment.FieldSpec{Name: d.Name, Type: d.Type, Kind: segment.Dimension, SingleValue: true}
+}
+
+// Parsed returns the canonicalized expression AST.
+func (d DerivedColumn) Parsed() (pql.Expr, error) { return pql.ParseExpr(d.Expr) }
 
 // Validate checks internal consistency.
 func (c *Config) Validate() error {
@@ -124,7 +150,70 @@ func (c *Config) Validate() error {
 	if c.RetentionUnits > 0 && c.Schema.TimeColumn() == "" {
 		return fmt.Errorf("table: %s: retention requires a time column", c.Name)
 	}
+	if err := c.validateDerived(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateDerived checks every derived column: the expression parses, it
+// references only single-value base-schema columns (derived columns may not
+// chain), and its inferred type matches the declared storage type.
+func (c *Config) validateDerived() error {
+	seen := make(map[string]bool, len(c.DerivedColumns))
+	for _, d := range c.DerivedColumns {
+		if d.Name == "" {
+			return fmt.Errorf("table: %s: derived column with empty name", c.Name)
+		}
+		if _, ok := c.Schema.Field(d.Name); ok {
+			return fmt.Errorf("table: %s: derived column %q collides with a schema column", c.Name, d.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("table: %s: duplicate derived column %q", c.Name, d.Name)
+		}
+		seen[d.Name] = true
+		e, err := d.Parsed()
+		if err != nil {
+			return fmt.Errorf("table: %s: derived column %q: %w", c.Name, d.Name, err)
+		}
+		for _, col := range pql.ExprColumns(e) {
+			f, ok := c.Schema.Field(col)
+			if !ok {
+				return fmt.Errorf("table: %s: derived column %q references unknown column %q", c.Name, d.Name, col)
+			}
+			if !f.SingleValue {
+				return fmt.Errorf("table: %s: derived column %q references multi-value column %q", c.Name, d.Name, col)
+			}
+		}
+		k, err := expr.Infer(e, func(name string) (expr.Kind, bool) {
+			f, ok := c.Schema.Field(name)
+			if !ok {
+				return 0, false
+			}
+			return expr.KindOf(f.Type), true
+		})
+		if err != nil {
+			return fmt.Errorf("table: %s: derived column %q: %w", c.Name, d.Name, err)
+		}
+		if want := expr.KindOf(d.Type); k != want {
+			return fmt.Errorf("table: %s: derived column %q: expression is %s but declared type %s is %s",
+				c.Name, d.Name, k, d.Type, want)
+		}
+	}
+	return nil
+}
+
+// EffectiveSchema is the base schema plus the derived columns' fields — the
+// schema consuming segments are built against and queries plan against.
+func (c *Config) EffectiveSchema() (*segment.Schema, error) {
+	if len(c.DerivedColumns) == 0 {
+		return c.Schema, nil
+	}
+	fields := append([]segment.FieldSpec(nil), c.Schema.Fields...)
+	for _, d := range c.DerivedColumns {
+		fields = append(fields, d.FieldSpec())
+	}
+	return segment.NewSchema(c.Schema.Name, fields)
 }
 
 // Resource returns the table's Helix resource name.

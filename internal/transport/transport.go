@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pinot/internal/metrics"
+	"pinot/internal/pql"
 	"pinot/internal/qctx"
 	"pinot/internal/query"
 )
@@ -198,6 +199,12 @@ func init() {
 	gob.Register("")
 	gob.Register(false)
 	gob.Register([]any{})
+	// Expression AST nodes that travel inside Intermediate.AggExprs (the
+	// Expression.Arg interface field).
+	gob.Register(pql.ColumnRef{})
+	gob.Register(pql.Literal{})
+	gob.Register(pql.Arith{})
+	gob.Register(pql.Call{})
 }
 
 // encodeBufPool recycles the scratch buffers of EncodeResponse. Every query

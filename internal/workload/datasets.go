@@ -112,14 +112,28 @@ func Anomaly(cfg SizeConfig) *Dataset {
 			preds = append(preds, fmt.Sprintf("(browser = '%s' OR browser = '%s')",
 				anomalyBrowsers[r.Intn(3)], anomalyBrowsers[3+r.Intn(3)]))
 		}
-		q := "SELECT sum(value), count(*) FROM anomaly WHERE " + strings.Join(preds, " AND ")
-		switch r.Intn(4) {
+		if r.Float64() < 0.15 {
+			// Week-aligned filter through the expression pipeline.
+			d := 16000 + r.Intn(anomalyDays)
+			preds = append(preds, fmt.Sprintf("timeBucket(day, 7) = %d", d-d%7))
+		}
+		sel := "sum(value), count(*)"
+		switch r.Intn(8) {
+		case 0:
+			sel = "sum(value * 100), count(*)"
+		case 1:
+			sel = fmt.Sprintf("sum(count * %d), max(abs(value - %d))", 1+r.Intn(3), r.Intn(900))
+		}
+		q := "SELECT " + sel + " FROM anomaly WHERE " + strings.Join(preds, " AND ")
+		switch r.Intn(5) {
 		case 0:
 			q += " GROUP BY country TOP 10"
 		case 1:
 			q += " GROUP BY day TOP 31"
 		case 2:
 			q += " GROUP BY platform TOP 10"
+		case 3:
+			q += " GROUP BY timeBucket(day, 7) TOP 10"
 		}
 		return q
 	}
@@ -171,13 +185,21 @@ func ShareAnalytics(cfg SizeConfig) *Dataset {
 		// Hot profiles are viewed (and therefore queried) more.
 		viewee := int64(float64(numViewees) * r.Float64() * r.Float64())
 		base := fmt.Sprintf("FROM wvmp WHERE vieweeId = %d", viewee)
-		switch r.Intn(4) {
+		switch r.Intn(7) {
 		case 0:
 			return "SELECT count(*), sum(views) " + base
 		case 1:
 			return "SELECT distinctcount(viewerId) " + base
 		case 2:
 			return "SELECT count(*) " + base + " GROUP BY region TOP 10"
+		case 3:
+			// Weekly trend line for the profile: expression group-by over
+			// the time column.
+			return "SELECT sum(views) " + base + " GROUP BY timeBucket(day, 7) TOP 15"
+		case 4:
+			return fmt.Sprintf("SELECT sum(views * %d) %s", 1+r.Intn(3), base)
+		case 5:
+			return "SELECT count(*) " + base + fmt.Sprintf(" AND timeBucket(day, 30) = %d", 15990+30*r.Intn(4))
 		default:
 			return "SELECT sum(views) " + base + " GROUP BY seniority TOP 10"
 		}
