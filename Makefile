@@ -28,7 +28,8 @@ verify: build vet race fmt-check bench-check cover
 # buffered response decode), the multi-tier cache pair (result-cache
 # cold vs warm, server aggregate cache under a Zipf workload), and the
 # expression-pipeline pair (compiled kernels vs forced interpreter,
-# timeBucket group-by).
+# timeBucket group-by), and the dictionary-space expression pair
+# (probe-served predicate and memo-served group-by vs the forced row path).
 BENCH_REQUIRED = \
 	BenchmarkPruneTimeRangeOn BenchmarkPruneTimeRangeOff \
 	BenchmarkPruneBloomEqOn BenchmarkPruneBloomEqOff \
@@ -36,7 +37,8 @@ BENCH_REQUIRED = \
 	BenchmarkQueryMetricsOn BenchmarkQueryMetricsOff \
 	BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
 	BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf \
-	BenchmarkExprCompiledVsInterp BenchmarkTimeBucketGroupBy
+	BenchmarkExprCompiledVsInterp BenchmarkTimeBucketGroupBy \
+	BenchmarkDictExprPredicate BenchmarkDictExprGroupBy
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -61,7 +63,7 @@ cover:
 # segment-pruning pairs, the transport encode pool pair, the metrics-registry
 # overhead pair, and the TCP data-plane benchmarks.
 bench-json:
-	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered|ResultCacheColdVsWarm|ServerAggCacheZipf|ExprCompiledVsInterp|TimeBucketGroupBy' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
+	$(GO) test -run NONE -bench 'Vec|Scalar|Packed|Bitmap|Prune|EncodeResponse|QueryMetrics|TransportLoopback|StreamVsBuffered|ResultCacheColdVsWarm|ServerAggCacheZipf|ExprCompiledVsInterp|TimeBucketGroupBy|DictExpr|IDSetFromList' -benchtime 100x ./... | $(GO) run ./cmd/benchfmt > BENCH_baseline.json
 
 # Short fuzz passes over the hostile-input surfaces: the transport decoders
 # (buffered whole-response payload, framed wire protocol), the PQL parser

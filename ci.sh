@@ -32,6 +32,7 @@ go run ./cmd/benchcheck BENCH_baseline.json \
     BenchmarkTransportLoopbackQuery BenchmarkStreamVsBuffered \
     BenchmarkResultCacheColdVsWarm BenchmarkServerAggCacheZipf \
     BenchmarkExprCompiledVsInterp BenchmarkTimeBucketGroupBy \
+    BenchmarkDictExprPredicate BenchmarkDictExprGroupBy \
     < .bench-run.txt
 rm -f .bench-run.txt
 

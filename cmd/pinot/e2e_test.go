@@ -214,7 +214,7 @@ func TestMultiProcessKillNineMidScatter(t *testing.T) {
 	// The cluster is correct over TCP: a full scatter across both server
 	// processes returns the exact count. The deadline is generous because CI
 	// may run this alongside the full race suite.
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(180 * time.Second)
 	var full *e2eResponse
 	for {
 		full, err = postQuery(brokerURL, "SELECT count(*) FROM events")

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"pinot/internal/metrics"
+)
+
+// TestDictExprCacheEndToEnd drives the dictionary-space expression memo
+// cache through a real cluster: two different queries sharing one group-by
+// expression build the memo once per segment and reuse it, with the
+// per-table "dictexpr" tier families moving on the shared registry — the
+// same exposition /metrics serves.
+func TestDictExprCacheEndToEnd(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c, err := NewLocal(Options{Servers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	loadOffline(t, c, 1)
+
+	// Cold: the memo for lower(country) is built (a miss + fill) on each of
+	// the four segments.
+	res, err := c.Execute(context.Background(), "SELECT count(*) FROM events GROUP BY lower(country) TOP 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DictExprSegments != 4 {
+		t.Fatalf("DictExprSegments = %d, want 4 (one per segment)", res.Stats.DictExprSegments)
+	}
+	misses := reg.Value("pinot_cache_misses_total", "dictexpr", "events")
+	if misses != 4 {
+		t.Fatalf("cold run: dictexpr misses = %d, want 4", misses)
+	}
+	if hits := reg.Value("pinot_cache_hits_total", "dictexpr", "events"); hits != 0 {
+		t.Fatalf("cold run: dictexpr hits = %d, want 0", hits)
+	}
+	if bytes := reg.Value("pinot_cache_bytes", "dictexpr"); bytes <= 0 {
+		t.Fatalf("dictexpr tier holds %d bytes after memo fill", bytes)
+	}
+
+	// Warm: a DIFFERENT query (no broker result-cache short circuit) with
+	// the same canonical expression reuses all four memos.
+	res, err = c.Execute(context.Background(), "SELECT sum(clicks) FROM events GROUP BY lower(country) TOP 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DictExprSegments != 4 {
+		t.Fatalf("warm DictExprSegments = %d, want 4", res.Stats.DictExprSegments)
+	}
+	if hits := reg.Value("pinot_cache_hits_total", "dictexpr", "events"); hits != 4 {
+		t.Fatalf("warm run: dictexpr hits = %d, want 4", hits)
+	}
+	if got := reg.Value("pinot_cache_misses_total", "dictexpr", "events"); got != misses {
+		t.Fatalf("warm run added misses: %d -> %d", misses, got)
+	}
+
+	// An expression predicate matching nothing prunes every segment
+	// server-side: the cluster answer is an empty count with zero docs
+	// scanned, and the pruning decisions count as dictionary-space service.
+	res, err = c.Execute(context.Background(), "SELECT count(*) FROM events WHERE upper(country) = 'NOPE'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SegmentsPrunedByValue != 4 || res.Stats.NumDocsScanned != 0 {
+		t.Fatalf("no-match expression predicate did not prune: %+v", res.Stats)
+	}
+	if res.Stats.DictExprSegments != 4 {
+		t.Fatalf("pruning DictExprSegments = %d, want 4", res.Stats.DictExprSegments)
+	}
+}

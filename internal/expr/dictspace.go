@@ -1,0 +1,132 @@
+package expr
+
+import (
+	"fmt"
+
+	"pinot/internal/pql"
+)
+
+// Dictionary-space evaluation: for a deterministic expression over a single
+// dict-encoded column, the expression takes at most Cardinality distinct
+// input values, so evaluating it once per dictionary entry yields a memo
+// that answers every row by dictID lookup. The memo stores results in a
+// typed slice matching the expression's inferred kind, so consumers (the
+// predicate compiler, groupers, aggregation kernels) read it without
+// per-row boxing.
+
+// DictMemo holds one expression's value per dictionary id of one segment
+// column. Exactly one of the typed slices is populated, per Kind. A memo is
+// immutable after construction and safe for concurrent readers.
+type DictMemo struct {
+	Kind    Kind
+	Longs   []int64
+	Doubles []float64
+	Strings []string
+	Bools   []bool
+}
+
+// Len returns the dictionary cardinality the memo covers.
+func (m *DictMemo) Len() int {
+	switch m.Kind {
+	case Long:
+		return len(m.Longs)
+	case Double:
+		return len(m.Doubles)
+	case Bool:
+		return len(m.Bools)
+	default:
+		return len(m.Strings)
+	}
+}
+
+// Value boxes the memoized result for one dictionary id.
+func (m *DictMemo) Value(id int) any {
+	switch m.Kind {
+	case Long:
+		return m.Longs[id]
+	case Double:
+		return m.Doubles[id]
+	case Bool:
+		return m.Bools[id]
+	default:
+		return m.Strings[id]
+	}
+}
+
+// SizeBytes estimates the memo's memory footprint for cache accounting.
+func (m *DictMemo) SizeBytes() int64 {
+	var n int64 = 64 // struct + slice headers
+	n += int64(len(m.Longs)) * 8
+	n += int64(len(m.Doubles)) * 8
+	n += int64(len(m.Bools))
+	for _, s := range m.Strings {
+		n += int64(len(s)) + 16
+	}
+	return n
+}
+
+// EvalOverDict interprets e once per dictionary entry of a single column.
+// value(id) supplies the dictionary entry for id in [0, card); kind is the
+// expression's already-inferred result kind. Each entry gets a fresh step
+// budget (Eval resets the counter), so the memo enforces the same per-row
+// limits the interpreter would. Any per-entry error — division by zero on
+// some entry, a string limit — aborts the memo and the caller falls back
+// to the row path, which decides per live row whether that error actually
+// surfaces. A memo must never change which queries error, so it only
+// exists when every entry evaluates cleanly.
+func EvalOverDict(c *Ctx, e pql.Expr, colName string, value func(id int) any, card int, kind Kind) (*DictMemo, error) {
+	m := &DictMemo{Kind: kind}
+	switch kind {
+	case Long:
+		m.Longs = make([]int64, card)
+	case Double:
+		m.Doubles = make([]float64, card)
+	case Bool:
+		m.Bools = make([]bool, card)
+	default:
+		m.Strings = make([]string, card)
+	}
+	var cur any
+	get := func(name string) any {
+		if name != colName {
+			return nil
+		}
+		return cur
+	}
+	for id := 0; id < card; id++ {
+		cur = value(id)
+		v, err := Eval(c, e, get)
+		if err != nil {
+			return nil, fmt.Errorf("dict entry %d: %w", id, err)
+		}
+		switch kind {
+		case Long:
+			lv, ok := v.(int64)
+			if !ok {
+				return nil, fmt.Errorf("dict entry %d: got %T, want int64", id, v)
+			}
+			m.Longs[id] = lv
+		case Double:
+			// Strict: a memo must box exactly what the interpreter boxes,
+			// or group/distinct keys rendered from it could diverge.
+			dv, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("dict entry %d: got %T, want float64", id, v)
+			}
+			m.Doubles[id] = dv
+		case Bool:
+			bv, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("dict entry %d: got %T, want bool", id, v)
+			}
+			m.Bools[id] = bv
+		default:
+			sv, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("dict entry %d: got %T, want string", id, v)
+			}
+			m.Strings[id] = sv
+		}
+	}
+	return m, nil
+}

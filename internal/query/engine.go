@@ -89,7 +89,7 @@ func (e *Engine) ExecuteStream(ctx context.Context, q *pql.Query, segs []Indexed
 			queries[i] = q
 		}
 	} else {
-		plan := planPruning(q, segs, tableSchema)
+		plan := planPruning(q, segs, tableSchema, e.Options)
 		segs, queries, trailer = plan.keep, plan.queries, plan.stats
 		if len(segs) == 0 {
 			return trailer, nil, emit(0, emptyResult(q))

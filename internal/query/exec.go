@@ -24,25 +24,35 @@ type IndexedSegment struct {
 // docs of ctx.Done().
 func ExecuteSegment(ctx context.Context, is IndexedSegment, q *pql.Query, tableSchema *segment.Schema, opt Options) (*Intermediate, error) {
 	env := newExecEnv(ctx, is.Seg.Name())
+	env.table = q.Table
 	if err := env.checkpoint(); err != nil {
 		return nil, err
 	}
 	cs := columnSource{seg: is.Seg, schema: tableSchema}
-	if q.IsAggregation() {
-		inputs, err := newAggInputs(env, cs, q.Select, opt)
-		if err != nil {
-			return nil, err
+	run := func() (*Intermediate, error) {
+		if q.IsAggregation() {
+			inputs, err := newAggInputs(env, cs, q.Select, opt)
+			if err != nil {
+				return nil, err
+			}
+			exprs := make([]pql.Expression, len(inputs))
+			for i, in := range inputs {
+				exprs[i] = in.expr
+			}
+			if q.HasGroupBy() {
+				return executeGroupBy(env, cs, is, q, inputs, exprs, opt)
+			}
+			return executeAggregation(env, cs, is, q, inputs, exprs, opt)
 		}
-		exprs := make([]pql.Expression, len(inputs))
-		for i, in := range inputs {
-			exprs[i] = in.expr
-		}
-		if q.HasGroupBy() {
-			return executeGroupBy(env, cs, is, q, inputs, exprs, opt)
-		}
-		return executeAggregation(env, cs, is, q, inputs, exprs, opt)
+		return executeSelection(env, cs, is, q, opt)
 	}
-	return executeSelection(env, cs, is, q, opt)
+	res, err := run()
+	// The group-state cap returns a mergeable partial alongside its error,
+	// so the counter lands on that path too.
+	if res != nil && env.dictExprUsed {
+		res.Stats.DictExprSegments = 1
+	}
+	return res, err
 }
 
 func baseStats(seg segment.Reader) Stats {

@@ -26,6 +26,12 @@ type exprEval struct {
 	readers []segment.ColumnReader // aligned with names
 	kernel  *expr.Kernel           // nil → interpreter only
 	ksrc    *kernelBlockSource     // aligned with kernel.Cols
+	// memo, when set, serves every evaluation by dictID lookup: the
+	// expression was evaluated once per dictionary entry of its single
+	// column (dictexpr.go). Memo existence implies no row can error — every
+	// entry already evaluated cleanly.
+	memo    *expr.DictMemo
+	idsBuf  []uint32
 	ictx    *expr.Ctx
 	get     expr.Getter
 	curDoc  int
@@ -82,6 +88,17 @@ func newExprEval(env *execEnv, cs columnSource, e pql.Expr, opt Options) (*exprE
 			ev.ksrc = &kernelBlockSource{readers: readers}
 		}
 	}
+	// Dictionary-space memo: a deterministic single-dict-column expression
+	// evaluates once per dictionary entry and serves every row by lookup.
+	// The binding is independent of DisableExprCompile/DisableVectorization —
+	// values are bit-identical on all paths, so those flags keep flipping
+	// only execution shape, never plan.
+	if !opt.DisableDictExpr && len(ev.names) == 1 && ev.readers[0].HasDictionary() && pql.ExprDeterministic(e) {
+		if m, ok := dictMemoFor(cs, ev.readers[0], ev.names[0], e, kind, opt, env.table); ok {
+			ev.memo = m
+			env.dictExprUsed = true
+		}
+	}
 	return ev, nil
 }
 
@@ -101,6 +118,9 @@ func readScalarValue(col segment.ColumnReader, doc int) any {
 // the execution environment — surfaced at the next block checkpoint, the
 // same place in both execution modes — and yield nil here.
 func (ev *exprEval) value(doc int) any {
+	if ev.memo != nil {
+		return ev.memo.Value(ev.readers[0].DictID(doc))
+	}
 	ev.curDoc = doc
 	v, err := expr.Eval(ev.ictx, ev.src, ev.get)
 	if err != nil {
@@ -125,6 +145,25 @@ func (ev *exprEval) double(doc int) float64 {
 // fillDoubles computes a block of float64 inputs: the kernel when compiled,
 // the interpreter per row otherwise.
 func (ev *exprEval) fillDoubles(docs []int, dst []float64) {
+	if ev.memo != nil {
+		switch ev.memo.Kind {
+		case expr.Long:
+			for i, id := range ev.dictIDs(docs) {
+				dst[i] = float64(ev.memo.Longs[id])
+			}
+			return
+		case expr.Double:
+			for i, id := range ev.dictIDs(docs) {
+				dst[i] = ev.memo.Doubles[id]
+			}
+			return
+		}
+		// Non-numeric memo: the scalar path yields 0 here too.
+		for i := range docs {
+			dst[i] = 0
+		}
+		return
+	}
 	if ev.kernel != nil {
 		ev.kernel.EvalDoubles(ev.ksrc, docs, dst)
 		return
@@ -134,10 +173,26 @@ func (ev *exprEval) fillDoubles(docs []int, dst []float64) {
 	}
 }
 
+// dictIDs batch-unpacks the single bound column's dict ids for a block.
+func (ev *exprEval) dictIDs(docs []int) []uint32 {
+	if cap(ev.idsBuf) < len(docs) {
+		ev.idsBuf = make([]uint32, blockSize)
+	}
+	ids := ev.idsBuf[:len(docs)]
+	ev.readers[0].DictIDs(docs, ids)
+	return ids
+}
+
 // fillValues computes a block of boxed values for group keys and distinct
 // counts. Kernel results box from the typed buffers; the interpreter path
 // boxes row by row. Errors leave nil values, matching the scalar path.
 func (ev *exprEval) fillValues(docs []int, dst []any) {
+	if ev.memo != nil {
+		for i, id := range ev.dictIDs(docs) {
+			dst[i] = ev.memo.Value(int(id))
+		}
+		return
+	}
 	if ev.kernel == nil {
 		for i, doc := range docs {
 			dst[i] = ev.value(doc)

@@ -36,12 +36,19 @@ type execEnv struct {
 	ctx context.Context
 	qc  *qctx.QueryContext
 	seg string
+	// table is the query's table name, carried for dictionary-memo cache
+	// accounting (the cache reports per-table metric families).
+	table string
 	// evalErr latches the first expression-evaluation error of this segment
 	// execution (resource limit, bad runtime argument). Evaluators record it
 	// and return a zero value; checkpoint surfaces it at the next block
 	// boundary — the same point in both execution modes, since both evaluate
 	// the same documents in the same order.
 	evalErr error
+	// dictExprUsed records that dictionary-space expression planning served
+	// something during this segment execution; surfaced as
+	// Stats.DictExprSegments.
+	dictExprUsed bool
 }
 
 func newExecEnv(ctx context.Context, seg string) *execEnv {

@@ -5,6 +5,7 @@ import (
 
 	"pinot/internal/bitmap"
 	"pinot/internal/pql"
+	"pinot/internal/qcache"
 	"pinot/internal/segment"
 )
 
@@ -47,6 +48,19 @@ type Options struct {
 	// degrades to a partial result with an exception instead of growing
 	// unbounded state (OOM protection). Zero means uncapped.
 	GroupStateLimitBytes int64
+	// DisableDictExpr forces expression predicates, expression group keys
+	// and expression aggregate arguments onto the row-at-a-time paths
+	// (compiled kernel or interpreter) instead of dictionary-space
+	// evaluation. Results are identical in both modes; Stats may differ
+	// only in DictExprSegments and in counters that legitimately follow the
+	// plan (a dict-space predicate that proves a segment empty scans zero
+	// docs). The flag exists for differential testing and A/B benchmarks.
+	DisableDictExpr bool
+	// DictMemoCache, when set, caches dictionary-space expression memos
+	// across queries keyed on (segment, canonical expression). Only
+	// immutable segments are cached; the server invalidates a segment's
+	// scope on install and unload. Nil means memos are rebuilt per query.
+	DictMemoCache *qcache.Cache
 }
 
 func (o Options) scanCutoff() float64 {
@@ -141,6 +155,13 @@ func buildFilter(env *execEnv, cs columnSource, pred pql.Predicate, opt Options,
 		}
 		return &notDocIDSet{child: child, numDocs: n}, nil
 	case pql.ExprCompare:
+		// Dictionary space first: a deterministic single-dict-column
+		// comparison compiles to the same idSet machinery as a plain
+		// predicate, pruning and short-circuiting without touching rows.
+		if col, set, ok := dictExprIDSet(cs, p, opt, env.table); ok {
+			env.dictExprUsed = true
+			return serveIDSet(col, set, n, opt, stats), nil
+		}
 		return buildExprFilter(env, cs, p, opt, stats)
 	default:
 		return buildLeafFilter(cs, pred, opt, stats)
@@ -250,13 +271,20 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 	if err != nil {
 		return nil, err
 	}
+	return serveIDSet(col, set, n, opt, stats), nil
+}
+
+// serveIDSet picks the physical operator for a compiled dict-id set —
+// the operator ladder of paper section 4.2, shared by plain-column leaf
+// predicates and dictionary-space expression predicates.
+func serveIDSet(col segment.ColumnReader, set *idSet, n int, opt Options, stats *Stats) docIDSet {
 	switch {
 	case set.isEmpty():
-		return emptyDocIDSet{}, nil
+		return emptyDocIDSet{}
 	case set.isAll():
 		// Predicate matches every value of the segment — the special
 		// case called out in paper 3.3.4.
-		return &allDocIDSet{numDocs: n}, nil
+		return &allDocIDSet{numDocs: n}
 	}
 
 	// Sorted physical order: contiguous doc ranges, cheapest operator.
@@ -273,7 +301,7 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 				ranges = append(ranges, segment.DocRange{Start: s, End: e})
 			}
 		})
-		return &rangeDocIDSet{ranges: ranges}, nil
+		return &rangeDocIDSet{ranges: ranges}
 	}
 
 	// Inverted index, unless the expected posting mass is so large that
@@ -285,7 +313,7 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 			if stats != nil {
 				stats.NumEntriesScanned += int64(bm.Cardinality())
 			}
-			return &bitmapDocIDSet{bm: bm}, nil
+			return &bitmapDocIDSet{bm: bm}
 		}
 	}
 
@@ -304,7 +332,7 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 				return newDictScanBlockIterator(col, lookup, n, stats)
 			}
 		}
-		return sds, nil
+		return sds
 	}
 	var buf []int
 	return &scanDocIDSet{numDocs: n, match: func(doc int) bool {
@@ -318,7 +346,7 @@ func buildLeafFilter(cs columnSource, pred pql.Predicate, opt Options, stats *St
 			}
 		}
 		return false
-	}}, nil
+	}}
 }
 
 // positiveForm rewrites a negated leaf predicate into its positive

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 
 	"pinot/internal/bitmap"
 	"pinot/internal/pql"
@@ -42,12 +43,10 @@ func idSetFromList(card int, ids []int) *idSet {
 			list = append(list, id)
 		}
 	}
-	// Keep list sorted.
-	for i := 1; i < len(list); i++ {
-		for j := i; j > 0 && list[j] < list[j-1]; j-- {
-			list[j], list[j-1] = list[j-1], list[j]
-		}
-	}
+	// Keep list sorted. sort.Ints, not an insertion sort: dictionary-space
+	// predicates feed lists whose length scales with cardinality, where
+	// O(n²) bites.
+	sort.Ints(list)
 	return &idSet{card: card, list: list, lookup: lookup}
 }
 

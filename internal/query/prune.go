@@ -59,6 +59,15 @@ type zoneReader interface {
 
 // pruneEval evaluates a filter tree against a segment's zone maps.
 func pruneEval(zr zoneReader, pred pql.Predicate) matchOutcome {
+	return pruneEvalExpr(zr, pred, nil)
+}
+
+// pruneEvalExpr is pruneEval with an optional evaluator for expression
+// leaves. exprLeaf (when non-nil) resolves an expression comparison to a
+// document-exact outcome — dictionary-space evaluation can prove a leaf
+// matches no dictionary entry (matchNone) or every one (matchAll); nil or
+// any undecidable shape degrades to matchSome, the pre-dictionary behavior.
+func pruneEvalExpr(zr zoneReader, pred pql.Predicate, exprLeaf func(pql.ExprCompare) matchOutcome) matchOutcome {
 	if pred == nil {
 		return matchAll
 	}
@@ -66,7 +75,7 @@ func pruneEval(zr zoneReader, pred pql.Predicate) matchOutcome {
 	case pql.And:
 		out := matchAll
 		for _, c := range p.Children {
-			switch pruneEval(zr, c) {
+			switch pruneEvalExpr(zr, c, exprLeaf) {
 			case matchNone:
 				return matchNone
 			case matchSome:
@@ -77,7 +86,7 @@ func pruneEval(zr zoneReader, pred pql.Predicate) matchOutcome {
 	case pql.Or:
 		out := matchNone
 		for _, c := range p.Children {
-			switch pruneEval(zr, c) {
+			switch pruneEvalExpr(zr, c, exprLeaf) {
 			case matchAll:
 				return matchAll
 			case matchSome:
@@ -86,9 +95,13 @@ func pruneEval(zr zoneReader, pred pql.Predicate) matchOutcome {
 		}
 		return out
 	case pql.Not:
-		return pruneEval(zr, p.Child).invert()
+		return pruneEvalExpr(zr, p.Child, exprLeaf).invert()
 	case pql.Comparison, pql.In, pql.Between:
 		return pruneLeaf(zr, pred)
+	case pql.ExprCompare:
+		if exprLeaf != nil {
+			return exprLeaf(p)
+		}
 	}
 	return matchSome
 }
@@ -333,11 +346,12 @@ type prunePlan struct {
 // tier two evaluates the full filter tree against per-column zone maps and
 // bloom filters (SegmentsPrunedByValue). Filters proven to match all
 // documents are elided so the metadata-only aggregation plan can fire.
-func planPruning(q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schema) prunePlan {
+func planPruning(q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schema, opt Options) prunePlan {
 	plan := prunePlan{keep: make([]IndexedSegment, 0, len(segs)), queries: make([]*pql.Query, 0, len(segs))}
 	var noFilter *pql.Query
 	timeLo, timeHi := int64(math.MinInt64), int64(math.MaxInt64)
 	timeBounded := false
+	hasExprLeaf := false
 	if q.Filter != nil {
 		timeCol := ""
 		if tableSchema != nil {
@@ -346,6 +360,7 @@ func planPruning(q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schem
 		if timeCol != "" {
 			timeLo, timeHi, timeBounded = TimeBounds(q.Filter, timeCol)
 		}
+		hasExprLeaf = !opt.DisableDictExpr && pql.PredicateHasExprCompare(q.Filter)
 	}
 	for _, is := range segs {
 		zr, ok := is.Seg.(zoneReader)
@@ -366,8 +381,37 @@ func planPruning(q *pql.Query, segs []IndexedSegment, tableSchema *segment.Schem
 				}
 			}
 		}
-		switch pruneEval(zr, q.Filter) {
+		// Dictionary-space expression leaves: evaluated once per dictionary
+		// entry, an expression predicate can prove a segment empty (pruned
+		// like a zone-map miss) or full (filter elided). Decisions are
+		// document-exact, so they compose under the same three-valued
+		// AND/OR/NOT algebra as zone-map leaves. A memo built here lands in
+		// the cross-query cache, warming the execution that follows.
+		var exprLeaf func(pql.ExprCompare) matchOutcome
+		exprDecisive := false
+		if hasExprLeaf {
+			cs := columnSource{seg: is.Seg, schema: tableSchema}
+			exprLeaf = func(p pql.ExprCompare) matchOutcome {
+				_, set, ok := dictExprIDSet(cs, p, opt, q.Table)
+				if !ok {
+					return matchSome
+				}
+				switch {
+				case set.isEmpty():
+					exprDecisive = true
+					return matchNone
+				case set.isAll():
+					exprDecisive = true
+					return matchAll
+				}
+				return matchSome
+			}
+		}
+		switch pruneEvalExpr(zr, q.Filter, exprLeaf) {
 		case matchNone:
+			if exprDecisive {
+				plan.stats.DictExprSegments++
+			}
 			plan.stats.SegmentsPrunedByValue++
 			plan.stats.NumSegmentsQueried++
 			plan.stats.TotalDocs += int64(is.Seg.NumDocs())

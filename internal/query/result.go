@@ -42,6 +42,12 @@ type Stats struct {
 	// between a cached response and a cold one; every scan/prune counter
 	// above is replayed verbatim from the cached entry.
 	ResultCacheHit bool
+	// DictExprSegments counts segments where dictionary-space expression
+	// planning served a predicate, group key, aggregate argument, or a
+	// pruning decision. It is the only Stats field allowed to differ under
+	// Options.DisableDictExpr (scan/entry counters may also shift where the
+	// plan legitimately changes rung, e.g. a pruned-to-empty segment).
+	DictExprSegments int
 }
 
 // Merge folds another stats block into s.
@@ -61,6 +67,7 @@ func (s *Stats) Merge(o Stats) {
 	s.SegmentsMatched += o.SegmentsMatched
 	s.GroupStateBytes += o.GroupStateBytes
 	s.ResultCacheHit = s.ResultCacheHit || o.ResultCacheHit
+	s.DictExprSegments += o.DictExprSegments
 }
 
 // ResultKind distinguishes the three response shapes.

@@ -326,6 +326,19 @@ const denseGroupMaxCard = 1 << 16
 // dictionary-id groupers when every item is a plain column, the expression
 // grouper otherwise.
 func newItemGrouper(items []groupItem, exprs []pql.Expression, charger *groupCharger) grouper {
+	// A single memoized expression groups through a dictID→group translation
+	// table: the expression value (and its rendered key) is computed once
+	// per distinct dict id, not per row.
+	if len(items) == 1 && items[0].ev != nil && items[0].ev.memo != nil {
+		if ev := items[0].ev; ev.readers[0].Cardinality() <= denseGroupMaxCard {
+			trans := make([]int32, ev.readers[0].Cardinality())
+			for i := range trans {
+				trans[i] = -1
+			}
+			return &dictTransGrouper{col: ev.readers[0], memo: ev.memo, exprs: exprs,
+				charger: charger, trans: trans, byKey: map[string]int32{}}
+		}
+	}
 	cols := make([]segment.ColumnReader, len(items))
 	for i, it := range items {
 		if it.ev != nil {
@@ -483,6 +496,55 @@ func (g *stringGrouper) groups(docs []int, out []*GroupEntry) {
 }
 
 func (g *stringGrouper) result() map[string]*GroupEntry { return g.m }
+
+// dictTransGrouper groups by one memoized expression through a dictID →
+// group-index translation table. Distinct dict ids whose expression values
+// render to one GroupKey (lower('Cat1') and lower('cat1')) share an entry
+// via the byKey map, so entry creation — and the group-state charge — is
+// per distinct key, exactly like the scalar path.
+type dictTransGrouper struct {
+	col     segment.ColumnReader
+	memo    *expr.DictMemo
+	exprs   []pql.Expression
+	charger *groupCharger
+	trans   []int32 // dict id → index into entries, -1 unseen
+	entries []*GroupEntry
+	byKey   map[string]int32
+	ids     []uint32
+}
+
+func (g *dictTransGrouper) groups(docs []int, out []*GroupEntry) {
+	if cap(g.ids) < len(docs) {
+		g.ids = make([]uint32, blockSize)
+	}
+	ids := g.ids[:len(docs)]
+	g.col.DictIDs(docs, ids)
+	for i, id := range ids {
+		t := g.trans[id]
+		if t < 0 {
+			v := g.memo.Value(int(id))
+			key := GroupKey([]any{v})
+			if idx, ok := g.byKey[key]; ok {
+				t = idx
+			} else {
+				g.entries = append(g.entries, newGroupEntry([]any{v}, g.exprs))
+				t = int32(len(g.entries) - 1)
+				g.byKey[key] = t
+				g.charger.charge(key, 1)
+			}
+			g.trans[id] = t
+		}
+		out[i] = g.entries[t]
+	}
+}
+
+func (g *dictTransGrouper) result() map[string]*GroupEntry {
+	m := make(map[string]*GroupEntry, len(g.byKey))
+	for key, idx := range g.byKey {
+		m[key] = g.entries[idx]
+	}
+	return m
+}
 
 // exprGrouper groups by derived expressions (mixed with plain columns).
 // When the only item is a single compiled integral expression — the

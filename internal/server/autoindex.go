@@ -73,7 +73,9 @@ func (t *tableDataManager) applyAutoIndexes(columns []string) {
 		}
 		// Reindexing changes the physical plan (and its scan counters), so
 		// cached partial aggregates for the segment no longer replay what a
-		// fresh execution would produce.
-		t.server.invalidateAggCache(seg.Name())
+		// fresh execution would produce. Dictionary memos would survive (the
+		// dictionary is untouched), but reindexing is rare enough that the
+		// shared invalidation hook keeps things simple.
+		t.server.invalidateSegmentCaches(seg.Name())
 	}
 }

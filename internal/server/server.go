@@ -69,6 +69,15 @@ type Config struct {
 	// ServerCachePolicy selects the cache eviction policy ("lru"/"lfu",
 	// default lru).
 	ServerCachePolicy string
+	// DisableDictExprCache turns off the dictionary-space expression memo
+	// cache (per-segment expression-over-dictionary results, reused across
+	// queries). Dictionary-space planning itself stays on — memos are just
+	// rebuilt per query; Config.PlanOptions.DisableDictExpr disables the
+	// whole path.
+	DisableDictExprCache bool
+	// DictExprCacheBytes bounds the dict-expr memo cache (0 = the qcache
+	// default).
+	DictExprCacheBytes int64
 	// Metrics receives the server's instrumentation; nil means the
 	// process-wide metrics.Default().
 	Metrics *metrics.Registry
@@ -99,6 +108,7 @@ type Server struct {
 	sched       *tenancy.Scheduler
 	auto        *autoIndexer
 	aggCache    *qcache.Cache
+	dictCache   *qcache.Cache
 	met         *serverMetrics
 
 	mu     sync.RWMutex
@@ -168,6 +178,15 @@ func New(cfg Config, store zkmeta.Endpoint, objects objstore.Store, streams *str
 			Metrics:  cfg.Metrics,
 		})
 		s.engine.AggCache = s.aggCache
+	}
+	if !cfg.DisableDictExprCache {
+		s.dictCache = qcache.New(qcache.Config{
+			Tier:     "dictexpr",
+			MaxBytes: cfg.DictExprCacheBytes,
+			Policy:   qcache.Policy(cfg.ServerCachePolicy),
+			Metrics:  cfg.Metrics,
+		})
+		s.engine.Options.DictMemoCache = s.dictCache
 	}
 	if cfg.TenantTokens > 0 {
 		s.sched = tenancy.NewScheduler(cfg.TenantTokens, cfg.TenantRefill, nil)
@@ -405,18 +424,26 @@ func (s *Server) ExecuteStream(ctx context.Context, req *transport.QueryRequest,
 	return trailer, nil
 }
 
-// invalidateAggCache drops the partial-aggregate cache entries scoped to a
-// segment — the precise-invalidation hook run on every helix state
-// transition that changes what the segment name resolves to.
-func (s *Server) invalidateAggCache(segName string) {
+// invalidateSegmentCaches drops the per-segment cache entries — partial
+// aggregates and dictionary-expression memos — scoped to a segment: the
+// precise-invalidation hook run on every helix state transition that
+// changes what the segment name resolves to.
+func (s *Server) invalidateSegmentCaches(segName string) {
 	if s.aggCache != nil {
 		s.aggCache.InvalidateScope(segName)
+	}
+	if s.dictCache != nil {
+		s.dictCache.InvalidateScope(segName)
 	}
 }
 
 // AggCache exposes the server's partial-aggregate cache (nil when disabled);
 // tests and benchmarks reach it for direct assertions.
 func (s *Server) AggCache() *qcache.Cache { return s.aggCache }
+
+// DictExprCache exposes the server's dictionary-expression memo cache (nil
+// when disabled); tests and benchmarks reach it for direct assertions.
+func (s *Server) DictExprCache() *qcache.Cache { return s.dictCache }
 
 // HostedSegments returns the names of segments currently queryable for a
 // resource (loaded immutable + consuming).
@@ -529,8 +556,9 @@ func (t *tableDataManager) install(seg *segment.Segment) error {
 	t.segments[seg.Name()] = is
 	t.mu.Unlock()
 	// A (re)installed segment may carry different contents under the same
-	// name (segment replace/reload): stale partial aggregates must go.
-	t.server.invalidateAggCache(seg.Name())
+	// name (segment replace/reload): stale partial aggregates and
+	// expression memos must go.
+	t.server.invalidateSegmentCaches(seg.Name())
 	return nil
 }
 
@@ -544,7 +572,7 @@ func (t *tableDataManager) unload(segName string) {
 	if c != nil {
 		c.halt()
 	}
-	t.server.invalidateAggCache(segName)
+	t.server.invalidateSegmentCaches(segName)
 }
 
 func (t *tableDataManager) drop(segName string) {

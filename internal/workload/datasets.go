@@ -117,6 +117,12 @@ func Anomaly(cfg SizeConfig) *Dataset {
 			d := 16000 + r.Intn(anomalyDays)
 			preds = append(preds, fmt.Sprintf("timeBucket(day, 7) = %d", d-d%7))
 		}
+		if r.Float64() < 0.15 {
+			// Case-insensitive facet filter: single-column, deterministic,
+			// dict-encoded — the dictionary-space-eligible shape.
+			preds = append(preds, fmt.Sprintf("upper(browser) = '%s'",
+				strings.ToUpper(pick(r, anomalyBrowsers))))
+		}
 		sel := "sum(value), count(*)"
 		switch r.Intn(8) {
 		case 0:
@@ -125,7 +131,7 @@ func Anomaly(cfg SizeConfig) *Dataset {
 			sel = fmt.Sprintf("sum(count * %d), max(abs(value - %d))", 1+r.Intn(3), r.Intn(900))
 		}
 		q := "SELECT " + sel + " FROM anomaly WHERE " + strings.Join(preds, " AND ")
-		switch r.Intn(5) {
+		switch r.Intn(6) {
 		case 0:
 			q += " GROUP BY country TOP 10"
 		case 1:
@@ -134,6 +140,10 @@ func Anomaly(cfg SizeConfig) *Dataset {
 			q += " GROUP BY platform TOP 10"
 		case 3:
 			q += " GROUP BY timeBucket(day, 7) TOP 10"
+		case 4:
+			// String-builtin group key over one dict column, served from the
+			// per-segment memo through the dictID→group translation table.
+			q += " GROUP BY upper(fabric) TOP 10"
 		}
 		return q
 	}
@@ -185,7 +195,7 @@ func ShareAnalytics(cfg SizeConfig) *Dataset {
 		// Hot profiles are viewed (and therefore queried) more.
 		viewee := int64(float64(numViewees) * r.Float64() * r.Float64())
 		base := fmt.Sprintf("FROM wvmp WHERE vieweeId = %d", viewee)
-		switch r.Intn(7) {
+		switch r.Intn(8) {
 		case 0:
 			return "SELECT count(*), sum(views) " + base
 		case 1:
@@ -200,6 +210,14 @@ func ShareAnalytics(cfg SizeConfig) *Dataset {
 			return fmt.Sprintf("SELECT sum(views * %d) %s", 1+r.Intn(3), base)
 		case 5:
 			return "SELECT count(*) " + base + fmt.Sprintf(" AND timeBucket(day, 30) = %d", 15990+30*r.Intn(4))
+		case 6:
+			// Dictionary-space shapes: a case-folded facet probe and a
+			// memo-served expression group key.
+			if r.Intn(2) == 0 {
+				return "SELECT sum(views) " + base +
+					fmt.Sprintf(" AND upper(region) = '%s'", strings.ToUpper(pick(r, wvmpRegions)))
+			}
+			return "SELECT count(*) " + base + " GROUP BY lower(industry) TOP 10"
 		default:
 			return "SELECT sum(views) " + base + " GROUP BY seniority TOP 10"
 		}
